@@ -1,0 +1,138 @@
+// Package bespokv's root benchmark file wires every table and figure of
+// the paper's evaluation (§VIII, Appendices D and E) to a testing.B
+// target, one per experiment, via the shared harness in internal/bench:
+//
+//	go test -bench=. -benchmem                    # all experiments, smoke scale
+//	go test -bench=BenchmarkFig7 -benchtime=1x    # one figure
+//
+// Benchmarks intentionally run each experiment once per b.N at smoke
+// scale; the cmd/bespokv-bench binary is the full-scale driver (see
+// EXPERIMENTS.md for recorded paper-vs-measured results). The reported
+// metric per iteration is wall time for the whole experiment; throughput
+// rows are printed to the benchmark log on -v.
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"bespokv/internal/bench"
+)
+
+// benchParams scales an experiment for the testing.B loop: short windows,
+// small keyspaces, smallest node sweep.
+func benchParams(b *testing.B) bench.Params {
+	var out io.Writer
+	if testing.Verbose() {
+		out = benchWriter{b}
+	}
+	return bench.Params{
+		Out:        out,
+		MeasureFor: 200 * time.Millisecond,
+		Clients:    2,
+		Keys:       2000,
+		Preload:    500,
+		NodeCounts: []int{3},
+	}
+}
+
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Logf("%s", p)
+	return len(p), nil
+}
+
+func runExperiment(b *testing.B, fn func(bench.Params) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fn(benchParams(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1FeatureMatrix probes every Table I capability live.
+func BenchmarkTable1FeatureMatrix(b *testing.B) {
+	runExperiment(b, bench.Table1FeatureMatrix)
+}
+
+// BenchmarkFig6DataAbstractions regenerates Fig. 6 (LSM vs B+-tree vs log
+// under monitoring and analytics workloads).
+func BenchmarkFig6DataAbstractions(b *testing.B) {
+	runExperiment(b, bench.Fig6DataAbstractions)
+}
+
+// BenchmarkFig7ScalabilityHT regenerates Fig. 7 (tHT scalability across
+// the four modes, two mixes, two key distributions).
+func BenchmarkFig7ScalabilityHT(b *testing.B) {
+	runExperiment(b, bench.Fig7ScalabilityHT)
+}
+
+// BenchmarkFig8HPCWorkloads regenerates Fig. 8 (job-launch and
+// I/O-forwarding traces across modes and node counts).
+func BenchmarkFig8HPCWorkloads(b *testing.B) {
+	runExperiment(b, bench.Fig8HPCWorkloads)
+}
+
+// BenchmarkFig9OtherDatalets regenerates Fig. 9 (tSSDB, tLog and tMT
+// datalets under MS+EC, including the 95% SCAN series).
+func BenchmarkFig9OtherDatalets(b *testing.B) {
+	runExperiment(b, bench.Fig9OtherDatalets)
+}
+
+// BenchmarkFig10Transitions regenerates Fig. 10 (live MS+EC→{MS+SC,
+// AA+EC, AA+SC} transition timelines under load).
+func BenchmarkFig10Transitions(b *testing.B) {
+	runExperiment(b, bench.Fig10Transitions)
+}
+
+// BenchmarkFig11ProxyComparison regenerates Fig. 11 (bespokv fronting
+// text-protocol tRedis datalets vs twemproxy and dynomite).
+func BenchmarkFig11ProxyComparison(b *testing.B) {
+	runExperiment(b, bench.Fig11ProxyComparison)
+}
+
+// BenchmarkFig12NativeComparison regenerates Fig. 12 (latency-vs-
+// throughput against cassandra- and voldemort-style native stores).
+func BenchmarkFig12NativeComparison(b *testing.B) {
+	runExperiment(b, bench.Fig12NativeComparison)
+}
+
+// BenchmarkPerRequestConsistency regenerates the §VIII-D per-request
+// consistency measurements (25:75 SC:EC read split).
+func BenchmarkPerRequestConsistency(b *testing.B) {
+	runExperiment(b, bench.PerRequestConsistency)
+}
+
+// BenchmarkPolyglotPersistence regenerates the §VIII-D polyglot
+// persistence measurements (tHT+tLog+tMT replicas in one shard).
+func BenchmarkPolyglotPersistence(b *testing.B) {
+	runExperiment(b, bench.PolyglotPersistence)
+}
+
+// BenchmarkFig16Failover regenerates Fig. 16 / Appendix D (node-kill
+// failover timelines for MS and AA, with standby recovery).
+func BenchmarkFig16Failover(b *testing.B) {
+	runExperiment(b, bench.Fig16Failover)
+}
+
+// BenchmarkFig17TransportBypass regenerates Fig. 17 / Appendix E (kernel
+// TCP vs the DPDK-style in-process bypass transport).
+func BenchmarkFig17TransportBypass(b *testing.B) {
+	runExperiment(b, bench.Fig17TransportBypass)
+}
+
+// BenchmarkDLCache regenerates the §VI-B DL-ingestion-cache result
+// (simulated PFS vs bespokv cache, images per second).
+func BenchmarkDLCache(b *testing.B) {
+	runExperiment(b, bench.DLCache)
+}
+
+// BenchmarkAblations measures the design choices DESIGN.md calls out:
+// chain length vs write cost, DLM-lock vs shared-log AA ordering, LSM
+// memtable size vs write amplification, ring vnodes vs balance.
+func BenchmarkAblations(b *testing.B) {
+	runExperiment(b, bench.Ablations)
+}

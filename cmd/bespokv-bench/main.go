@@ -1,0 +1,131 @@
+// Command bespokv-bench regenerates the paper's tables and figures. Each
+// experiment deploys its own in-process cluster(s), drives them with the
+// paper's workloads, and prints rows as "figure series x kqps [extras]".
+//
+//	bespokv-bench -exp all                # everything (takes a while)
+//	bespokv-bench -exp fig7               # one experiment
+//	bespokv-bench -exp fig12 -quick       # smoke-scale parameters
+//	bespokv-bench -exp fig7 -measure 5s -clients 16 -nodes 3,6,12,24,48
+//
+// See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bespokv/internal/bench"
+)
+
+var experiments = map[string]struct {
+	fn    func(bench.Params) error
+	about string
+}{
+	"table1":   {bench.Table1FeatureMatrix, "Table I: live-probed feature matrix"},
+	"fig6":     {bench.Fig6DataAbstractions, "Fig. 6: LSM vs B+-tree vs log under monitoring/analytics"},
+	"fig7":     {bench.Fig7ScalabilityHT, "Fig. 7: tHT scalability across modes, mixes, distributions"},
+	"fig8":     {bench.Fig8HPCWorkloads, "Fig. 8: job-launch and I/O-forwarding HPC traces"},
+	"fig9":     {bench.Fig9OtherDatalets, "Fig. 9: tSSDB/tLog/tMT datalets under MS+EC (incl. scans)"},
+	"fig10":    {bench.Fig10Transitions, "Fig. 10: live MS+EC→{MS+SC,AA+EC,AA+SC} transition timelines"},
+	"fig11":    {bench.Fig11ProxyComparison, "Fig. 11: bespokv+tRedis vs twemproxy vs dynomite"},
+	"fig12":    {bench.Fig12NativeComparison, "Fig. 12: latency/throughput vs cassandra- and voldemort-style stores"},
+	"fig16":    {bench.Fig16Failover, "Fig. 16: node-kill failover timelines"},
+	"fig17":    {bench.Fig17TransportBypass, "Fig. 17: kernel sockets vs DPDK-style bypass transport"},
+	"perreq":   {bench.PerRequestConsistency, "§VIII-D: per-request consistency levels"},
+	"polyglot": {bench.PolyglotPersistence, "§VIII-D: polyglot persistence (mixed engines per shard)"},
+	"dlcache":  {bench.DLCache, "§VI-B: deep-learning ingestion cache vs simulated PFS"},
+	"ablate":   {bench.Ablations, "design ablations: chain length, AA ordering, LSM write-amp, ring vnodes"},
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment to run (or 'all', 'list')")
+		quick   = flag.Bool("quick", false, "smoke-scale parameters")
+		measure = flag.Duration("measure", 0, "measurement window per data point")
+		clients = flag.Int("clients", 0, "concurrent load clients")
+		keys    = flag.Int("keys", 0, "keyspace size")
+		preload = flag.Int("preload", -1, "keys preloaded before measuring")
+		nodes   = flag.String("nodes", "", "comma-separated node-count sweep, e.g. 3,6,12,24")
+		network = flag.String("network", "", "transport: inproc (default) or tcp")
+	)
+	flag.Parse()
+
+	if *exp == "" || *exp == "list" {
+		names := make([]string, 0, len(experiments))
+		for name := range experiments {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("experiments:")
+		for _, name := range names {
+			fmt.Printf("  %-9s %s\n", name, experiments[name].about)
+		}
+		fmt.Println("  all       run everything")
+		return
+	}
+
+	params := bench.Full(os.Stdout)
+	if *quick {
+		params = bench.Quick(os.Stdout)
+	}
+	if *measure > 0 {
+		params.MeasureFor = *measure
+	}
+	if *clients > 0 {
+		params.Clients = *clients
+	}
+	if *keys > 0 {
+		params.Keys = *keys
+	}
+	if *preload >= 0 {
+		params.Preload = *preload
+	}
+	if *network != "" {
+		params.NetworkName = *network
+	}
+	if *nodes != "" {
+		params.NodeCounts = nil
+		for _, part := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -nodes entry %q\n", part)
+				os.Exit(2)
+			}
+			params.NodeCounts = append(params.NodeCounts, n)
+		}
+	}
+
+	var names []string
+	if *exp == "all" {
+		for name := range experiments {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := experiments[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -exp list)\n", name)
+				os.Exit(2)
+			}
+			names = append(names, name)
+		}
+	}
+
+	for _, name := range names {
+		e := experiments[name]
+		fmt.Printf("== %s — %s\n", name, e.about)
+		start := time.Now()
+		if err := e.fn(params); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,55 @@
+// Command bespokv-coordinator runs the control-plane metadata service:
+// cluster map storage, heartbeat liveness, leader election, failover, and
+// transition orchestration.
+//
+//	bespokv-coordinator -addr 127.0.0.1:7000 -heartbeat-timeout 5s
+//
+// Bootstrap a cluster by installing a map with bespokv-cli:
+//
+//	bespokv-cli -coordinator 127.0.0.1:7000 setmap cluster.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bespokv/internal/coordinator"
+	"bespokv/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7000", "listen address")
+		network = flag.String("network", "tcp", "transport (tcp or inproc)")
+		hbTO    = flag.Duration("heartbeat-timeout", 5*time.Second, "declare a node dead after this silence")
+		noFail  = flag.Bool("disable-failover", false, "turn the failure detector off")
+	)
+	flag.Parse()
+	net, err := transport.Lookup(*network)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := coordinator.Serve(coordinator.Config{
+		Network:          net,
+		Addr:             *addr,
+		HeartbeatTimeout: *hbTO,
+		DisableFailover:  *noFail,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bespokv-coordinator listening on %s (%s), heartbeat timeout %v\n", s.Addr(), *network, *hbTO)
+	waitForSignal()
+	_ = s.Close()
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}

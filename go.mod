@@ -1,0 +1,3 @@
+module bespokv
+
+go 1.22

@@ -1,0 +1,513 @@
+// Package dynamo reimplements the natively-distributed baseline of
+// Fig. 12: a Dynamo-descendant quorum store in the style of Cassandra and
+// LinkedIn Voldemort. Unlike bespokv — where the client library routes
+// straight to the owning controlet — every request lands on an arbitrary
+// node that acts as coordinator and forwards to the key's replica set
+// (Voldemort's "all-routing" server-side routing, consistency level ONE),
+// paying an extra network hop per operation. Two profiles mirror the
+// paper's comparison targets:
+//
+//   - "cassandra": LSM-backed with a small memtable, so flushes and
+//     compaction charge the write path — the paper blames exactly this
+//     for Cassandra's numbers;
+//   - "voldemort": in-memory hash-table backed (the paper configured
+//     Voldemort's storage to memory).
+package dynamo
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bespokv/internal/datalet"
+	"bespokv/internal/store"
+	"bespokv/internal/store/ht"
+	"bespokv/internal/store/lsm"
+	"bespokv/internal/topology"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+// Profile selects the engine/behaviour of every node.
+type Profile struct {
+	// Name labels the profile ("cassandra", "voldemort").
+	Name string
+	// NewEngine builds one node's storage.
+	NewEngine func() (store.Engine, error)
+}
+
+// CassandraProfile is the LSM-with-compaction configuration. Tables are
+// disk-backed (Cassandra persists everything), so flushes and compactions
+// pay real I/O, and the small memtable keeps that churn on the hot path —
+// the cost the paper blames for Cassandra's numbers.
+func CassandraProfile() Profile {
+	return Profile{
+		Name: "cassandra",
+		NewEngine: func() (store.Engine, error) {
+			dir, err := os.MkdirTemp("", "dynamo-cassandra-*")
+			if err != nil {
+				return nil, err
+			}
+			s, err := lsm.New(lsm.Options{Dir: dir, MemtableBytes: 256 << 10, FanoutLimit: 3})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			return diskEngine{Store: s, dir: dir}, nil
+		},
+	}
+}
+
+// diskEngine removes its scratch directory when closed.
+type diskEngine struct {
+	*lsm.Store
+	dir string
+}
+
+func (d diskEngine) Close() error {
+	err := d.Store.Close()
+	_ = os.RemoveAll(d.dir)
+	return err
+}
+
+// VoldemortProfile is the in-memory configuration.
+func VoldemortProfile() Profile {
+	return Profile{
+		Name:      "voldemort",
+		NewEngine: func() (store.Engine, error) { return ht.New(), nil },
+	}
+}
+
+// Options configure a cluster.
+type Options struct {
+	Network transport.Network
+	Codec   wire.Codec
+	// Nodes and ReplicationFactor shape the ring (defaults 6 and 3).
+	Nodes             int
+	ReplicationFactor int
+	Profile           Profile
+	PoolSize          int
+}
+
+// Cluster is a running dynamo-style store.
+type Cluster struct {
+	opts  Options
+	nodes []*node
+}
+
+// node is one storage server: engine + wire listener + ring routing.
+type node struct {
+	idx      int
+	cluster  *Cluster
+	engine   store.Engine
+	listener transport.Listener
+
+	clock atomic.Uint64
+
+	peersMu sync.Mutex
+	peers   map[string]*datalet.Pool
+
+	mu      sync.Mutex
+	conns   map[transport.Conn]struct{}
+	stopped bool
+	wg      sync.WaitGroup
+
+	ring  *topology.Ring
+	addrs []string
+
+	// replQ decouples replication from the request handler: with CL=ONE
+	// the coordinator acks after the primary applies, and the remaining
+	// copies happen asynchronously. (It also keeps nested synchronous
+	// RPCs out of the FIFO connection handlers, which would otherwise
+	// deadlock head-of-line around the ring under load.)
+	replQ  chan replRecord
+	stopCh chan struct{}
+}
+
+type replRecord struct {
+	owner   int
+	op      wire.Op
+	table   string
+	key     []byte
+	value   []byte
+	version uint64
+}
+
+// Start boots the cluster.
+func Start(opts Options) (*Cluster, error) {
+	if opts.Network == nil || opts.Codec == nil || opts.Profile.NewEngine == nil {
+		return nil, errors.New("dynamo: Network, Codec and Profile are required")
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 6
+	}
+	if opts.ReplicationFactor <= 0 {
+		opts.ReplicationFactor = 3
+	}
+	if opts.ReplicationFactor > opts.Nodes {
+		opts.ReplicationFactor = opts.Nodes
+	}
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 2
+	}
+	c := &Cluster{opts: opts}
+	for i := 0; i < opts.Nodes; i++ {
+		engine, err := opts.Profile.NewEngine()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		addr := ""
+		if _, ok := opts.Network.(transport.TCP); ok {
+			addr = "127.0.0.1:0"
+		}
+		l, err := opts.Network.Listen(addr)
+		if err != nil {
+			engine.Close()
+			c.Close()
+			return nil, err
+		}
+		n := &node{
+			idx:      i,
+			cluster:  c,
+			engine:   engine,
+			listener: l,
+			peers:    map[string]*datalet.Pool{},
+			conns:    map[transport.Conn]struct{}{},
+			replQ:    make(chan replRecord, 4096),
+			stopCh:   make(chan struct{}),
+		}
+		n.clock.Store(uint64(time.Now().Unix()) << 32)
+		c.nodes = append(c.nodes, n)
+	}
+	ids := make([]string, opts.Nodes)
+	addrs := make([]string, opts.Nodes)
+	for i, n := range c.nodes {
+		ids[i] = fmt.Sprintf("dynamo-%d", i)
+		addrs[i] = n.listener.Addr()
+	}
+	ring := topology.BuildRingFromIDs(ids, 160)
+	for _, n := range c.nodes {
+		n.ring = ring
+		n.addrs = addrs
+		// Several pumps so replication keeps up with the write rate: a
+		// baseline that silently drops its RF-1 copies under load would
+		// be paying less than the real system does.
+		const pumps = 4
+		n.wg.Add(1 + pumps)
+		go n.acceptLoop()
+		for i := 0; i < pumps; i++ {
+			go n.replicationPump()
+		}
+	}
+	return c, nil
+}
+
+// Addrs returns every node's address; clients may target any of them.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.listener.Addr()
+	}
+	return out
+}
+
+// Engine exposes node i's storage for white-box assertions.
+func (c *Cluster) Engine(i int) store.Engine { return c.nodes[i].engine }
+
+// Close stops every node.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.close()
+		}
+	}
+}
+
+func (n *node) close() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	close(n.stopCh)
+	for c := range n.conns {
+		_ = c.Close()
+	}
+	n.mu.Unlock()
+	_ = n.listener.Close()
+	n.wg.Wait()
+	n.peersMu.Lock()
+	for _, p := range n.peers {
+		_ = p.Close()
+	}
+	n.peersMu.Unlock()
+	_ = n.engine.Close()
+}
+
+func (n *node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.stopped {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer func() {
+				n.mu.Lock()
+				delete(n.conns, conn)
+				n.mu.Unlock()
+				conn.Close()
+			}()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+func (n *node) serveConn(conn transport.Conn) {
+	codec := n.cluster.opts.Codec
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var req wire.Request
+	var resp wire.Response
+	for {
+		req.Reset()
+		if err := codec.ReadRequest(br, &req); err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+		resp.Reset()
+		resp.ID = req.ID
+		n.handle(&req, &resp)
+		resp.ID = req.ID
+		if err := codec.WriteResponse(bw, &resp); err != nil {
+			return
+		}
+	}
+}
+
+// owners returns the RF ring successors for a key.
+func (n *node) owners(key []byte) []int {
+	rf := n.cluster.opts.ReplicationFactor
+	first := n.ring.Lookup(key)
+	out := make([]int, 0, rf)
+	for i := 0; i < rf; i++ {
+		out = append(out, (first+i)%len(n.addrs))
+	}
+	return out
+}
+
+func (n *node) handle(req *wire.Request, resp *wire.Response) {
+	switch req.Op {
+	case wire.OpNop:
+		resp.Status = wire.StatusOK
+	case wire.OpPut, wire.OpDel:
+		owners := n.owners(req.Key)
+		if owners[0] != n.idx {
+			// Coordinator hop: forward to the primary owner and relay —
+			// the server-side routing cost bespokv's client-side
+			// routing avoids.
+			n.forward(owners[0], req, resp)
+			return
+		}
+		version := n.clock.Add(1)
+		n.applyLocal(req, resp, version)
+		if resp.Status == wire.StatusOK || resp.Status == wire.StatusNotFound {
+			// CL=ONE: the primary ack suffices; the other copies are
+			// made asynchronously by the replication pump.
+			rec := replRecord{
+				op:      req.Op,
+				table:   req.Table,
+				key:     append([]byte(nil), req.Key...),
+				value:   append([]byte(nil), req.Value...),
+				version: version,
+			}
+			for _, o := range owners[1:] {
+				rec.owner = o
+				select {
+				case n.replQ <- rec:
+				default: // overflow drops the copy; anti-entropy territory
+				}
+			}
+		}
+	case wire.OpGet, wire.OpScan:
+		owners := n.owners(req.Key)
+		mine := false
+		for _, o := range owners {
+			if o == n.idx {
+				mine = true
+				break
+			}
+		}
+		if !mine {
+			n.forward(owners[0], req, resp)
+			return
+		}
+		n.applyLocal(req, resp, 0)
+	case wire.OpReplPut, wire.OpReplDel:
+		inner := *req
+		if inner.Op == wire.OpReplPut {
+			inner.Op = wire.OpPut
+		} else {
+			inner.Op = wire.OpDel
+		}
+		n.observe(req.Version)
+		n.applyLocal(&inner, resp, req.Version)
+	default:
+		resp.Status = wire.StatusErr
+		resp.Err = "dynamo: unsupported op " + req.Op.String()
+	}
+}
+
+func (n *node) observe(v uint64) {
+	for {
+		cur := n.clock.Load()
+		if v <= cur || n.clock.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (n *node) applyLocal(req *wire.Request, resp *wire.Response, version uint64) {
+	switch req.Op {
+	case wire.OpPut:
+		ver, err := n.engine.Put(req.Key, req.Value, version)
+		if err != nil {
+			resp.Status = wire.StatusErr
+			resp.Err = err.Error()
+			return
+		}
+		resp.Status = wire.StatusOK
+		resp.Version = ver
+	case wire.OpDel:
+		existed, winner, err := n.engine.Delete(req.Key, version)
+		if err != nil {
+			resp.Status = wire.StatusErr
+			resp.Err = err.Error()
+			return
+		}
+		resp.Version = winner
+		if existed {
+			resp.Status = wire.StatusOK
+		} else {
+			resp.Status = wire.StatusNotFound
+		}
+	case wire.OpGet:
+		v, ver, ok, err := n.engine.Get(req.Key)
+		if err != nil {
+			resp.Status = wire.StatusErr
+			resp.Err = err.Error()
+			return
+		}
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			return
+		}
+		resp.Status = wire.StatusOK
+		resp.Value = append(resp.Value[:0], v...)
+		resp.Version = ver
+	case wire.OpScan:
+		kvs, err := n.engine.Scan(req.Key, req.EndKey, int(req.Limit))
+		if err != nil {
+			resp.Status = wire.StatusErr
+			resp.Err = err.Error()
+			return
+		}
+		resp.Status = wire.StatusOK
+		for _, kv := range kvs {
+			resp.Pairs = append(resp.Pairs, wire.KV{Key: kv.Key, Value: kv.Value, Version: kv.Version})
+		}
+	}
+}
+
+func (n *node) forward(owner int, req *wire.Request, resp *wire.Response) {
+	pool, err := n.peerPool(n.addrs[owner])
+	if err != nil {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = err.Error()
+		return
+	}
+	fwd := *req
+	if err := pool.Do(&fwd, resp); err != nil {
+		n.dropPeer(n.addrs[owner])
+		resp.Reset()
+		resp.ID = req.ID
+		resp.Status = wire.StatusUnavailable
+		resp.Err = err.Error()
+	}
+}
+
+// replicationPump drains the node's replication queue.
+func (n *node) replicationPump() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case rec := <-n.replQ:
+			n.replicate(rec)
+		}
+	}
+}
+
+func (n *node) replicate(rec replRecord) {
+	pool, err := n.peerPool(n.addrs[rec.owner])
+	if err != nil {
+		return
+	}
+	fwd := wire.Request{
+		Op:      wire.OpReplPut,
+		Table:   rec.table,
+		Key:     rec.key,
+		Value:   rec.value,
+		Version: rec.version,
+	}
+	if rec.op == wire.OpDel {
+		fwd.Op = wire.OpReplDel
+	}
+	var resp wire.Response
+	if err := pool.Do(&fwd, &resp); err != nil {
+		n.dropPeer(n.addrs[rec.owner])
+	}
+}
+
+func (n *node) peerPool(addr string) (*datalet.Pool, error) {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	if p, ok := n.peers[addr]; ok {
+		return p, nil
+	}
+	p, err := datalet.DialPool(n.cluster.opts.Network, addr, n.cluster.opts.Codec, n.cluster.opts.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	n.peers[addr] = p
+	return p, nil
+}
+
+func (n *node) dropPeer(addr string) {
+	n.peersMu.Lock()
+	if p, ok := n.peers[addr]; ok {
+		delete(n.peers, addr)
+		_ = p.Close()
+	}
+	n.peersMu.Unlock()
+}

@@ -1,0 +1,166 @@
+// Package twemproxy reimplements the Twitter twemproxy baseline used in
+// Fig. 11: a stateless sharding-only proxy (Table I: sharding yes,
+// replication no, single topology/consistency). Requests are consistent-
+// hashed to one backend datalet and relayed verbatim; because the proxy
+// adds no replication or consistency work, it sets the upper bound that
+// bespokv's MS+EC should land slightly below — exactly the paper's
+// observation.
+package twemproxy
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"sync"
+
+	"bespokv/internal/datalet"
+	"bespokv/internal/topology"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+// Config configures a proxy.
+type Config struct {
+	// Network and Addr select the listening endpoint.
+	Network transport.Network
+	Addr    string
+	// Codec is spoken on both sides (twemproxy speaks the backend's
+	// protocol natively).
+	Codec wire.Codec
+	// Backends are the datalet addresses to shard across.
+	Backends []string
+	// PoolSize is connections per backend (default 2).
+	PoolSize int
+}
+
+// Server is a running proxy.
+type Server struct {
+	cfg      Config
+	ring     *topology.Ring
+	listener transport.Listener
+	pools    []*datalet.Pool
+
+	mu      sync.Mutex
+	conns   map[transport.Conn]struct{}
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// Serve starts a proxy.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Network == nil || cfg.Codec == nil || len(cfg.Backends) == 0 {
+		return nil, errors.New("twemproxy: Network, Codec and Backends are required")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	s := &Server{
+		cfg:   cfg,
+		ring:  topology.BuildRingFromIDs(cfg.Backends, 160),
+		conns: map[transport.Conn]struct{}{},
+	}
+	for _, addr := range cfg.Backends {
+		p, err := datalet.DialPool(cfg.Network, addr, cfg.Codec, cfg.PoolSize)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.pools = append(s.pools, p)
+	}
+	l, err := cfg.Network.Listen(cfg.Addr)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the proxy's address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Close stops the proxy.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	s.wg.Wait()
+	for _, p := range s.pools {
+		if p != nil {
+			_ = p.Close()
+		}
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var req wire.Request
+	var resp wire.Response
+	for {
+		req.Reset()
+		if err := s.cfg.Codec.ReadRequest(br, &req); err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+		resp.Reset()
+		resp.ID = req.ID
+		backend := s.ring.Lookup(req.Key)
+		fwd := req
+		fwd.Epoch = 0
+		if err := s.pools[backend].Do(&fwd, &resp); err != nil {
+			resp.Reset()
+			resp.ID = req.ID
+			resp.Status = wire.StatusUnavailable
+			resp.Err = "twemproxy: backend: " + err.Error()
+		}
+		resp.ID = req.ID
+		if err := s.cfg.Codec.WriteResponse(bw, &resp); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+
+	"bespokv/internal/cluster"
+	"bespokv/internal/store/lsm"
+	"bespokv/internal/topology"
+	"bespokv/internal/workload"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, beyond the
+// paper's figures:
+//
+//  1. replication factor: chain length vs write throughput under MS+SC
+//     (every extra link adds a synchronous hop) and under MS+EC (the
+//     master's cost is almost flat — propagation is off the ack path);
+//  2. write-ordering mechanism for AA: DLM locking (AA+SC) vs shared-log
+//     sequencing (AA+EC) on a write-heavy load — the log batches ordering
+//     into one append, the lock pays two round trips per op;
+//  3. LSM memtable size vs write amplification: smaller memtables flush
+//     and compact more, which is exactly the knob the "cassandra" baseline
+//     profile turns;
+//  4. consistent-hash virtual nodes vs load balance: why the ring uses
+//     160 vnodes rather than 1 or 16.
+func Ablations(p Params) error {
+	p.defaults()
+	if err := p.ablateReplicationFactor(); err != nil {
+		return err
+	}
+	if err := p.ablateAAOrdering(); err != nil {
+		return err
+	}
+	if err := p.ablateLSMMemtable(); err != nil {
+		return err
+	}
+	return p.ablateRingVnodes()
+}
+
+func (p *Params) ablateReplicationFactor() error {
+	for _, mode := range []topology.Mode{msSC, msEC} {
+		for _, replicas := range []int{1, 2, 3, 5} {
+			c, err := cluster.Start(cluster.Options{
+				NetworkName:     p.NetworkName,
+				Shards:          1,
+				Replicas:        replicas,
+				Mode:            mode,
+				Engine:          "ht",
+				DisableFailover: true,
+			})
+			if err != nil {
+				return err
+			}
+			res, err := p.measure(c, p.uniformDist(), workload.Mix{PutPct: 100})
+			c.Close()
+			if err != nil {
+				return err
+			}
+			p.row("ablate", fmt.Sprintf("replication/%s", mode), replicas, res.KQPS,
+				fmt.Sprintf("lat=%v", res.Latency.Mean().Round(1000)))
+		}
+	}
+	return nil
+}
+
+func (p *Params) ablateAAOrdering() error {
+	for _, mode := range []topology.Mode{aaSC, aaEC} {
+		c, err := cluster.Start(cluster.Options{
+			NetworkName:     p.NetworkName,
+			Shards:          1,
+			Replicas:        3,
+			Mode:            mode,
+			Engine:          "ht",
+			DisableFailover: true,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := p.measure(c, p.zipfDist(), workload.Mix{PutPct: 100})
+		c.Close()
+		if err != nil {
+			return err
+		}
+		mech := "shared-log"
+		if mode.Consistency == topology.Strong {
+			mech = "dlm-lock"
+		}
+		p.row("ablate", "aa-ordering/"+mech, mode.String(), res.KQPS,
+			fmt.Sprintf("lat=%v", res.Latency.Mean().Round(1000)))
+	}
+	return nil
+}
+
+func (p *Params) ablateLSMMemtable() error {
+	const writes = 20000
+	val := make([]byte, 128)
+	for _, memtableKiB := range []int{64, 256, 1024, 4096} {
+		s, err := lsm.New(lsm.Options{
+			MemtableBytes:  int64(memtableKiB) << 10,
+			SyncCompaction: true,
+		})
+		if err != nil {
+			return err
+		}
+		var logical int64
+		for i := 0; i < writes; i++ {
+			k := workload.Key(16, i%4096)
+			if _, err := s.Put(k, val, 0); err != nil {
+				s.Close()
+				return err
+			}
+			logical += int64(len(k) + len(val))
+		}
+		s.Flush()
+		st := s.Stats()
+		amp := float64(st.CompactionBytes) / float64(logical)
+		p.row("ablate", "lsm-memtable-kib", memtableKiB, 0,
+			fmt.Sprintf("write-amp=%.2fx flushes=%d compactions=%d", amp, st.Flushes, st.Compactions))
+		s.Close()
+	}
+	return nil
+}
+
+func (p *Params) ablateRingVnodes() error {
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard-%d", i)
+	}
+	const draws = 100000
+	for _, vnodes := range []int{1, 16, 160, 640} {
+		ring := topology.BuildRingFromIDs(ids, vnodes)
+		counts := make([]int, len(ids))
+		for i := 0; i < draws; i++ {
+			counts[ring.Lookup(workload.Key(16, i))]++
+		}
+		minC, maxC := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		imbalance := float64(maxC) / (float64(draws) / float64(len(ids)))
+		p.row("ablate", "ring-vnodes", vnodes, 0,
+			fmt.Sprintf("hottest-shard=%.2fx-fair min=%d max=%d", imbalance, minC, maxC))
+	}
+	return nil
+}

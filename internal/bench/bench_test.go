@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns the smallest parameter set that still exercises every code
+// path of an experiment.
+func tiny(out *bytes.Buffer) Params {
+	return Params{
+		Out:        out,
+		MeasureFor: 100 * time.Millisecond,
+		Clients:    2,
+		Keys:       500,
+		Preload:    200,
+		NodeCounts: []int{3},
+	}
+}
+
+func runExp(t *testing.T, name string, fn func(Params) error, wantSeries ...string) {
+	t.Helper()
+	var out bytes.Buffer
+	if err := fn(tiny(&out)); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	text := out.String()
+	if text == "" {
+		t.Fatalf("%s produced no output", name)
+	}
+	for _, s := range wantSeries {
+		if !strings.Contains(text, s) {
+			t.Fatalf("%s output missing series %q:\n%s", name, s, text)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	runExp(t, "fig6", Fig6DataAbstractions, "lsm/monitoring", "btree/analytics", "applog/analytics")
+}
+
+func TestFig7(t *testing.T) {
+	runExp(t, "fig7", Fig7ScalabilityHT, "ms+strong/95get/unif", "aa+eventual/50get/zipf")
+}
+
+func TestFig8(t *testing.T) {
+	runExp(t, "fig8", Fig8HPCWorkloads, "ms+sc/job-launch", "aa+ec/io-forwarding")
+}
+
+func TestFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 sweep in -short mode")
+	}
+	runExp(t, "fig9", Fig9OtherDatalets, "tssdb/95get/unif", "tlog/50get/zipf", "tmt/95scan/unif")
+}
+
+func TestFig10(t *testing.T) {
+	runExp(t, "fig10", Fig10Transitions, "ms+ec->ms+strong", "ms+ec->aa+eventual", "transition-start")
+}
+
+func TestFig11(t *testing.T) {
+	runExp(t, "fig11", Fig11ProxyComparison, "bespokv-tredis/ms+strong", "twemproxy/ms+ec", "dynomite/aa+ec")
+}
+
+func TestFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 sweep in -short mode")
+	}
+	runExp(t, "fig12", Fig12NativeComparison, "bespokv-aa+eventual/95get", "cassandra/95get", "voldemort/50get")
+}
+
+func TestFig16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig16 sweep in -short mode")
+	}
+	runExp(t, "fig16", Fig16Failover, "ms+sc/95get/kill-tail", "aa+ec/50get/kill-any", "mark kill")
+}
+
+func TestFig17(t *testing.T) {
+	runExp(t, "fig17", Fig17TransportBypass, "socket", "bypass(inproc)")
+}
+
+func TestTable1(t *testing.T) {
+	runExp(t, "table1", Table1FeatureMatrix, "S: sharding", "AR: automatic failover", "P: programmable")
+	// Every probe must have passed.
+	var out bytes.Buffer
+	if err := Table1FeatureMatrix(tiny(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("feature probe failed:\n%s", out.String())
+	}
+}
+
+func TestPerRequest(t *testing.T) {
+	runExp(t, "perreq", PerRequestConsistency, "sc-only", "25sc-75ec", "ec-only")
+}
+
+func TestPolyglot(t *testing.T) {
+	runExp(t, "polyglot", PolyglotPersistence, "ht+applog+btree/95get")
+}
+
+func TestDLCache(t *testing.T) {
+	var out bytes.Buffer
+	if err := DLCache(tiny(&out)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "pfs-direct") || !strings.Contains(text, "bespokv-cache") {
+		t.Fatalf("dlcache output incomplete:\n%s", text)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in -short mode")
+	}
+	runExp(t, "ablate", Ablations, "replication/ms+strong", "aa-ordering/dlm-lock", "lsm-memtable-kib", "ring-vnodes")
+}
+
+func TestPreloadAndRunLoad(t *testing.T) {
+	// Smoke the primitives directly against a cluster.
+	var out bytes.Buffer
+	p := tiny(&out)
+	if err := Fig17TransportBypass(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"bespokv/internal/cluster"
+	"bespokv/internal/topology"
+	"bespokv/internal/workload"
+)
+
+var (
+	msSC = topology.Mode{Topology: topology.MS, Consistency: topology.Strong}
+	msEC = topology.Mode{Topology: topology.MS, Consistency: topology.Eventual}
+	aaSC = topology.Mode{Topology: topology.AA, Consistency: topology.Strong}
+	aaEC = topology.Mode{Topology: topology.AA, Consistency: topology.Eventual}
+)
+
+// Fig6DataAbstractions regenerates Fig. 6: the HPC monitoring/analytics
+// use case run against three data abstractions (LSM, B+-tree, log). The
+// paper's shape: LSM beats B+-tree by ~25% on the put-heavy monitoring
+// stream; B+-tree beats LSM by ~35% on the read-heavy analytics stream;
+// the log trails both on reads (every Get is a random log read).
+func Fig6DataAbstractions(p Params) error {
+	p.defaults()
+	for _, engine := range []string{"lsm", "btree", "applog"} {
+		// The persistent abstractions (LSM, log) store on real files, as
+		// the paper's do; the B+-tree is the in-memory Masstree stand-in.
+		dataDir := ""
+		if engine != "btree" {
+			dir, err := os.MkdirTemp("", "bespokv-fig6-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			dataDir = dir
+		}
+		c, err := cluster.Start(cluster.Options{
+			NetworkName:     p.NetworkName,
+			Shards:          1,
+			Replicas:        3,
+			Mode:            msEC,
+			Engine:          engine,
+			DataDir:         dataDir,
+			DisableFailover: true,
+		})
+		if err != nil {
+			return err
+		}
+		// Monitoring is a time-series INSERT stream: mostly fresh keys
+		// (a huge keyspace makes overwrites rare) with realistic sample
+		// sizes — the pattern where append-only structures shine over
+		// in-place trees. Analytics reads uniformly over what exists.
+		for _, wl := range []struct {
+			name      string
+			mix       workload.Mix
+			keys      int
+			valueSize int
+		}{
+			{"monitoring", workload.Monitoring, p.Keys * 100, 256},
+			{"analytics", workload.Analytics, p.Keys, 32},
+		} {
+			res, err := p.measureWith(c, func() workload.KeyDist {
+				return workload.Uniform{Keys: wl.keys}
+			}, wl.mix, wl.valueSize)
+			if err != nil {
+				c.Close()
+				return err
+			}
+			p.row("fig6", engine+"/"+wl.name, engine, res.KQPS, res.Latency.Summary())
+		}
+		c.Close()
+	}
+	return nil
+}
+
+// Fig7ScalabilityHT regenerates Fig. 7: tHT scaled from small to large
+// node counts under all four mode combinations, read-mostly and
+// update-intensive, uniform and zipfian. Expected shape: near-linear
+// scaling everywhere; MS+SC the best strong mode; AA+SC capped by lock
+// contention; AA+EC ≥ MS+EC on the 50% GET mix.
+func Fig7ScalabilityHT(p Params) error {
+	p.defaults()
+	modes := []topology.Mode{msSC, msEC, aaSC, aaEC}
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"95get", workload.ReadMostly},
+		{"50get", workload.UpdateIntensive},
+	}
+	dists := []struct {
+		name string
+		dist func() workload.KeyDist
+	}{
+		{"unif", p.uniformDist()},
+		{"zipf", p.zipfDist()},
+	}
+	for _, nodes := range p.NodeCounts {
+		shards := nodes / 3
+		if shards < 1 {
+			shards = 1
+		}
+		for _, mode := range modes {
+			c, err := cluster.Start(cluster.Options{
+				NetworkName:     p.NetworkName,
+				Shards:          shards,
+				Replicas:        3,
+				Mode:            mode,
+				Engine:          "ht",
+				DisableFailover: true,
+			})
+			if err != nil {
+				return err
+			}
+			for _, mix := range mixes {
+				for _, dist := range dists {
+					res, err := p.measure(c, dist.dist, mix.mix)
+					if err != nil {
+						c.Close()
+						return err
+					}
+					series := fmt.Sprintf("%s/%s/%s", mode, mix.name, dist.name)
+					p.row("fig7", series, nodes, res.KQPS, "")
+				}
+			}
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// Fig8HPCWorkloads regenerates Fig. 8: the job-launch and I/O-forwarding
+// traces across node counts and modes. Expected shape: MS wins under SC,
+// AA wins under EC, and I/O forwarding runs slightly ahead of job launch
+// (it has 12% more reads).
+func Fig8HPCWorkloads(p Params) error {
+	p.defaults()
+	workloads := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"job-launch", workload.JobLaunch},
+		{"io-forwarding", workload.IOForwarding},
+	}
+	grid := []struct {
+		label string
+		mode  topology.Mode
+	}{
+		{"ms+sc", msSC}, {"aa+sc", aaSC}, {"ms+ec", msEC}, {"aa+ec", aaEC},
+	}
+	for _, nodes := range p.NodeCounts {
+		shards := nodes / 3
+		if shards < 1 {
+			shards = 1
+		}
+		for _, g := range grid {
+			c, err := cluster.Start(cluster.Options{
+				NetworkName:     p.NetworkName,
+				Shards:          shards,
+				Replicas:        3,
+				Mode:            g.mode,
+				Engine:          "ht",
+				DisableFailover: true,
+			})
+			if err != nil {
+				return err
+			}
+			for _, wl := range workloads {
+				res, err := p.measure(c, p.zipfDist(), wl.mix)
+				if err != nil {
+					c.Close()
+					return err
+				}
+				p.row("fig8", g.label+"/"+wl.name, nodes, res.KQPS, "")
+			}
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// Fig9OtherDatalets regenerates Fig. 9: the persistent datalets under
+// MS+EC — tSSDB (applog behind the text protocol parser), tLog (applog,
+// binary), and tMT (B+-tree, including the 95% SCAN series). Expected
+// shape: all scale with nodes; the in-memory tree outruns the
+// disk-representative log stores; scans run far below point queries.
+func Fig9OtherDatalets(p Params) error {
+	p.defaults()
+	type series struct {
+		name         string
+		engine       string
+		dataletCodec string
+		mix          workload.Mix
+		dist         func() workload.KeyDist
+		partitioner  topology.Partitioner
+	}
+	var cases []series
+	for _, d := range []struct {
+		name string
+		dist func() workload.KeyDist
+	}{{"unif", p.uniformDist()}, {"zipf", p.zipfDist()}} {
+		cases = append(cases,
+			series{"tssdb/95get/" + d.name, "applog", "text", workload.ReadMostly, d.dist, topology.HashPartitioner},
+			series{"tssdb/50get/" + d.name, "applog", "text", workload.UpdateIntensive, d.dist, topology.HashPartitioner},
+			series{"tlog/95get/" + d.name, "applog", "binary", workload.ReadMostly, d.dist, topology.HashPartitioner},
+			series{"tlog/50get/" + d.name, "applog", "binary", workload.UpdateIntensive, d.dist, topology.HashPartitioner},
+			series{"tmt/95get/" + d.name, "btree", "binary", workload.ReadMostly, d.dist, topology.HashPartitioner},
+			series{"tmt/50get/" + d.name, "btree", "binary", workload.UpdateIntensive, d.dist, topology.HashPartitioner},
+			series{"tmt/95scan/" + d.name, "btree", "binary", workload.ScanIntensive, d.dist, topology.RangePartitioner},
+		)
+	}
+	for _, nodes := range p.NodeCounts {
+		shards := nodes / 3
+		if shards < 1 {
+			shards = 1
+		}
+		for _, cse := range cases {
+			dataDir := ""
+			if cse.engine == "applog" || cse.engine == "lsm" {
+				dir, err := os.MkdirTemp("", "bespokv-fig9-*")
+				if err != nil {
+					return err
+				}
+				dataDir = dir
+			}
+			c, err := cluster.Start(cluster.Options{
+				NetworkName:      p.NetworkName,
+				Shards:           shards,
+				Replicas:         3,
+				Mode:             msEC,
+				Engine:           cse.engine,
+				DataDir:          dataDir,
+				DataletCodecName: cse.dataletCodec,
+				Partitioner:      cse.partitioner,
+				DisableFailover:  true,
+			})
+			if err != nil {
+				return err
+			}
+			res, err := p.measure(c, cse.dist, cse.mix)
+			c.Close()
+			if dataDir != "" {
+				os.RemoveAll(dataDir)
+			}
+			if err != nil {
+				return err
+			}
+			p.row("fig9", cse.name, nodes, res.KQPS, "")
+		}
+	}
+	return nil
+}

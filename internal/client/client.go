@@ -1,0 +1,542 @@
+// Package client is the bespokv client library (the paper's Table II API):
+// it consults the coordinator for the cluster map, routes requests to the
+// right controlet by consistent hashing or range partitioning, follows
+// redirects, retries across failovers and transitions, supports
+// per-request consistency levels on reads, and fans range queries out
+// across shards.
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"bespokv/internal/coordinator"
+	"bespokv/internal/datalet"
+	"bespokv/internal/topology"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+// Config configures a client.
+type Config struct {
+	// Network and Codec must match the controlets'.
+	Network transport.Network
+	Codec   wire.Codec
+	// CoordinatorAddr enables dynamic maps (watch + refresh). Exactly
+	// one of CoordinatorAddr and StaticMap must be set.
+	CoordinatorAddr string
+	// StaticMap pins the topology for coordinator-less deployments.
+	StaticMap *topology.Map
+	// PoolSize is connections per controlet (default 2).
+	PoolSize int
+	// Retries bounds attempts per operation (default 8).
+	Retries int
+	// RetryBackoff is the base backoff between attempts (default 2ms,
+	// doubling, capped at 100ms).
+	RetryBackoff time.Duration
+	// WatchMap keeps a background long-poll for map changes (default on
+	// when CoordinatorAddr is set).
+	DisableWatch bool
+	// HotKeyThreshold enables client-side hot-key load balancing
+	// (Appendix C): keys accessed at least this many times get a shadow
+	// copy on a rehashed shard, and eventual reads spread across primary
+	// and shadow. 0 disables it.
+	HotKeyThreshold int
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Client is a bespokv cluster client; safe for concurrent use.
+type Client struct {
+	cfg   Config
+	coord *coordinator.Client
+
+	mu   sync.RWMutex
+	m    *topology.Map
+	ring *topology.Ring
+
+	poolsMu sync.Mutex
+	pools   map[string]*datalet.Pool
+
+	watchMu   sync.Mutex
+	watchConn *coordinator.Client
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	hot *hotTracker // nil unless HotKeyThreshold > 0
+
+	refreshing sync.Mutex // serializes map refreshes
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// New connects a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Network == nil || cfg.Codec == nil {
+		return nil, errors.New("client: Network and Codec are required")
+	}
+	if (cfg.CoordinatorAddr == "") == (cfg.StaticMap == nil) {
+		return nil, errors.New("client: exactly one of CoordinatorAddr and StaticMap is required")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 8
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	c := &Client{
+		cfg:    cfg,
+		pools:  map[string]*datalet.Pool{},
+		rnd:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		stopCh: make(chan struct{}),
+	}
+	if cfg.HotKeyThreshold > 0 {
+		c.hot = newHotTracker(cfg.HotKeyThreshold)
+	}
+	if cfg.StaticMap != nil {
+		c.installMap(cfg.StaticMap)
+		return c, nil
+	}
+	coordClient, err := coordinator.DialCoordinator(cfg.Network, cfg.CoordinatorAddr)
+	if err != nil {
+		return nil, err
+	}
+	c.coord = coordClient
+	m, err := coordClient.GetMap()
+	if err != nil {
+		coordClient.Close()
+		return nil, fmt.Errorf("client: fetch map: %w", err)
+	}
+	c.installMap(m)
+	if !cfg.DisableWatch {
+		c.wg.Add(1)
+		go c.watchLoop()
+	}
+	return c, nil
+}
+
+// Close releases all connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	close(c.stopCh)
+	if c.coord != nil {
+		_ = c.coord.Close()
+	}
+	c.watchMu.Lock()
+	if c.watchConn != nil {
+		_ = c.watchConn.Close() // abort any in-flight long-poll
+	}
+	c.watchMu.Unlock()
+	c.wg.Wait()
+	c.poolsMu.Lock()
+	for _, p := range c.pools {
+		_ = p.Close()
+	}
+	c.poolsMu.Unlock()
+	return nil
+}
+
+// Map returns the client's current view of the cluster.
+func (c *Client) Map() *topology.Map {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m
+}
+
+func (c *Client) installMap(m *topology.Map) {
+	clone := m.Clone()
+	ring := topology.BuildRing(clone)
+	c.mu.Lock()
+	if c.m == nil || clone.Epoch >= c.m.Epoch {
+		c.m = clone
+		c.ring = ring
+	}
+	c.mu.Unlock()
+}
+
+// watchLoop keeps the map fresh with long-polls; transitions and failovers
+// reach the client within one poll round trip.
+func (c *Client) watchLoop() {
+	defer c.wg.Done()
+	// A dedicated connection so long-polls never block foreground calls;
+	// registered so Close can abort an in-flight poll immediately.
+	watch, err := coordinator.DialCoordinator(c.cfg.Network, c.cfg.CoordinatorAddr)
+	if err != nil {
+		return
+	}
+	defer watch.Close()
+	c.watchMu.Lock()
+	c.watchConn = watch
+	c.watchMu.Unlock()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		default:
+		}
+		cur := c.Map()
+		since := uint64(0)
+		if cur != nil {
+			since = cur.Epoch
+		}
+		m, err := watch.WatchMap(since, 2*time.Second)
+		if err != nil {
+			select {
+			case <-c.stopCh:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		if m != nil {
+			c.installMap(m)
+		}
+	}
+}
+
+// refreshMap synchronously re-fetches the map (used on routing failures).
+func (c *Client) refreshMap() {
+	if c.coord == nil {
+		return
+	}
+	c.refreshing.Lock()
+	defer c.refreshing.Unlock()
+	if m, err := c.coord.GetMap(); err == nil {
+		c.installMap(m)
+	}
+}
+
+func (c *Client) pool(addr string) (*datalet.Pool, error) {
+	c.poolsMu.Lock()
+	defer c.poolsMu.Unlock()
+	if p, ok := c.pools[addr]; ok {
+		return p, nil
+	}
+	p, err := datalet.DialPool(c.cfg.Network, addr, c.cfg.Codec, c.cfg.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	c.pools[addr] = p
+	return p, nil
+}
+
+func (c *Client) dropPool(addr string) {
+	c.poolsMu.Lock()
+	if p, ok := c.pools[addr]; ok {
+		delete(c.pools, addr)
+		_ = p.Close()
+	}
+	c.poolsMu.Unlock()
+}
+
+func (c *Client) randInt(n int) int {
+	c.rndMu.Lock()
+	v := c.rnd.Intn(n)
+	c.rndMu.Unlock()
+	return v
+}
+
+// shardFor routes a key under the current map.
+func (c *Client) shardFor(key []byte) (topology.Shard, *topology.Map, error) {
+	c.mu.RLock()
+	m, ring := c.m, c.ring
+	c.mu.RUnlock()
+	if m == nil || len(m.Shards) == 0 {
+		return topology.Shard{}, nil, errors.New("client: no cluster map")
+	}
+	idx := m.ShardFor(key, ring)
+	return m.Shards[idx], m, nil
+}
+
+// writeTarget picks the node that accepts writes for the shard.
+func (c *Client) writeTarget(m *topology.Map, shard topology.Shard) topology.Node {
+	if m.Mode.Topology == topology.AA && len(shard.Replicas) > 1 {
+		return shard.Replicas[c.randInt(len(shard.Replicas))]
+	}
+	return shard.Head()
+}
+
+// readTarget picks the node to read from, honoring the consistency level.
+func (c *Client) readTarget(m *topology.Map, shard topology.Shard, level wire.Level) topology.Node {
+	if level == wire.LevelDefault {
+		if m.Mode.Consistency == topology.Strong {
+			level = wire.LevelStrong
+		} else {
+			level = wire.LevelEventual
+		}
+	}
+	readable := shard.ReadReplicas() // recovering nodes don't serve reads
+	switch {
+	case level == wire.LevelEventual:
+		return readable[c.randInt(len(readable))]
+	case m.Mode.Topology == topology.AA:
+		return readable[c.randInt(len(readable))]
+	case m.Mode.Consistency == topology.Strong:
+		return shard.ReadTail() // chain tail owns strong reads
+	default:
+		return shard.Head() // MS+EC strong-ish read from the master
+	}
+}
+
+// do runs one request against addr with retry/redirect handling.
+func (c *Client) do(addr string, req *wire.Request, resp *wire.Response) error {
+	pool, err := c.pool(addr)
+	if err != nil {
+		return err
+	}
+	if err := pool.Do(req, resp); err != nil {
+		c.dropPool(addr)
+		return err
+	}
+	return nil
+}
+
+// errOut is returned when the retry budget is exhausted.
+type errOut struct {
+	op   wire.Op
+	last error
+}
+
+func (e errOut) Error() string {
+	return fmt.Sprintf("client: %s failed after retries: %v", e.op, e.last)
+}
+
+func (e errOut) Unwrap() error { return e.last }
+
+// execute retries an operation across redirects, stale epochs, transitions
+// and failovers. route picks the target from the current map; it is
+// re-evaluated after every refresh.
+func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (string, uint64, error)) error {
+	var lastErr error
+	backoff := c.cfg.RetryBackoff
+	redirect := ""
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		addr, epoch, err := route()
+		if err != nil {
+			return err
+		}
+		if redirect != "" {
+			addr = redirect
+			redirect = ""
+		}
+		req.Epoch = epoch
+		err = c.do(addr, req, resp)
+		if err == nil {
+			switch resp.Status {
+			case wire.StatusOK, wire.StatusNotFound, wire.StatusErr:
+				if resp.Epoch > epoch {
+					// The server hinted our map is stale; refresh in
+					// the background for next time.
+					go c.refreshMap()
+				}
+				return nil
+			case wire.StatusRedirect:
+				redirect = resp.Err
+				lastErr = fmt.Errorf("redirected to %s", resp.Err)
+				continue // immediate, no backoff
+			case wire.StatusWrongEpoch:
+				lastErr = errors.New("stale epoch")
+			case wire.StatusUnavailable:
+				lastErr = errors.New(resp.Err)
+			}
+		} else {
+			lastErr = err
+		}
+		if attempt == c.cfg.Retries-1 {
+			break // out of budget: fail now, don't pay refresh+backoff
+		}
+		c.refreshMap()
+		select {
+		case <-c.stopCh:
+			return errOut{op: req.Op, last: lastErr}
+		case <-time.After(backoff):
+		}
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return errOut{op: req.Op, last: lastErr}
+}
+
+// routeWrite returns a route function targeting key's write node.
+func (c *Client) routeWrite(key []byte) func() (string, uint64, error) {
+	return func() (string, uint64, error) {
+		shard, m, err := c.shardFor(key)
+		if err != nil {
+			return "", 0, err
+		}
+		return c.writeTarget(m, shard).ControletAddr, m.Epoch, nil
+	}
+}
+
+// Put writes key=value in table (""= default table).
+func (c *Client) Put(table string, key, value []byte) error {
+	req := wire.Request{Op: wire.OpPut, Table: table, Key: key, Value: value}
+	var resp wire.Response
+	err := c.execute(&req, &resp, c.routeWrite(key))
+	if err != nil {
+		return err
+	}
+	if c.hot != nil && c.hot.touch(key) {
+		c.hotPut(table, key, value)
+	}
+	return resp.ErrValue()
+}
+
+// Get reads key from table at the mode's default consistency.
+func (c *Client) Get(table string, key []byte) ([]byte, bool, error) {
+	return c.GetLevel(table, key, wire.LevelDefault)
+}
+
+// GetLevel reads with an explicit per-request consistency level (§IV-C).
+func (c *Client) GetLevel(table string, key []byte, level wire.Level) ([]byte, bool, error) {
+	// Hot keys spread eventual reads over the shadow shard too. Strong
+	// reads always use the primary (shadow copies are asynchronous).
+	if c.hot != nil && level != wire.LevelStrong {
+		m := c.Map()
+		eventualByDefault := m != nil && m.Mode.Consistency == topology.Eventual
+		if (level == wire.LevelEventual || eventualByDefault) && c.hot.touch(key) && c.randInt(2) == 0 {
+			if v, ok := c.hotGet(table, key); ok {
+				return v, true, nil
+			}
+		}
+	}
+	req := wire.Request{Op: wire.OpGet, Table: table, Key: key, Level: level}
+	var resp wire.Response
+	err := c.execute(&req, &resp, func() (string, uint64, error) {
+		shard, m, err := c.shardFor(key)
+		if err != nil {
+			return "", 0, err
+		}
+		return c.readTarget(m, shard, level).ControletAddr, m.Epoch, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == wire.StatusNotFound {
+		return nil, false, nil
+	}
+	if err := resp.ErrValue(); err != nil {
+		return nil, false, err
+	}
+	return append([]byte(nil), resp.Value...), true, nil
+}
+
+// Del deletes key from table; found reports whether it existed.
+func (c *Client) Del(table string, key []byte) (bool, error) {
+	req := wire.Request{Op: wire.OpDel, Table: table, Key: key}
+	var resp wire.Response
+	err := c.execute(&req, &resp, c.routeWrite(key))
+	if err != nil {
+		return false, err
+	}
+	if c.hot != nil && c.hot.hot(key) {
+		c.hotDel(table, key)
+	}
+	if resp.Status == wire.StatusNotFound {
+		return false, nil
+	}
+	return true, resp.ErrValue()
+}
+
+// GetRange returns live pairs with start <= key < end across all owning
+// shards, merged in key order, up to limit (§IV-B).
+func (c *Client) GetRange(table string, start, end []byte, limit int) ([]wire.KV, error) {
+	c.mu.RLock()
+	m := c.m
+	c.mu.RUnlock()
+	if m == nil {
+		return nil, errors.New("client: no cluster map")
+	}
+	var merged []wire.KV
+	for _, si := range m.ShardsForRange(start, end) {
+		shard := m.Shards[si]
+		req := wire.Request{
+			Op:     wire.OpScan,
+			Table:  table,
+			Key:    start,
+			EndKey: end,
+			Limit:  uint32(limit),
+		}
+		var resp wire.Response
+		err := c.execute(&req, &resp, func() (string, uint64, error) {
+			return c.readTarget(m, shard, wire.LevelDefault).ControletAddr, m.Epoch, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := resp.ErrValue(); err != nil {
+			return nil, err
+		}
+		for _, kv := range resp.Pairs {
+			if isShadowKey(kv.Key) {
+				continue // hot-key shadow copies are invisible to scans
+			}
+			merged = append(merged, wire.KV{
+				Key:     append([]byte(nil), kv.Key...),
+				Value:   append([]byte(nil), kv.Value...),
+				Version: kv.Version,
+			})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return bytes.Compare(merged[i].Key, merged[j].Key) < 0 })
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged, nil
+}
+
+// CreateTable creates table on every shard.
+func (c *Client) CreateTable(table string) error {
+	return c.tableOp(wire.OpCreateTable, table)
+}
+
+// DeleteTable drops table on every shard.
+func (c *Client) DeleteTable(table string) error {
+	return c.tableOp(wire.OpDeleteTable, table)
+}
+
+func (c *Client) tableOp(op wire.Op, table string) error {
+	c.mu.RLock()
+	m := c.m
+	c.mu.RUnlock()
+	if m == nil {
+		return errors.New("client: no cluster map")
+	}
+	for _, shard := range m.Shards {
+		shard := shard
+		req := wire.Request{Op: op, Table: table}
+		var resp wire.Response
+		err := c.execute(&req, &resp, func() (string, uint64, error) {
+			return c.writeTarget(m, shard).ControletAddr, m.Epoch, nil
+		})
+		if err != nil {
+			return err
+		}
+		if resp.Status == wire.StatusErr {
+			return resp.ErrValue()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package client
+
+import (
+	"sync"
+
+	"bespokv/internal/wire"
+)
+
+// Hot-key load balancing (Appendix C discussion): "load imbalance due to
+// hot keys can be solved by integrating a small metadata cache at
+// bespokv's client library to keep track of hot keys; once the popularity
+// of hot keys exceeds a pre-defined threshold, the client library
+// replicates this key on a shadow server that is rehashed by adding a
+// suffix to the key."
+//
+// hotTracker is that small metadata cache: a bounded count table with
+// periodic halving (a tiny space-saving counter). When a key's count
+// crosses the threshold the client starts writing a shadow copy under
+// key+shadowSuffix — which consistent-hashes to a different shard — and
+// spreads eventual reads of the key across the primary and the shadow.
+// Strong reads always use the primary (the shadow copy is asynchronous by
+// construction). Deletes remove both.
+
+const (
+	// shadowSuffix rehashes a hot key to its shadow shard.
+	shadowSuffix = "\x00#shadow"
+	// hotTableCap bounds the tracker; when full, all counts halve and
+	// cold entries are evicted (decay keeps the table adaptive).
+	hotTableCap = 4096
+)
+
+// hotTracker counts key popularity; safe for concurrent use.
+type hotTracker struct {
+	mu        sync.Mutex
+	counts    map[string]int
+	threshold int
+}
+
+func newHotTracker(threshold int) *hotTracker {
+	return &hotTracker{counts: make(map[string]int), threshold: threshold}
+}
+
+// touch records one access and reports whether the key is now hot.
+func (h *hotTracker) touch(key []byte) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.counts[string(key)] + 1
+	if len(h.counts) >= hotTableCap {
+		if _, tracked := h.counts[string(key)]; !tracked {
+			h.decayLocked()
+		}
+	}
+	h.counts[string(key)] = c
+	return c >= h.threshold
+}
+
+// hot reports whether key is currently above the threshold.
+func (h *hotTracker) hot(key []byte) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts[string(key)] >= h.threshold
+}
+
+// decayLocked halves every count and evicts zeros, bounding the table
+// while keeping genuinely hot keys hot.
+func (h *hotTracker) decayLocked() {
+	for k, c := range h.counts {
+		c /= 2
+		if c == 0 {
+			delete(h.counts, k)
+		} else {
+			h.counts[k] = c
+		}
+	}
+}
+
+// shadowKey derives the rehash key for a hot key.
+func shadowKey(key []byte) []byte {
+	out := make([]byte, 0, len(key)+len(shadowSuffix))
+	out = append(out, key...)
+	return append(out, shadowSuffix...)
+}
+
+// hotPut mirrors a hot key's write to its shadow shard (best effort: the
+// shadow is a cache, the primary remains the source of truth).
+func (c *Client) hotPut(table string, key, value []byte) {
+	sk := shadowKey(key)
+	req := wire.Request{Op: wire.OpPut, Table: table, Key: sk, Value: value}
+	var resp wire.Response
+	_ = c.execute(&req, &resp, c.routeWrite(sk))
+}
+
+// hotDel removes the shadow copy alongside the primary delete.
+func (c *Client) hotDel(table string, key []byte) {
+	sk := shadowKey(key)
+	req := wire.Request{Op: wire.OpDel, Table: table, Key: sk}
+	var resp wire.Response
+	_ = c.execute(&req, &resp, c.routeWrite(sk))
+}
+
+// hotGet tries the shadow copy of a hot key; ok reports a usable answer
+// (hit or authoritative miss handled by the caller's fallback).
+func (c *Client) hotGet(table string, key []byte) ([]byte, bool) {
+	sk := shadowKey(key)
+	req := wire.Request{Op: wire.OpGet, Table: table, Key: sk, Level: wire.LevelEventual}
+	var resp wire.Response
+	err := c.execute(&req, &resp, func() (string, uint64, error) {
+		shard, m, err := c.shardFor(sk)
+		if err != nil {
+			return "", 0, err
+		}
+		return c.readTarget(m, shard, wire.LevelEventual).ControletAddr, m.Epoch, nil
+	})
+	if err != nil || resp.Status != wire.StatusOK {
+		return nil, false
+	}
+	return append([]byte(nil), resp.Value...), true
+}
+
+// isShadowKey reports whether a stored key is a shadow copy (scan results
+// must hide them).
+func isShadowKey(key []byte) bool {
+	if len(key) < len(shadowSuffix) {
+		return false
+	}
+	return string(key[len(key)-len(shadowSuffix):]) == shadowSuffix
+}

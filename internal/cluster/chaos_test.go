@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bespokv/internal/topology"
+)
+
+// TestChaosKillsUnderMSSC runs a write workload against an MS+SC cluster
+// while killing replicas at random (with standbys available for recovery),
+// then verifies the strong-consistency contract: every acknowledged write
+// is readable afterwards. Chain replication acks only after the tail
+// applied, so no failover sequence may lose an acked write.
+func TestChaosKillsUnderMSSC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test in -short mode")
+	}
+	c := startCluster(t, Options{
+		Mode:             topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		Shards:           3,
+		Replicas:         3,
+		Standbys:         2,
+		HeartbeatTimeout: 400 * time.Millisecond,
+	})
+
+	var acked sync.Map
+	var seq atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ackedN, failedN atomic.Uint64
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := c.Client()
+			if err != nil {
+				return
+			}
+			defer cli.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := seq.Add(1)
+				k := fmt.Sprintf("chaos-%06d", i)
+				if err := cli.Put("", []byte(k), []byte(k)); err != nil {
+					failedN.Add(1)
+					continue
+				}
+				ackedN.Add(1)
+				acked.Store(k, true)
+			}
+		}(w)
+	}
+
+	// Kill two nodes in different shards, spaced out so recovery runs.
+	rng := rand.New(rand.NewSource(7))
+	time.Sleep(400 * time.Millisecond)
+	c.KillNode(0, rng.Intn(3))
+	time.Sleep(1200 * time.Millisecond)
+	c.KillNode(1, rng.Intn(3))
+	time.Sleep(1200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	t.Logf("chaos run: %d acked, %d failed transiently", ackedN.Load(), failedN.Load())
+	if ackedN.Load() == 0 {
+		t.Fatal("no writes succeeded during the chaos run")
+	}
+
+	// Every acked write must be readable afterwards.
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	lost := 0
+	acked.Range(func(key, _ any) bool {
+		k := []byte(key.(string))
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			v, ok, err := cli.Get("", k)
+			if err == nil && ok && string(v) == key.(string) {
+				return true
+			}
+			if time.Now().After(deadline) {
+				lost++
+				t.Errorf("acked write %s lost (ok=%v err=%v)", k, ok, err)
+				return lost < 10
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}

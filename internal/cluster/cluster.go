@@ -1,0 +1,571 @@
+// Package cluster is the in-process deployment harness: it assembles a
+// complete bespokv cluster — coordinator, DLM, shared log, N shards × R
+// replicas of controlet+datalet pairs, and optional standbys — inside one
+// process, over the inproc or tcp transport. Tests, benchmarks and the
+// examples all deploy through it; it is this reproduction's substitute for
+// the paper's GCE/testbed provisioning scripts (slap.sh), with node kills
+// and live transitions exposed as methods.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"bespokv/internal/client"
+	"bespokv/internal/controlet"
+	"bespokv/internal/coordinator"
+	"bespokv/internal/datalet"
+	"bespokv/internal/dlm"
+	"bespokv/internal/rpc"
+	"bespokv/internal/sharedlog"
+	"bespokv/internal/store"
+	"bespokv/internal/store/applog"
+	"bespokv/internal/store/btree"
+	"bespokv/internal/store/ht"
+	"bespokv/internal/store/lsm"
+	"bespokv/internal/topology"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+// Options configure a cluster.
+type Options struct {
+	// NetworkName is "inproc" (default) or "tcp".
+	NetworkName string
+	// Shards and Replicas shape the data plane (defaults 1 and 3).
+	Shards   int
+	Replicas int
+	// Mode is the topology+consistency pair (default MS+SC).
+	Mode topology.Mode
+	// Engine names the datalet engine for every replica: "ht" (default),
+	// "btree", "applog", "lsm".
+	Engine string
+	// EnginesByReplica overrides Engine per replica index — the polyglot
+	// persistence setup (§IV-D): e.g. {"lsm","btree","applog"}.
+	EnginesByReplica []string
+	// CodecName is the client↔controlet protocol (default "binary").
+	CodecName string
+	// DataletCodecName is the controlet↔datalet protocol (default
+	// CodecName); "text" exercises the tRedis/tSSDB parser path.
+	DataletCodecName string
+	// Partitioner defaults to consistent hashing; range partitioning
+	// enables cross-shard scans.
+	Partitioner topology.Partitioner
+	// Standbys pre-provisions spare pairs for failover (default 0).
+	Standbys int
+	// DataDir persists applog/lsm engines under per-node directories.
+	DataDir string
+	// HeartbeatTimeout and HeartbeatInterval tune failure detection
+	// (defaults 800ms / 100ms — scaled-down versions of the paper's 5s).
+	HeartbeatTimeout  time.Duration
+	HeartbeatInterval time.Duration
+	// DisableFailover turns the coordinator's failure detector off.
+	DisableFailover bool
+	// P2PRouting enables the §IV-E P2P-style topology: any controlet
+	// accepts any key and routes it to the owning shard.
+	P2PRouting bool
+	// CollocatedDatalets keeps datalets on the in-process transport even
+	// when the cluster runs over tcp — the paper's physical layout, where
+	// each controlet–datalet pair shares one machine and the local hop is
+	// nearly free while cross-node hops pay the network. No effect when
+	// NetworkName is already "inproc".
+	CollocatedDatalets bool
+	// Logf receives diagnostics from every component; nil discards them
+	// (the harness is used in benchmarks where log noise skews numbers).
+	Logf func(format string, args ...any)
+}
+
+// Pair is one controlet–datalet unit.
+type Pair struct {
+	Node      topology.Node
+	Datalet   *datalet.Server
+	Controlet *controlet.Server
+	killed    atomic.Bool
+}
+
+// Kill abruptly stops the pair (both processes), emulating a node crash.
+func (p *Pair) Kill() {
+	if p.killed.Swap(true) {
+		return
+	}
+	_ = p.Controlet.Close()
+	_ = p.Datalet.Close()
+}
+
+// Killed reports whether the pair was killed.
+func (p *Pair) Killed() bool { return p.killed.Load() }
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	Opts     Options
+	Net      transport.Network
+	Codec    wire.Codec
+	Coord    *coordinator.Server
+	DLM      *dlm.Server
+	Log      *sharedlog.Server
+	Shards   [][]*Pair // [shard][replica]
+	Standbys []*Pair
+	oldPairs []*Pair // pre-transition controlets kept until Close
+	nameSeq  atomic.Uint64
+}
+
+func (o *Options) defaults() error {
+	if o.NetworkName == "" {
+		o.NetworkName = "inproc"
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	if o.Mode == (topology.Mode{}) {
+		o.Mode = topology.Mode{Topology: topology.MS, Consistency: topology.Strong}
+	}
+	if !o.Mode.Valid() {
+		return fmt.Errorf("cluster: invalid mode %s", o.Mode)
+	}
+	if o.Engine == "" {
+		o.Engine = "ht"
+	}
+	if o.CodecName == "" {
+		o.CodecName = "binary"
+	}
+	if o.DataletCodecName == "" {
+		o.DataletCodecName = o.CodecName
+	}
+	if o.Partitioner == "" {
+		o.Partitioner = topology.HashPartitioner
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 800 * time.Millisecond
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if len(o.EnginesByReplica) != 0 && len(o.EnginesByReplica) != o.Replicas {
+		return fmt.Errorf("cluster: EnginesByReplica has %d entries for %d replicas",
+			len(o.EnginesByReplica), o.Replicas)
+	}
+	return nil
+}
+
+// engineFactory builds the NewEngine function for one node.
+func engineFactory(name, dir string) (func(table string) (store.Engine, error), error) {
+	switch name {
+	case "ht":
+		return func(string) (store.Engine, error) { return ht.New(), nil }, nil
+	case "btree":
+		return func(string) (store.Engine, error) { return btree.New(), nil }, nil
+	case "applog":
+		return func(table string) (store.Engine, error) {
+			sub := ""
+			if dir != "" {
+				sub = filepath.Join(dir, "t_"+table)
+			}
+			return applog.New(applog.Options{Dir: sub})
+		}, nil
+	case "lsm":
+		return func(table string) (store.Engine, error) {
+			sub := ""
+			if dir != "" {
+				sub = filepath.Join(dir, "t_"+table)
+			}
+			return lsm.New(lsm.Options{Dir: sub})
+		}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown engine %q", name)
+	}
+}
+
+// Start deploys a cluster per opts and waits until it is serving.
+func Start(opts Options) (*Cluster, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	net, err := transport.Lookup(opts.NetworkName)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := wire.LookupCodec(opts.CodecName)
+	if err != nil {
+		return nil, err
+	}
+	dataletCodec, err := wire.LookupCodec(opts.DataletCodecName)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{Opts: opts, Net: net, Codec: codec}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+
+	// Control services.
+	c.Coord, err = coordinator.Serve(coordinator.Config{
+		Network:          net,
+		Addr:             listenAddr(opts.NetworkName),
+		HeartbeatTimeout: opts.HeartbeatTimeout,
+		DisableFailover:  opts.DisableFailover,
+		Logf:             opts.Logf,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	c.DLM, err = dlm.Serve(dlm.Config{Network: net, Addr: listenAddr(opts.NetworkName)})
+	if err != nil {
+		return fail(err)
+	}
+	c.Log, err = sharedlog.Serve(sharedlog.Config{Network: net, Addr: listenAddr(opts.NetworkName)})
+	if err != nil {
+		return fail(err)
+	}
+
+	// Data plane.
+	m := &topology.Map{
+		Mode:        opts.Mode,
+		Partitioner: opts.Partitioner,
+	}
+	if opts.Partitioner == topology.RangePartitioner {
+		m.RangeSplits = topology.UniformSplits(opts.Shards)
+	}
+	for si := 0; si < opts.Shards; si++ {
+		shard := topology.Shard{ID: fmt.Sprintf("shard-%d", si)}
+		var pairs []*Pair
+		for ri := 0; ri < opts.Replicas; ri++ {
+			engine := opts.Engine
+			if len(opts.EnginesByReplica) > 0 {
+				engine = opts.EnginesByReplica[ri]
+			}
+			nodeID := fmt.Sprintf("s%d-r%d", si, ri)
+			pair, err := c.startPair(nodeID, shard.ID, engine, dataletCodec, opts.Mode)
+			if err != nil {
+				return fail(err)
+			}
+			pairs = append(pairs, pair)
+			shard.Replicas = append(shard.Replicas, pair.Node)
+		}
+		c.Shards = append(c.Shards, pairs)
+		m.Shards = append(m.Shards, shard)
+	}
+
+	// Install the map and give every controlet its first copy directly
+	// (faster and more deterministic than waiting for the first push).
+	admin, err := coordinator.DialCoordinator(net, c.Coord.Addr())
+	if err != nil {
+		return fail(err)
+	}
+	defer admin.Close()
+	epoch, err := admin.SetMap(m)
+	if err != nil {
+		return fail(err)
+	}
+	m.Epoch = epoch
+	for _, pairs := range c.Shards {
+		for _, p := range pairs {
+			p.Controlet.SetMap(m)
+		}
+	}
+
+	// Standbys register last so they are never picked as initial members.
+	for i := 0; i < opts.Standbys; i++ {
+		engine := opts.Engine
+		if len(opts.EnginesByReplica) > 0 {
+			engine = opts.EnginesByReplica[opts.Replicas-1]
+		}
+		nodeID := fmt.Sprintf("standby-%d", i)
+		pair, err := c.startPair(nodeID, "", engine, dataletCodec, opts.Mode)
+		if err != nil {
+			return fail(err)
+		}
+		pair.Controlet.SetMap(m)
+		c.Standbys = append(c.Standbys, pair)
+		if err := admin.RegisterStandby(pair.Node); err != nil {
+			return fail(err)
+		}
+	}
+	return c, nil
+}
+
+func listenAddr(networkName string) string {
+	if networkName == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return ""
+}
+
+// dataletNetwork resolves the transport datalets listen on.
+func (c *Cluster) dataletNetwork() (transport.Network, string, error) {
+	if c.Opts.CollocatedDatalets && c.Opts.NetworkName != "inproc" {
+		n, err := transport.Lookup("inproc")
+		return n, "", err
+	}
+	return c.Net, listenAddr(c.Opts.NetworkName), nil
+}
+
+// startPair boots one datalet and its controlet.
+func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Codec, mode topology.Mode) (*Pair, error) {
+	dir := ""
+	if c.Opts.DataDir != "" {
+		dir = filepath.Join(c.Opts.DataDir, nodeID+"-"+fmt.Sprint(c.nameSeq.Add(1)))
+	}
+	newEngine, err := engineFactory(engine, dir)
+	if err != nil {
+		return nil, err
+	}
+	dataletNet, dataletListen, err := c.dataletNetwork()
+	if err != nil {
+		return nil, err
+	}
+	d, err := datalet.Serve(datalet.Config{
+		Name:      nodeID + "-datalet",
+		Network:   dataletNet,
+		Addr:      dataletListen,
+		Codec:     dataletCodec,
+		NewEngine: newEngine,
+		Logf:      c.Opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := controlet.Serve(controlet.Config{
+		NodeID:            nodeID,
+		ShardID:           shardID,
+		Network:           c.Net,
+		DataletNetwork:    dataletNet,
+		DataAddr:          listenAddr(c.Opts.NetworkName),
+		CtlAddr:           listenAddr(c.Opts.NetworkName),
+		Codec:             c.Codec,
+		DataletAddr:       d.Addr(),
+		DataletCodec:      dataletCodec,
+		Mode:              mode,
+		CoordinatorAddr:   c.Coord.Addr(),
+		DLMAddr:           c.DLM.Addr(),
+		SharedLogAddr:     c.Log.Addr(),
+		HeartbeatInterval: c.Opts.HeartbeatInterval,
+		P2PRouting:        c.Opts.P2PRouting,
+		Logf:              c.Opts.Logf,
+	})
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	node := ctl.Node()
+	node.DataletCodec = c.Opts.DataletCodecName
+	return &Pair{Node: node, Datalet: d, Controlet: ctl}, nil
+}
+
+// Client opens a coordinator-backed client for this cluster.
+func (c *Cluster) Client() (*client.Client, error) {
+	return client.New(client.Config{
+		Network:         c.Net,
+		Codec:           c.Codec,
+		CoordinatorAddr: c.Coord.Addr(),
+		Logf:            c.Opts.Logf,
+	})
+}
+
+// ClientTuned opens a client with an explicit retry budget and backoff —
+// failover experiments use fail-fast clients so one dead shard parks a
+// load worker for milliseconds, not the full default budget.
+func (c *Cluster) ClientTuned(retries int, backoff time.Duration) (*client.Client, error) {
+	return client.New(client.Config{
+		Network:         c.Net,
+		Codec:           c.Codec,
+		CoordinatorAddr: c.Coord.Addr(),
+		Retries:         retries,
+		RetryBackoff:    backoff,
+		Logf:            c.Opts.Logf,
+	})
+}
+
+// Admin opens a coordinator client for map inspection and transitions.
+func (c *Cluster) Admin() (*coordinator.Client, error) {
+	return coordinator.DialCoordinator(c.Net, c.Coord.Addr())
+}
+
+// Pair returns the pair at (shard, replica) as originally deployed.
+func (c *Cluster) Pair(shard, replica int) *Pair {
+	return c.Shards[shard][replica]
+}
+
+// KillNode crashes the pair at (shard, replica); the coordinator's failure
+// detector will repair the shard.
+func (c *Cluster) KillNode(shard, replica int) {
+	c.Shards[shard][replica].Kill()
+}
+
+// Transition performs a live topology/consistency switch (§V): it boots a
+// full set of new-mode controlets against the same datalets, asks the
+// coordinator to run the drain protocol, waits for completion, then
+// retires the old controlets. Data never moves.
+func (c *Cluster) Transition(to topology.Mode) error {
+	if !to.Valid() {
+		return fmt.Errorf("cluster: invalid target mode %s", to)
+	}
+	admin, err := c.Admin()
+	if err != nil {
+		return err
+	}
+	defer admin.Close()
+	cur, err := admin.GetMap()
+	if err != nil {
+		return err
+	}
+
+	// Boot new-mode controlets bound to the existing datalets.
+	newShards := make([]topology.Shard, len(cur.Shards))
+	var newPairs [][]*Pair
+	gen := c.nameSeq.Add(1)
+	for si, shard := range cur.Shards {
+		newShards[si] = topology.Shard{ID: shard.ID}
+		var pairs []*Pair
+		for ri, old := range shard.Replicas {
+			nodeID := fmt.Sprintf("%s-g%d-r%d", shard.ID, gen, ri)
+			dataletCodec, err := wire.LookupCodec(codecNameOf(old, c.Opts))
+			if err != nil {
+				return err
+			}
+			dataletNet, _, err := c.dataletNetwork()
+			if err != nil {
+				return err
+			}
+			ctl, err := controlet.Serve(controlet.Config{
+				NodeID:            nodeID,
+				ShardID:           shard.ID,
+				Network:           c.Net,
+				DataletNetwork:    dataletNet,
+				DataAddr:          listenAddr(c.Opts.NetworkName),
+				CtlAddr:           listenAddr(c.Opts.NetworkName),
+				Codec:             c.Codec,
+				DataletAddr:       old.DataletAddr,
+				DataletCodec:      dataletCodec,
+				Mode:              to,
+				CoordinatorAddr:   c.Coord.Addr(),
+				DLMAddr:           c.DLM.Addr(),
+				SharedLogAddr:     c.Log.Addr(),
+				HeartbeatInterval: c.Opts.HeartbeatInterval,
+				P2PRouting:        c.Opts.P2PRouting,
+				Logf:              c.Opts.Logf,
+			})
+			if err != nil {
+				return err
+			}
+			node := ctl.Node()
+			node.DataletCodec = old.DataletCodec
+			newShards[si].Replicas = append(newShards[si].Replicas, node)
+			pairs = append(pairs, &Pair{Node: node, Controlet: ctl, Datalet: c.dataletOf(old.DataletAddr)})
+		}
+		newPairs = append(newPairs, pairs)
+	}
+
+	if _, err := admin.BeginTransition(to, newShards); err != nil {
+		return err
+	}
+	// Wait for the coordinator's drain protocol to complete the switch.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		m, err := admin.GetMap()
+		if err != nil {
+			return err
+		}
+		if m.Transition == nil && m.Mode == to {
+			break
+		}
+		if time.Now().After(deadline) {
+			return errors.New("cluster: transition did not complete")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Retire the old controlets; datalets stay.
+	for _, pairs := range c.Shards {
+		for _, p := range pairs {
+			c.oldPairs = append(c.oldPairs, p)
+			if !p.Killed() {
+				_ = p.Controlet.Close()
+			}
+		}
+	}
+	c.Shards = newPairs
+	c.Opts.Mode = to
+	return nil
+}
+
+// codecNameOf returns the datalet codec name for a node.
+func codecNameOf(n topology.Node, opts Options) string {
+	if n.DataletCodec != "" {
+		return n.DataletCodec
+	}
+	return opts.DataletCodecName
+}
+
+// dataletOf finds the datalet server behind an address (nil for killed or
+// unknown addresses).
+func (c *Cluster) dataletOf(addr string) *datalet.Server {
+	for _, pairs := range c.Shards {
+		for _, p := range pairs {
+			if p.Datalet != nil && p.Datalet.Addr() == addr {
+				return p.Datalet
+			}
+		}
+	}
+	return nil
+}
+
+// Reconcile runs the anti-entropy push from the pair at (shard, replica):
+// its datalet's state is pushed (LWW-versioned) to every peer replica.
+// Returns (pairs pushed, pairs accepted by all peers).
+func (c *Cluster) Reconcile(shard, replica int) (int, int, error) {
+	p := c.Shards[shard][replica]
+	ctl, err := rpc.DialClient(c.Net, p.Controlet.CtlAddr())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ctl.Close()
+	var reply controlet.ReconcileReply
+	if err := ctl.Call("Reconcile", struct{}{}, &reply); err != nil {
+		return 0, 0, err
+	}
+	return reply.Pairs, reply.Accepted, nil
+}
+
+// Close tears the whole cluster down.
+func (c *Cluster) Close() {
+	for _, pairs := range c.Shards {
+		for _, p := range pairs {
+			if p != nil && !p.Killed() {
+				if p.Controlet != nil {
+					_ = p.Controlet.Close()
+				}
+				if p.Datalet != nil {
+					_ = p.Datalet.Close()
+				}
+			}
+		}
+	}
+	for _, p := range c.Standbys {
+		if !p.Killed() {
+			_ = p.Controlet.Close()
+			_ = p.Datalet.Close()
+		}
+	}
+	for _, p := range c.oldPairs {
+		_ = p // controlets already closed in Transition; datalets shared
+	}
+	if c.Log != nil {
+		_ = c.Log.Close()
+	}
+	if c.DLM != nil {
+		_ = c.DLM.Close()
+	}
+	if c.Coord != nil {
+		_ = c.Coord.Close()
+	}
+}

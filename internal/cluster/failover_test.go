@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bespokv/internal/topology"
+)
+
+// TestFailoverTailKillMSSC kills the chain tail under MS+SC: the
+// coordinator repairs the chain, acked writes survive, and the store keeps
+// serving (Fig. 16, top).
+func TestFailoverTailKillMSSC(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:             topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		Shards:           1,
+		Replicas:         3,
+		HeartbeatTimeout: 400 * time.Millisecond,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		if err := cli.Put("", k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.KillNode(0, 2) // tail
+
+	// Wait until the coordinator repaired the shard.
+	admin, err := c.Admin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	eventually(t, 10*time.Second, func() string {
+		m, err := admin.GetMap()
+		if err != nil {
+			return err.Error()
+		}
+		if len(m.Shards[0].Replicas) != 2 {
+			return fmt.Sprintf("shard still has %d replicas", len(m.Shards[0].Replicas))
+		}
+		return ""
+	})
+
+	// Every acked write is still readable (strong reads from the new
+	// tail), and new writes work.
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		eventually(t, 5*time.Second, func() string {
+			v, ok, err := cli.Get("", k)
+			if err != nil || !ok || string(v) != string(k) {
+				return fmt.Sprintf("lost acked write %s: (%q,%v,%v)", k, v, ok, err)
+			}
+			return ""
+		})
+	}
+	eventually(t, 5*time.Second, func() string {
+		if err := cli.Put("", []byte("after-failover"), []byte("ok")); err != nil {
+			return err.Error()
+		}
+		return ""
+	})
+}
+
+// TestFailoverHeadKillMSSC kills the chain head: the second node is
+// promoted and writes resume at the new head.
+func TestFailoverHeadKillMSSC(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:             topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		Shards:           1,
+		Replicas:         3,
+		HeartbeatTimeout: 400 * time.Millisecond,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Put("", []byte("pre"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	c.KillNode(0, 0) // head
+	eventually(t, 10*time.Second, func() string {
+		if err := cli.Put("", []byte("post"), []byte("2")); err != nil {
+			return "write after head kill: " + err.Error()
+		}
+		return ""
+	})
+	v, ok, err := cli.Get("", []byte("pre"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("pre-failure write lost: (%q,%v,%v)", v, ok, err)
+	}
+}
+
+// TestFailoverMasterKillMSEC kills the MS+EC master; a slave is promoted
+// via replica order and the store keeps serving.
+func TestFailoverMasterKillMSEC(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:             topology.Mode{Topology: topology.MS, Consistency: topology.Eventual},
+		Shards:           1,
+		Replicas:         3,
+		HeartbeatTimeout: 400 * time.Millisecond,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		if err := cli.Put("", k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let propagation reach the slaves before the master dies, so acked
+	// writes survive (EC allows losing unpropagated ones; see §C-A).
+	waitConverged(t, c, 0, 50)
+	c.KillNode(0, 0)
+	eventually(t, 10*time.Second, func() string {
+		if err := cli.Put("", []byte("post"), []byte("2")); err != nil {
+			return "write after master kill: " + err.Error()
+		}
+		return ""
+	})
+	eventually(t, 5*time.Second, func() string {
+		v, ok, err := cli.Get("", []byte("key-049"))
+		if err != nil || !ok {
+			return fmt.Sprintf("replicated write lost: (%q,%v,%v)", v, ok, err)
+		}
+		return ""
+	})
+}
+
+// TestFailoverStandbyRecovery kills a replica with a standby registered:
+// the standby must pull the shard's data and join as the new tail.
+func TestFailoverStandbyRecovery(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:             topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		Shards:           1,
+		Replicas:         3,
+		Standbys:         1,
+		HeartbeatTimeout: 400 * time.Millisecond,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if err := cli.Put("", k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.KillNode(0, 1) // mid node
+	admin, err := c.Admin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	eventually(t, 15*time.Second, func() string {
+		m, err := admin.GetMap()
+		if err != nil {
+			return err.Error()
+		}
+		reps := m.Shards[0].Replicas
+		if len(reps) != 3 {
+			return fmt.Sprintf("shard has %d replicas, want standby joined", len(reps))
+		}
+		if reps[2].ID != "standby-0" {
+			return fmt.Sprintf("tail is %s, want standby-0", reps[2].ID)
+		}
+		return ""
+	})
+	// The standby's datalet holds the recovered data.
+	sb := c.Standbys[0]
+	eventually(t, 10*time.Second, func() string {
+		if got := sb.Datalet.Engine("").Len(); got != n {
+			return fmt.Sprintf("standby recovered %d/%d keys", got, n)
+		}
+		return ""
+	})
+	// Strong reads now come from the standby tail.
+	v, ok, err := cli.Get("", []byte("key-0000"))
+	if err != nil || !ok || string(v) != "key-0000" {
+		t.Fatalf("read after standby join: (%q,%v,%v)", v, ok, err)
+	}
+}
+
+// TestAAKillBarelyDips kills one active replica under AA+EC: the other
+// actives keep serving reads and writes throughout (Fig. 16, bottom).
+func TestAAKillBarelyDips(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:             topology.Mode{Topology: topology.AA, Consistency: topology.Eventual},
+		Shards:           1,
+		Replicas:         3,
+		HeartbeatTimeout: 400 * time.Millisecond,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Put("", []byte("pre"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	c.KillNode(0, 1)
+	// Writes keep working with at most client-level retries.
+	ok := 0
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("during-%03d", i))
+		if err := cli.Put("", k, k); err == nil {
+			ok++
+		}
+	}
+	if ok < 45 {
+		t.Fatalf("only %d/50 writes succeeded during AA failover", ok)
+	}
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"bespokv/internal/datalet"
+	"bespokv/internal/topology"
+	"bespokv/internal/wire"
+)
+
+// TestP2PRoutingAnyControletServesAnyKey covers the §IV-E P2P-style
+// topology: a client that only knows ONE controlet can reach every key —
+// the controlet routes foreign keys to their owning shard and relays.
+func TestP2PRoutingAnyControletServesAnyKey(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:            topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		Shards:          4,
+		Replicas:        2,
+		P2PRouting:      true,
+		DisableFailover: true,
+	})
+	// Talk to exactly one controlet (shard 0's head) for everything.
+	raw, err := datalet.Dial(c.Net, c.Shards[0][0].Controlet.DataAddr(), c.Codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var resp wire.Response
+	const n = 100
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if err := raw.Do(&wire.Request{Op: wire.OpPut, Key: k, Value: k}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("put %s via single entry point: %+v", k, resp)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if err := raw.Do(&wire.Request{Op: wire.OpGet, Key: k}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wire.StatusOK || string(resp.Value) != string(k) {
+			t.Fatalf("get %s via single entry point: %+v", k, resp)
+		}
+	}
+	// Keys actually landed on several shards — the entry point really
+	// forwarded rather than hoarding them.
+	populated := 0
+	for _, pairs := range c.Shards {
+		if pairs[0].Datalet.Engine("").Len() > 0 {
+			populated++
+		}
+	}
+	if populated < 3 {
+		t.Fatalf("only %d/4 shards populated; P2P routing not spreading keys", populated)
+	}
+	// Deletes route too.
+	if err := raw.Do(&wire.Request{Op: wire.OpDel, Key: []byte("key-0001")}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("del via entry point: %+v", resp)
+	}
+}
+
+// TestP2PRoutingDisabledRedirects confirms the default behaviour stays
+// redirect-based (clients route; controlets refuse foreign keys under MS).
+func TestP2PRoutingDisabledRedirects(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:            topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		Shards:          4,
+		Replicas:        2,
+		DisableFailover: true,
+	})
+	raw, err := datalet.Dial(c.Net, c.Shards[0][0].Controlet.DataAddr(), c.Codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var resp wire.Response
+	sawRedirectOrOK := 0
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if err := raw.Do(&wire.Request{Op: wire.OpPut, Key: k, Value: k}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		switch resp.Status {
+		case wire.StatusOK, wire.StatusRedirect:
+			sawRedirectOrOK++
+		default:
+			t.Fatalf("unexpected status for %s: %+v", k, resp)
+		}
+	}
+	if sawRedirectOrOK != 50 {
+		t.Fatalf("got %d OK/redirect of 50", sawRedirectOrOK)
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bespokv/internal/topology"
+)
+
+// TestClusterOverTCP deploys a full cluster over loopback sockets — the
+// multi-process-shaped path the cmd/ binaries use.
+func TestClusterOverTCP(t *testing.T) {
+	c := startCluster(t, Options{
+		NetworkName:     "tcp",
+		Shards:          2,
+		Replicas:        3,
+		Mode:            topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		DisableFailover: true,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("tcp-key-%03d", i))
+		if err := cli.Put("", k, k); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := cli.Get("", k)
+		if err != nil || !ok || string(v) != string(k) {
+			t.Fatalf("get over tcp: (%q,%v,%v)", v, ok, err)
+		}
+	}
+	// Every endpoint is a real socket address.
+	for _, pairs := range c.Shards {
+		for _, p := range pairs {
+			if !strings.Contains(p.Node.ControletAddr, ":") || !strings.Contains(p.Node.DataletAddr, ":") {
+				t.Fatalf("non-tcp address in tcp cluster: %+v", p.Node)
+			}
+		}
+	}
+}
+
+// TestClusterCollocatedDatalets verifies the paper-faithful layout: over
+// tcp with CollocatedDatalets, controlets listen on sockets while each
+// datalet stays on the in-process transport (same-machine pair).
+func TestClusterCollocatedDatalets(t *testing.T) {
+	c := startCluster(t, Options{
+		NetworkName:        "tcp",
+		CollocatedDatalets: true,
+		Shards:             1,
+		Replicas:           3,
+		Mode:               topology.Mode{Topology: topology.MS, Consistency: topology.Eventual},
+		DisableFailover:    true,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Put("", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, c, 0, 1)
+	for _, p := range c.Shards[0] {
+		if !strings.Contains(p.Node.ControletAddr, ":") {
+			t.Fatalf("controlet not on tcp: %+v", p.Node)
+		}
+		if strings.Contains(p.Node.DataletAddr, ":") {
+			t.Fatalf("datalet not collocated (inproc): %+v", p.Node)
+		}
+	}
+}

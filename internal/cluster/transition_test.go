@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bespokv/internal/topology"
+)
+
+var (
+	msSC = topology.Mode{Topology: topology.MS, Consistency: topology.Strong}
+	msEC = topology.Mode{Topology: topology.MS, Consistency: topology.Eventual}
+	aaSC = topology.Mode{Topology: topology.AA, Consistency: topology.Strong}
+	aaEC = topology.Mode{Topology: topology.AA, Consistency: topology.Eventual}
+)
+
+// TestTransitionPreservesData switches modes with data at rest and checks
+// every key survives with no migration (§V: datalets never change).
+func TestTransitionPreservesData(t *testing.T) {
+	hops := []struct {
+		from, to topology.Mode
+	}{
+		{msEC, msSC}, // §V-A
+		{aaEC, msEC}, // §V-B
+		{msSC, msEC}, // trivial direction ("reverse transition is trivial")
+		{msEC, aaEC}, // reverse of §V-B
+		{msSC, aaSC},
+		{aaSC, aaEC},
+	}
+	for _, hop := range hops {
+		hop := hop
+		t.Run(hop.from.String()+"->"+hop.to.String(), func(t *testing.T) {
+			c := startCluster(t, Options{
+				Mode:            hop.from,
+				Shards:          2,
+				Replicas:        3,
+				DisableFailover: true,
+			})
+			cli, err := c.Client()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+			const n = 60
+			for i := 0; i < n; i++ {
+				k := []byte(fmt.Sprintf("key-%03d", i))
+				if err := cli.Put("", k, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Transition(hop.to); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				k := []byte(fmt.Sprintf("key-%03d", i))
+				eventually(t, 10*time.Second, func() string {
+					v, ok, err := cli.Get("", k)
+					if err != nil || !ok || string(v) != string(k) {
+						return fmt.Sprintf("key %s after transition: (%q,%v,%v)", k, v, ok, err)
+					}
+					return ""
+				})
+			}
+			// Writes work in the new mode.
+			if err := cli.Put("", []byte("post-transition"), []byte("ok")); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTransitionUnderLoad runs a client workload across an MS+EC→MS+SC
+// switch: no downtime (writes keep succeeding, possibly after client
+// retries) and no acked write is lost.
+func TestTransitionUnderLoad(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:            msEC,
+		Shards:          3,
+		Replicas:        3,
+		DisableFailover: true,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var acked sync.Map // key → value
+	var seq atomic.Uint64
+	stop := make(chan struct{})
+	var failures atomic.Uint64
+	var writes atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcli, err := c.Client()
+			if err != nil {
+				return
+			}
+			defer wcli.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := seq.Add(1)
+				k := []byte(fmt.Sprintf("key-%06d", i))
+				if err := wcli.Put("", k, k); err != nil {
+					failures.Add(1)
+					continue
+				}
+				writes.Add(1)
+				acked.Store(string(k), string(k))
+			}
+		}(w)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	if err := c.Transition(msSC); err != nil {
+		close(stop)
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if writes.Load() == 0 {
+		t.Fatal("no writes succeeded at all")
+	}
+	t.Logf("writes=%d failures=%d across the transition", writes.Load(), failures.Load())
+
+	// Every acknowledged write must be readable after the transition.
+	lost := 0
+	acked.Range(func(k, v any) bool {
+		key := []byte(k.(string))
+		found := false
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			val, ok, err := cli.Get("", key)
+			if err == nil && ok && string(val) == v.(string) {
+				found = true
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if !found {
+			lost++
+			t.Errorf("acked write %s lost across transition", key)
+		}
+		return lost < 10 // cap the error spam
+	})
+}
+
+// TestTransitionAAECToMSEC covers the §V-B direction with writes in
+// flight through the shared log.
+func TestTransitionAAECToMSEC(t *testing.T) {
+	c := startCluster(t, Options{
+		Mode:            aaEC,
+		Shards:          1,
+		Replicas:        3,
+		DisableFailover: true,
+	})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const n = 80
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		if err := cli.Put("", k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Transition(msEC); err != nil {
+		t.Fatal(err)
+	}
+	// Everything appended to the log before the drain must be on every
+	// replica now; the new master serves it.
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		eventually(t, 10*time.Second, func() string {
+			v, ok, err := cli.Get("", k)
+			if err != nil || !ok {
+				return fmt.Sprintf("key %s lost across AA+EC→MS+EC: (%q,%v,%v)", k, v, ok, err)
+			}
+			return ""
+		})
+	}
+	// Overwrites in the new mode beat pre-transition values (version
+	// ordering across the AA+EC epoch boundary).
+	if err := cli.Put("", []byte("key-000"), []byte("overwritten")); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, 5*time.Second, func() string {
+		v, ok, err := cli.Get("", []byte("key-000"))
+		if err != nil || !ok || string(v) != "overwritten" {
+			return fmt.Sprintf("post-transition overwrite lost: (%q,%v,%v)", v, ok, err)
+		}
+		return ""
+	})
+}
+
+// TestChainedTransitions walks through several modes in sequence, the
+// "adapt as requirements change" story of §V.
+func TestChainedTransitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chained transitions in -short mode")
+	}
+	c := startCluster(t, Options{Mode: msEC, Shards: 2, Replicas: 2, DisableFailover: true})
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Put("", []byte("durable"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for _, to := range []topology.Mode{msSC, aaEC, msEC, aaSC} {
+		if err := c.Transition(to); err != nil {
+			t.Fatalf("transition to %s: %v", to, err)
+		}
+		eventually(t, 10*time.Second, func() string {
+			v, ok, err := cli.Get("", []byte("durable"))
+			if err != nil || !ok {
+				return fmt.Sprintf("durable key missing in %s: (%q,%v,%v)", to, v, ok, err)
+			}
+			return ""
+		})
+		k := []byte("written-in-" + to.String())
+		eventually(t, 10*time.Second, func() string {
+			if err := cli.Put("", k, k); err != nil {
+				return err.Error()
+			}
+			return ""
+		})
+	}
+}

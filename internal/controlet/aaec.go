@@ -1,0 +1,339 @@
+package controlet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"bespokv/internal/sharedlog"
+	"bespokv/internal/wire"
+)
+
+// errStopped is returned for appends racing a controlet shutdown.
+var errStopped = errors.New("controlet: shutting down")
+
+// aaecVersionBase lifts log-derived versions above every Lamport version
+// the other modes can issue (wall-clock seconds << 32 stays below 1<<63
+// for the next few centuries), so a transition into AA+EC can never lose
+// writes to stale pre-transition versions.
+const aaecVersionBase = uint64(1) << 63
+
+// logApplier implements AA+EC (§C-C): every write is appended to the
+// shared log first; the writer applies it locally and acks, and every
+// replica's applier consumes the log in order. Because all replicas apply
+// the same totally ordered sequence with offset-derived versions,
+// concurrent multi-master writes to the same key converge on every node —
+// the conflict case Dynomite gets wrong (§C-C).
+type logApplier struct {
+	s       *Server
+	client  *sharedlog.Client
+	reader  *sharedlog.Client
+	applied atomic.Uint64 // next offset to apply
+	appends chan appendReq
+	stopCh  chan struct{}
+}
+
+// appendReq is one write waiting for the group-commit batcher.
+type appendReq struct {
+	stream string
+	data   []byte
+	resp   chan appendResult
+}
+
+type appendResult struct {
+	offset uint64
+	err    error
+}
+
+func newLogApplier(s *Server) *logApplier {
+	return &logApplier{
+		s:       s,
+		appends: make(chan appendReq, 256),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+func (a *logApplier) start() error {
+	c, err := sharedlog.DialClient(a.s.cfg.Network, a.s.cfg.SharedLogAddr)
+	if err != nil {
+		return err
+	}
+	a.client = c
+	// The applier gets its own connection so long-polls never block
+	// appends.
+	reader, err := sharedlog.DialClient(a.s.cfg.Network, a.s.cfg.SharedLogAddr)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	a.reader = reader
+	a.s.wg.Add(2)
+	go a.applyLoop(reader)
+	go a.batchLoop()
+	return nil
+}
+
+// batchLoop group-commits concurrent appends (CORFU-style): writes that
+// arrive within the batching window share one Append RPC, and the log's
+// contiguous offset assignment hands each its own offset.
+func (a *logApplier) batchLoop() {
+	defer a.s.wg.Done()
+	const maxBatch = 128
+	for {
+		var first appendReq
+		select {
+		case <-a.stopCh:
+			return
+		case first = <-a.appends:
+		}
+		batch := []appendReq{first}
+	gather:
+		for len(batch) < maxBatch {
+			select {
+			case r := <-a.appends:
+				if r.stream != first.stream {
+					// Stream changed mid-batch (promotion); flush what
+					// we have and let the odd one lead the next batch.
+					go func(r appendReq) {
+						select {
+						case a.appends <- r:
+						case <-a.stopCh:
+							r.resp <- appendResult{err: errStopped}
+						}
+					}(r)
+					break gather
+				}
+				batch = append(batch, r)
+			default:
+				break gather
+			}
+		}
+		datas := make([][]byte, len(batch))
+		for i, r := range batch {
+			datas[i] = r.data
+		}
+		firstOff, err := a.client.Stream(first.stream).Append(datas...)
+		for i, r := range batch {
+			if err != nil {
+				r.resp <- appendResult{err: err}
+				continue
+			}
+			r.resp <- appendResult{offset: firstOff + uint64(i)}
+		}
+	}
+}
+
+// append sequences one record through the batcher on the shard's stream.
+func (a *logApplier) append(stream string, data []byte) (uint64, error) {
+	req := appendReq{stream: stream, data: data, resp: make(chan appendResult, 1)}
+	select {
+	case a.appends <- req:
+	case <-a.stopCh:
+		return 0, errStopped
+	}
+	select {
+	case res := <-req.resp:
+		return res.offset, res.err
+	case <-a.stopCh:
+		return 0, errStopped
+	}
+}
+
+func (a *logApplier) stop() {
+	close(a.stopCh)
+	if a.client != nil {
+		_ = a.client.Close()
+	}
+	if a.reader != nil {
+		_ = a.reader.Close() // abort any in-flight long-poll read
+	}
+}
+
+func (a *logApplier) applyLoop(reader *sharedlog.Client) {
+	defer a.s.wg.Done()
+	defer reader.Close()
+	next := uint64(0)
+	stream := a.s.shardID()
+	for {
+		select {
+		case <-a.stopCh:
+			return
+		default:
+		}
+		// A standby promoted into a shard starts following that shard's
+		// stream from the beginning (idempotent under LWW versions).
+		if cur := a.s.shardID(); cur != stream {
+			stream = cur
+			next = 0
+		}
+		entries, n, err := reader.Stream(stream).Read(next, 4096, 500*time.Millisecond)
+		if err != nil {
+			select {
+			case <-a.stopCh:
+				return
+			case <-time.After(50 * time.Millisecond):
+				continue
+			}
+		}
+		for _, e := range entries {
+			a.applyEntry(e)
+		}
+		next = n
+		a.applied.Store(next)
+		if len(entries) > 0 {
+			// Pace the long-poll so sustained appends coalesce into
+			// batched reads instead of one wake per entry (the paper's
+			// "scale the Shared Log setup" concern); costs ≤1ms of EC
+			// propagation lag.
+			select {
+			case <-a.stopCh:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+}
+
+func (a *logApplier) applyEntry(e sharedlog.Entry) {
+	rec, err := decodeLogRecord(e.Data)
+	if err != nil {
+		a.s.cfg.Logf("controlet %s: corrupt log entry at %d: %v", a.s.cfg.NodeID, e.Offset, err)
+		return
+	}
+	version := aaecVersionBase + e.Offset + 1
+	a.s.observeVersion(version)
+	if rec.origin == a.s.cfg.NodeID {
+		return // already applied synchronously at append time
+	}
+	if rec.shard != "" && rec.shard != a.s.shardID() {
+		return // another shard's stream
+	}
+	op := wire.OpPut
+	if rec.del {
+		op = wire.OpDel
+	}
+	if err := a.s.applyLocal(op, rec.table, rec.key, rec.value, version); err != nil {
+		a.s.cfg.Logf("controlet %s: apply log entry %d: %v", a.s.cfg.NodeID, e.Offset, err)
+	}
+}
+
+// drain blocks until the applier has consumed everything appended before
+// the drain began — the AA+EC side of the transition protocol (§V-B).
+func (a *logApplier) drain() {
+	target, err := a.client.Stream(a.s.shardID()).Tail()
+	if err != nil {
+		return
+	}
+	for a.applied.Load() < target {
+		select {
+		case <-a.stopCh:
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// loggedWrite implements the AA+EC client write path: sequence through the
+// shared log, apply locally with the offset-derived version, acknowledge.
+func (s *Server) loggedWrite(req *wire.Request, resp *wire.Response) {
+	rec := logRecord{
+		origin: s.cfg.NodeID,
+		shard:  s.shardID(),
+		del:    req.Op == wire.OpDel,
+		table:  req.Table,
+		key:    req.Key,
+		value:  req.Value,
+	}
+	offset, err := s.aaec.append(rec.shard, encodeLogRecord(rec))
+	if err != nil {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "sharedlog: " + err.Error()
+		return
+	}
+	version := aaecVersionBase + offset + 1
+	s.observeVersion(version)
+	op := wire.OpPut
+	if rec.del {
+		op = wire.OpDel
+	}
+	if err := s.applyLocal(op, req.Table, req.Key, req.Value, version); err != nil {
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return
+	}
+	resp.Status = wire.StatusOK
+	resp.Version = version
+}
+
+// logRecord is the payload sequenced through the shared log. The shard tag
+// makes one physical log carry every shard's stream, Tango-style: each
+// applier consumes the total order but applies only its own shard's
+// entries.
+type logRecord struct {
+	origin string
+	shard  string
+	del    bool
+	table  string
+	key    []byte
+	value  []byte
+}
+
+func encodeLogRecord(r logRecord) []byte {
+	out := make([]byte, 0, 20+len(r.origin)+len(r.shard)+len(r.table)+len(r.key)+len(r.value))
+	if r.del {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = appendBytes(out, []byte(r.origin))
+	out = appendBytes(out, []byte(r.shard))
+	out = appendBytes(out, []byte(r.table))
+	out = appendBytes(out, r.key)
+	out = appendBytes(out, r.value)
+	return out
+}
+
+func decodeLogRecord(b []byte) (logRecord, error) {
+	var r logRecord
+	if len(b) < 1 {
+		return r, fmt.Errorf("short record")
+	}
+	r.del = b[0] == 1
+	b = b[1:]
+	var f []byte
+	var err error
+	if f, b, err = takeBytes(b); err != nil {
+		return r, err
+	}
+	r.origin = string(f)
+	if f, b, err = takeBytes(b); err != nil {
+		return r, err
+	}
+	r.shard = string(f)
+	if f, b, err = takeBytes(b); err != nil {
+		return r, err
+	}
+	r.table = string(f)
+	if r.key, b, err = takeBytes(b); err != nil {
+		return r, err
+	}
+	if r.value, _, err = takeBytes(b); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func takeBytes(b []byte) (field, rest []byte, err error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)-w) {
+		return nil, nil, fmt.Errorf("corrupt field")
+	}
+	return b[w : w+int(n)], b[w+int(n):], nil
+}

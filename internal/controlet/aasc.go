@@ -1,0 +1,112 @@
+package controlet
+
+import (
+	"time"
+
+	"bespokv/internal/dlm"
+	"bespokv/internal/topology"
+	"bespokv/internal/wire"
+)
+
+// lockClient wraps the DLM connection for the AA+SC mode.
+type lockClient struct {
+	c   *dlm.Client
+	ttl time.Duration
+}
+
+func newLockClient(cfg Config) (*lockClient, error) {
+	c, err := dlm.DialClient(cfg.Network, cfg.DLMAddr, cfg.NodeID)
+	if err != nil {
+		return nil, err
+	}
+	return &lockClient{c: c, ttl: cfg.LockTTL}, nil
+}
+
+func (l *lockClient) close() { _ = l.c.Close() }
+
+// lockedWrite implements the AA+SC put path (§C-B): acquire the per-key
+// write lease, apply to every replica's datalet, release, acknowledge. The
+// monotonically increasing fencing token doubles as the LWW version, so a
+// slow writer whose lease expired can never clobber a newer value.
+func (s *Server) lockedWrite(m *topology.Map, shard topology.Shard, req *wire.Request, resp *wire.Response) {
+	lockKey := req.Table + "\x00" + string(req.Key)
+	if _, err := s.locks.c.Lock(lockKey, dlm.Write, s.locks.ttl, s.locks.ttl); err != nil {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "dlm: " + err.Error()
+		return
+	}
+	defer func() {
+		if err := s.locks.c.Unlock(lockKey, dlm.Write); err != nil {
+			s.cfg.Logf("controlet %s: unlock %q: %v (lease will expire)", s.cfg.NodeID, lockKey, err)
+		}
+	}()
+	localOp := wire.OpPut
+	replOp := wire.OpReplPut
+	if req.Op == wire.OpDel {
+		localOp = wire.OpDel
+		replOp = wire.OpReplDel
+	}
+	// Lamport versions are safe here: the synchronous write-all under the
+	// exclusive lease delivers this version to every peer before the
+	// lease is released, so the next writer of this key (whoever it is)
+	// has observed it and will assign a strictly larger version.
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value)
+	if err != nil {
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return
+	}
+	if m != nil {
+		for _, n := range shard.Replicas {
+			if n.ID == s.cfg.NodeID {
+				continue
+			}
+			if err := s.replicateTo(n, replOp, req, version); err != nil {
+				// Under write-all a dead peer fails the write; the
+				// coordinator will remove it and the client retries.
+				resp.Status = wire.StatusUnavailable
+				resp.Err = "replicate: " + err.Error()
+				return
+			}
+		}
+	}
+	resp.Status = wire.StatusOK
+	resp.Version = version
+}
+
+// replicateTo synchronously applies the write at a peer controlet.
+func (s *Server) replicateTo(n topology.Node, op wire.Op, req *wire.Request, version uint64) error {
+	pool, err := s.peerPool(n.ControletAddr)
+	if err != nil {
+		return err
+	}
+	fwd := wire.Request{
+		Op:      op,
+		Table:   req.Table,
+		Key:     req.Key,
+		Value:   req.Value,
+		Version: version,
+	}
+	var peerResp wire.Response
+	if err := pool.Do(&fwd, &peerResp); err != nil {
+		s.dropPeer(n.ControletAddr)
+		return err
+	}
+	return peerResp.ErrValue()
+}
+
+// lockedGet implements the AA+SC read path: a shared lease on the key,
+// then a local read — any active node serves linearizable reads because
+// writes hold the exclusive lease across all replicas.
+func (s *Server) lockedGet(req *wire.Request, resp *wire.Response) {
+	lockKey := req.Table + "\x00" + string(req.Key)
+	if _, err := s.locks.c.Lock(lockKey, dlm.Read, s.locks.ttl, s.locks.ttl); err != nil {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "dlm: " + err.Error()
+		return
+	}
+	defer func() {
+		_ = s.locks.c.Unlock(lockKey, dlm.Read)
+	}()
+	s.localCall(req, resp)
+}

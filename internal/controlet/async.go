@@ -1,0 +1,168 @@
+package controlet
+
+import (
+	"sync"
+	"time"
+
+	"bespokv/internal/topology"
+	"bespokv/internal/wire"
+)
+
+// asyncWrite implements the MS+EC put path (§C-A): the master assigns a
+// version, commits locally, acknowledges the client, and propagates to the
+// slaves asynchronously on dedicated per-slave connections.
+func (s *Server) asyncWrite(m *topology.Map, shard topology.Shard, pos int, req *wire.Request, resp *wire.Response) {
+	if m != nil && pos != 0 {
+		if s.cfg.P2PRouting && req.Limit < maxP2PHops {
+			s.relayTo(shard.Head().ControletAddr, req, resp)
+			return
+		}
+		resp.Status = wire.StatusRedirect
+		resp.Err = shard.Head().ControletAddr
+		return
+	}
+	localOp := wire.OpPut
+	replOp := wire.OpReplPut
+	if req.Op == wire.OpDel {
+		localOp = wire.OpDel
+		replOp = wire.OpReplDel
+	}
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value)
+	if err != nil {
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return
+	}
+	if s.prop != nil && m != nil {
+		s.prop.enqueue(shard, propRecord{
+			op:      replOp,
+			table:   req.Table,
+			key:     append([]byte(nil), req.Key...),
+			value:   append([]byte(nil), req.Value...),
+			version: version,
+		})
+	}
+	resp.Status = wire.StatusOK
+	resp.Version = version
+}
+
+// propRecord is one pending asynchronous replication write.
+type propRecord struct {
+	op      wire.Op
+	table   string
+	key     []byte
+	value   []byte
+	version uint64
+}
+
+// propagator fans master writes out to slaves in the background. One
+// goroutine and one queue per slave keep per-slave FIFO order (which,
+// combined with LWW versions, yields convergence), while the master's
+// client path never blocks on replication.
+type propagator struct {
+	s       *Server
+	mu      sync.Mutex
+	queues  map[string]chan propRecord // slave controlet addr → queue
+	pending sync.WaitGroup
+	stopped bool
+}
+
+// propQueueDepth bounds each slave's backlog; a full queue applies
+// backpressure to the master's write path, which is preferable to
+// unbounded memory growth during slave hiccups.
+const propQueueDepth = 4096
+
+func newPropagator(s *Server) *propagator {
+	return &propagator{s: s, queues: map[string]chan propRecord{}}
+}
+
+func (p *propagator) enqueue(shard topology.Shard, rec propRecord) {
+	for _, n := range shard.Replicas {
+		if n.ID == p.s.cfg.NodeID {
+			continue
+		}
+		p.mu.Lock()
+		if p.stopped {
+			p.mu.Unlock()
+			return
+		}
+		q, ok := p.queues[n.ControletAddr]
+		if !ok {
+			q = make(chan propRecord, propQueueDepth)
+			p.queues[n.ControletAddr] = q
+			p.s.wg.Add(1)
+			go p.slaveLoop(n.ControletAddr, q)
+		}
+		p.pending.Add(1)
+		p.mu.Unlock()
+		select {
+		case q <- rec:
+		case <-p.s.stopCh:
+			p.pending.Done()
+			return
+		}
+	}
+}
+
+// slaveLoop drains one slave's queue, retrying transient failures and
+// dropping records destined for a dead slave (recovery re-syncs it).
+func (p *propagator) slaveLoop(addr string, q chan propRecord) {
+	defer p.s.wg.Done()
+	for {
+		select {
+		case <-p.s.stopCh:
+			// Fail remaining records so drain() cannot hang on stop.
+			for {
+				select {
+				case <-q:
+					p.pending.Done()
+				default:
+					return
+				}
+			}
+		case rec := <-q:
+			p.deliver(addr, rec)
+			p.pending.Done()
+		}
+	}
+}
+
+func (p *propagator) deliver(addr string, rec propRecord) {
+	req := wire.Request{
+		Op:      rec.op,
+		Table:   rec.table,
+		Key:     rec.key,
+		Value:   rec.value,
+		Version: rec.version,
+	}
+	var resp wire.Response
+	for attempt := 0; attempt < 3; attempt++ {
+		pool, err := p.s.peerPool(addr)
+		if err == nil {
+			if err = pool.Do(&req, &resp); err == nil {
+				return
+			}
+			p.s.dropPeer(addr)
+		}
+		select {
+		case <-p.s.stopCh:
+			return
+		case <-time.After(time.Duration(attempt+1) * 10 * time.Millisecond):
+		}
+	}
+	p.s.cfg.Logf("controlet %s: dropping propagation to %s (key %q v%d): slave unreachable",
+		p.s.cfg.NodeID, addr, rec.key, rec.version)
+}
+
+// drain blocks until every enqueued record has been delivered or given up
+// on — the MS+EC transition guarantee ("the old master keeps flushing out
+// any pending propagation", §V-A).
+func (p *propagator) drain() {
+	p.pending.Wait()
+}
+
+func (p *propagator) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+}

@@ -1,0 +1,110 @@
+package controlet
+
+import (
+	"bespokv/internal/topology"
+	"bespokv/internal/wire"
+)
+
+// chainWrite implements the MS+SC put path with chain replication (§IV-A):
+// the head assigns the version, applies locally, forwards down the chain;
+// each node applies then forwards; the tail's ack travels back up and the
+// head answers the client (CRAQ-style single client connection).
+func (s *Server) chainWrite(m *topology.Map, shard topology.Shard, pos int, req *wire.Request, resp *wire.Response) {
+	if m != nil && pos != 0 {
+		// Only the head accepts client writes; relay under P2P routing,
+		// otherwise send the client there.
+		if s.cfg.P2PRouting && req.Limit < maxP2PHops {
+			s.relayTo(shard.Head().ControletAddr, req, resp)
+			return
+		}
+		resp.Status = wire.StatusRedirect
+		resp.Err = shard.Head().ControletAddr
+		return
+	}
+	op := wire.OpChainPut
+	localOp := wire.OpPut
+	if req.Op == wire.OpDel {
+		op = wire.OpChainDel
+		localOp = wire.OpDel
+	}
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value)
+	if err != nil {
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return
+	}
+	if err := s.forwardChain(shard, 0, op, req, version); err != nil {
+		// A broken chain fails the write; the coordinator repairs the
+		// chain and the client retries against the new topology.
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "chain: " + err.Error()
+		return
+	}
+	resp.Status = wire.StatusOK
+	resp.Version = version
+}
+
+// forwardChain sends the write to the successor of position pos and waits
+// for the ack that means every node through the tail has applied it.
+func (s *Server) forwardChain(shard topology.Shard, pos int, op wire.Op, req *wire.Request, version uint64) error {
+	if pos+1 >= len(shard.Replicas) {
+		return nil // we are the tail
+	}
+	next := shard.Replicas[pos+1]
+	pool, err := s.peerPool(next.ControletAddr)
+	if err != nil {
+		return err
+	}
+	fwd := wire.Request{
+		Op:      op,
+		Table:   req.Table,
+		Key:     req.Key,
+		Value:   req.Value,
+		Version: version,
+		Epoch:   epochOf(s.Map()),
+	}
+	var peerResp wire.Response
+	if err := pool.Do(&fwd, &peerResp); err != nil {
+		s.dropPeer(next.ControletAddr)
+		return err
+	}
+	return peerResp.ErrValue()
+}
+
+// handleChain is the mid/tail side of chain replication: apply locally,
+// forward to the successor, ack upstream after the downstream ack.
+func (s *Server) handleChain(req *wire.Request, resp *wire.Response) {
+	s.observeVersion(req.Version)
+	m := s.Map()
+	shard, pos := s.myShard(m)
+	if m != nil && pos < 0 {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: node not in current map"
+		return
+	}
+	localOp := wire.OpPut
+	if req.Op == wire.OpChainDel {
+		localOp = wire.OpDel
+	}
+	if err := s.applyLocal(localOp, req.Table, req.Key, req.Value, req.Version); err != nil {
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return
+	}
+	if m != nil {
+		if err := s.forwardChain(shard, pos, req.Op, req, req.Version); err != nil {
+			resp.Status = wire.StatusUnavailable
+			resp.Err = "chain: " + err.Error()
+			return
+		}
+	}
+	resp.Status = wire.StatusOK
+	resp.Version = req.Version
+}
+
+func epochOf(m *topology.Map) uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.Epoch
+}

@@ -1,0 +1,643 @@
+// Package controlet implements the bespokv control plane's per-node proxy:
+// the component that takes a distribution-unaware datalet and gives it
+// sharding, replication, a topology (master-slave or active-active), a
+// consistency model (strong or eventual), failover recovery, and seamless
+// online mode transitions. One controlet fronts one datalet (the paper's
+// one-to-one mapping); a set of controlets plus the coordinator, DLM and
+// shared log form a complete distributed KV store.
+//
+// The four pre-built modes follow §IV and Appendix C of the paper:
+//
+//   - MS+SC: chain replication (CRAQ-style head ack after tail ack);
+//     strong reads at the tail.
+//   - MS+EC: master commits locally, acks, propagates asynchronously.
+//   - AA+SC: per-key DLM leases, write-all under the lock; fencing tokens
+//     double as LWW versions.
+//   - AA+EC: every write is sequenced through the shared log; replicas
+//     apply in log order, so concurrent multi-master writes converge.
+package controlet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bespokv/internal/coordinator"
+	"bespokv/internal/datalet"
+	"bespokv/internal/rpc"
+	"bespokv/internal/topology"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+// Config configures one controlet.
+type Config struct {
+	// NodeID and ShardID locate this controlet in the cluster map.
+	NodeID  string
+	ShardID string
+	// Network carries this controlet's client/peer/control traffic.
+	Network transport.Network
+	// DataletNetwork carries traffic to datalets (local and peer); nil
+	// uses Network. Deployments that collocate each controlet with its
+	// datalet set this to the in-process transport, modeling the paper's
+	// one-pair-per-machine layout where the local hop is nearly free.
+	DataletNetwork transport.Network
+	// DataAddr and CtlAddr are the listen addresses for the data path
+	// and the control RPC endpoint.
+	DataAddr string
+	CtlAddr  string
+	// Codec is the data-path protocol toward clients and peer
+	// controlets (normally binary).
+	Codec wire.Codec
+	// DataletAddr and DataletCodec reach the local datalet; the codec
+	// may differ from the client-facing one (e.g. a text-protocol
+	// tRedis-style datalet behind a binary front).
+	DataletAddr  string
+	DataletCodec wire.Codec
+	// Mode is the initial topology+consistency pair this controlet
+	// implements.
+	Mode topology.Mode
+	// CoordinatorAddr, DLMAddr and SharedLogAddr locate the control
+	// services. The coordinator is optional for static single-shard
+	// setups; the DLM is required for AA+SC; the shared log for AA+EC.
+	CoordinatorAddr string
+	DLMAddr         string
+	SharedLogAddr   string
+	// HeartbeatInterval paces liveness reports (default 250ms; the
+	// paper's testbed used 5s — scaled down for single-box runs).
+	HeartbeatInterval time.Duration
+	// PeerPoolSize is connections per peer controlet/datalet (default 2).
+	PeerPoolSize int
+	// LockTTL bounds AA+SC leases (default 2s).
+	LockTTL time.Duration
+	// P2PRouting enables the §IV-E P2P-style topology: this controlet
+	// accepts requests for keys it does not own and routes them to the
+	// owning shard via the cluster map (see p2p.go).
+	P2PRouting bool
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running controlet.
+type Server struct {
+	cfg Config
+
+	dataListener transport.Listener
+	ctl          *rpc.Server
+	ctlAddr      string
+
+	local *datalet.Pool // to the local datalet
+
+	clock atomic.Uint64 // Lamport clock for LWW versions
+
+	mapMu   sync.RWMutex
+	curMap  *topology.Map
+	curRing *topology.Ring
+
+	peersMu sync.Mutex
+	peers   map[string]*datalet.Pool // peer controlet data addr → pool
+
+	dPeersMu sync.Mutex
+	dPeers   map[string]*datalet.Pool // peer DATALET addr → pool
+
+	// MS+EC asynchronous propagation (see async.go).
+	prop *propagator
+
+	// AA+EC shared-log plumbing (see aaec.go).
+	aaec *logApplier
+
+	// AA+SC lock client (see aasc.go).
+	locks *lockClient
+
+	// draining is set while a transition drain is in flight; new writes
+	// are forwarded to the new-mode controlet.
+	draining atomic.Bool
+
+	// inflight tracks executing client writes: handlers hold the read
+	// side; Quiesce takes the write side to wait for all of them — the
+	// barrier the coordinator needs between installing a new chain and
+	// snapshotting for standby backfill.
+	inflight sync.RWMutex
+
+	connsMu sync.Mutex
+	conns   map[transport.Conn]struct{}
+	wg      sync.WaitGroup
+	stopCh  chan struct{}
+	stopped atomic.Bool
+}
+
+// Serve starts a controlet and returns once both listeners are up.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Network == nil || cfg.Codec == nil {
+		return nil, errors.New("controlet: Network and Codec are required")
+	}
+	if cfg.DataletCodec == nil {
+		cfg.DataletCodec = cfg.Codec
+	}
+	if cfg.DataletNetwork == nil {
+		cfg.DataletNetwork = cfg.Network
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if cfg.PeerPoolSize <= 0 {
+		cfg.PeerPoolSize = 2
+	}
+	if cfg.LockTTL <= 0 {
+		cfg.LockTTL = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if !cfg.Mode.Valid() {
+		return nil, fmt.Errorf("controlet: invalid mode %s", cfg.Mode)
+	}
+	local, err := datalet.DialPool(cfg.DataletNetwork, cfg.DataletAddr, cfg.DataletCodec, cfg.PeerPoolSize)
+	if err != nil {
+		return nil, fmt.Errorf("controlet: dial local datalet: %w", err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		local:  local,
+		peers:  map[string]*datalet.Pool{},
+		dPeers: map[string]*datalet.Pool{},
+		conns:  map[transport.Conn]struct{}{},
+		stopCh: make(chan struct{}),
+	}
+	// Seed the clock so fresh controlets never reissue old versions
+	// after recovery (coarse wall-clock epoch in the high bits, Lamport
+	// counter in the low 32).
+	s.clock.Store(uint64(time.Now().Unix()) << 32)
+
+	if cfg.Mode == (topology.Mode{Topology: topology.MS, Consistency: topology.Eventual}) {
+		s.prop = newPropagator(s)
+	}
+	if cfg.Mode.Topology == topology.AA && cfg.Mode.Consistency == topology.Eventual {
+		if cfg.SharedLogAddr == "" {
+			return nil, errors.New("controlet: AA+EC requires SharedLogAddr")
+		}
+		s.aaec = newLogApplier(s)
+		if err := s.aaec.start(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mode.Topology == topology.AA && cfg.Mode.Consistency == topology.Strong {
+		if cfg.DLMAddr == "" {
+			return nil, errors.New("controlet: AA+SC requires DLMAddr")
+		}
+		s.locks, err = newLockClient(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Control RPC endpoint.
+	s.ctl = rpc.NewServer()
+	rpc.HandleFunc(s.ctl, "UpdateMap", s.handleUpdateMap)
+	rpc.HandleFunc(s.ctl, "Recover", s.handleRecover)
+	rpc.HandleFunc(s.ctl, "Drain", s.handleDrain)
+	rpc.HandleFunc(s.ctl, "Quiesce", s.handleQuiesce)
+	rpc.HandleFunc(s.ctl, "Reconcile", s.handleReconcile)
+	rpc.HandleFunc(s.ctl, "Stats", s.handleStats)
+	ctlAddr, err := s.ctl.Serve(cfg.Network, cfg.CtlAddr)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.ctlAddr = ctlAddr
+
+	// Data-path listener.
+	l, err := cfg.Network.Listen(cfg.DataAddr)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.dataListener = l
+	s.wg.Add(1)
+	go s.acceptLoop()
+
+	if cfg.CoordinatorAddr != "" {
+		// Fetch the initial map synchronously (best effort) so a
+		// just-booted controlet can serve before its first heartbeat.
+		if cc, err := coordinator.DialCoordinator(cfg.Network, cfg.CoordinatorAddr); err == nil {
+			if m, err := cc.GetMap(); err == nil {
+				s.SetMap(m)
+			}
+			cc.Close()
+		}
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
+	return s, nil
+}
+
+// DataAddr returns the bound data-path address.
+func (s *Server) DataAddr() string { return s.dataListener.Addr() }
+
+// CtlAddr returns the bound control-RPC address.
+func (s *Server) CtlAddr() string { return s.ctlAddr }
+
+// Node describes this controlet for cluster maps.
+func (s *Server) Node() topology.Node {
+	return topology.Node{
+		ID:            s.cfg.NodeID,
+		ControletAddr: s.DataAddr(),
+		ControlAddr:   s.CtlAddr(),
+		DataletAddr:   s.cfg.DataletAddr,
+	}
+}
+
+// Close shuts the controlet down.
+func (s *Server) Close() error {
+	if s.stopped.Swap(true) {
+		return nil
+	}
+	close(s.stopCh)
+	if s.dataListener != nil {
+		_ = s.dataListener.Close()
+	}
+	s.connsMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connsMu.Unlock()
+	if s.ctl != nil {
+		_ = s.ctl.Close()
+	}
+	if s.prop != nil {
+		s.prop.stop()
+	}
+	if s.aaec != nil {
+		s.aaec.stop()
+	}
+	if s.locks != nil {
+		s.locks.close()
+	}
+	s.wg.Wait()
+	s.peersMu.Lock()
+	for _, p := range s.peers {
+		_ = p.Close()
+	}
+	s.peersMu.Unlock()
+	s.dPeersMu.Lock()
+	for _, p := range s.dPeers {
+		_ = p.Close()
+	}
+	s.dPeersMu.Unlock()
+	if s.local != nil {
+		_ = s.local.Close()
+	}
+	return nil
+}
+
+// nextVersion advances the Lamport clock.
+func (s *Server) nextVersion() uint64 { return s.clock.Add(1) }
+
+// observeVersion keeps the clock ahead of versions seen from peers.
+func (s *Server) observeVersion(v uint64) {
+	for {
+		cur := s.clock.Load()
+		if v <= cur || s.clock.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// SetMap installs a cluster map directly (used by static setups, tests and
+// the in-process harness; coordinated clusters receive pushes instead).
+func (s *Server) SetMap(m *topology.Map) {
+	clone := m.Clone()
+	ring := topology.BuildRing(clone)
+	s.mapMu.Lock()
+	if s.curMap == nil || m.Epoch >= s.curMap.Epoch {
+		s.curMap = clone
+		s.curRing = ring
+	}
+	s.mapMu.Unlock()
+}
+
+// Map returns the controlet's current cluster map (may be nil).
+func (s *Server) Map() *topology.Map {
+	s.mapMu.RLock()
+	defer s.mapMu.RUnlock()
+	return s.curMap
+}
+
+// myShard returns the shard containing this controlet and its position in
+// the replica list. Membership is found by node ID so a standby promoted
+// into any shard (whose identity it could not know at startup) resolves
+// correctly; position is -1 when the node is in no shard (e.g. right after
+// being failed over).
+func (s *Server) myShard(m *topology.Map) (topology.Shard, int) {
+	if m == nil {
+		return topology.Shard{}, -1
+	}
+	for _, shard := range m.Shards {
+		for i, n := range shard.Replicas {
+			if n.ID == s.cfg.NodeID {
+				return shard, i
+			}
+		}
+	}
+	if m.Transition != nil {
+		// New-mode controlets live in the transition's shards until the
+		// switch completes; they serve handoffs under the NEW replica
+		// set (same datalets, new chain).
+		for _, shard := range m.Transition.NewShards {
+			for i, n := range shard.Replicas {
+				if n.ID == s.cfg.NodeID {
+					return shard, i
+				}
+			}
+		}
+	}
+	for _, shard := range m.Shards {
+		if shard.ID == s.cfg.ShardID {
+			return shard, -1
+		}
+	}
+	return topology.Shard{}, -1
+}
+
+// shardID returns the shard this controlet currently belongs to (by map
+// membership, falling back to the configured shard).
+func (s *Server) shardID() string {
+	if shard, pos := s.myShard(s.Map()); pos >= 0 {
+		return shard.ID
+	}
+	return s.cfg.ShardID
+}
+
+// transitionPeer returns the new-mode counterpart for this shard while a
+// transition is in flight (the node writes are forwarded to).
+func (s *Server) transitionPeer(m *topology.Map) (topology.Node, bool) {
+	if m == nil || m.Transition == nil {
+		return topology.Node{}, false
+	}
+	myShard, _ := s.myShard(m)
+	shardID := myShard.ID
+	if shardID == "" {
+		shardID = s.cfg.ShardID
+	}
+	for _, shard := range m.Transition.NewShards {
+		if shard.ID == shardID && len(shard.Replicas) > 0 {
+			// Writes go to the new head/master; under AA any active
+			// node works, and the head is one of them.
+			return shard.Replicas[0], true
+		}
+	}
+	return topology.Node{}, false
+}
+
+// peerPool returns (dialing lazily) a pool to a peer data-path address.
+func (s *Server) peerPool(addr string) (*datalet.Pool, error) {
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
+	if p, ok := s.peers[addr]; ok {
+		return p, nil
+	}
+	p, err := datalet.DialPool(s.cfg.Network, addr, s.cfg.Codec, s.cfg.PeerPoolSize)
+	if err != nil {
+		return nil, err
+	}
+	s.peers[addr] = p
+	return p, nil
+}
+
+// dropPeer discards a failed pool so the next use re-dials.
+func (s *Server) dropPeer(addr string) {
+	s.peersMu.Lock()
+	if p, ok := s.peers[addr]; ok {
+		delete(s.peers, addr)
+		_ = p.Close()
+	}
+	s.peersMu.Unlock()
+}
+
+// dataletCodecFor resolves the wire codec a peer datalet speaks.
+func (s *Server) dataletCodecFor(n topology.Node) wire.Codec {
+	if n.DataletCodec != "" {
+		if c, err := wire.LookupCodec(n.DataletCodec); err == nil {
+			return c
+		}
+	}
+	return s.cfg.DataletCodec
+}
+
+// dataletPool returns (dialing lazily) a pool to a peer datalet, over the
+// datalet network and in the datalet's own protocol.
+func (s *Server) dataletPool(n topology.Node) (*datalet.Pool, error) {
+	s.dPeersMu.Lock()
+	defer s.dPeersMu.Unlock()
+	if p, ok := s.dPeers[n.DataletAddr]; ok {
+		return p, nil
+	}
+	p, err := datalet.DialPool(s.cfg.DataletNetwork, n.DataletAddr, s.dataletCodecFor(n), s.cfg.PeerPoolSize)
+	if err != nil {
+		return nil, err
+	}
+	s.dPeers[n.DataletAddr] = p
+	return p, nil
+}
+
+// dropDataletPeer discards a failed datalet pool.
+func (s *Server) dropDataletPeer(addr string) {
+	s.dPeersMu.Lock()
+	if p, ok := s.dPeers[addr]; ok {
+		delete(s.dPeers, addr)
+		_ = p.Close()
+	}
+	s.dPeersMu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.dataListener.Accept()
+		if err != nil {
+			return
+		}
+		s.connsMu.Lock()
+		if s.stopped.Load() {
+			s.connsMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.connsMu.Lock()
+				delete(s.conns, conn)
+				s.connsMu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var req wire.Request
+	var resp wire.Response
+	for {
+		req.Reset()
+		if err := s.cfg.Codec.ReadRequest(br, &req); err != nil {
+			if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) && !s.stopped.Load() {
+				s.cfg.Logf("controlet %s: read: %v", s.cfg.NodeID, err)
+			}
+			return
+		}
+		resp.Reset()
+		resp.ID = req.ID
+		s.dispatch(&req, &resp)
+		// Tell lagging clients the current epoch so they refresh.
+		if m := s.Map(); m != nil && req.Epoch != 0 && req.Epoch < m.Epoch {
+			resp.Epoch = m.Epoch
+		}
+		if err := s.cfg.Codec.WriteResponse(bw, &resp); err != nil {
+			return
+		}
+	}
+}
+
+// heartbeatLoop reports liveness (including the local datalet's) to the
+// coordinator and pulls fresher maps when the epoch moves.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	coordClient, err := coordinator.DialCoordinator(s.cfg.Network, s.cfg.CoordinatorAddr)
+	if err != nil {
+		s.cfg.Logf("controlet %s: coordinator dial: %v", s.cfg.NodeID, err)
+		return
+	}
+	defer coordClient.Close()
+	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			dataletOK := s.local.Get().Ping() == nil
+			epoch, err := coordClient.Heartbeat(s.cfg.NodeID, dataletOK)
+			if err != nil {
+				continue
+			}
+			cur := s.Map()
+			if cur == nil || epoch > cur.Epoch {
+				if m, err := coordClient.GetMap(); err == nil {
+					s.SetMap(m)
+				}
+			}
+		}
+	}
+}
+
+// --- control RPC handlers -------------------------------------------------
+
+func (s *Server) handleUpdateMap(m *topology.Map) (struct{}, error) {
+	if m == nil {
+		return struct{}{}, errors.New("controlet: nil map")
+	}
+	s.SetMap(m)
+	return struct{}{}, nil
+}
+
+// RecoverArgs names the surviving datalet to clone state from.
+type RecoverArgs struct {
+	// SourceDatalet is the data address of the surviving datalet.
+	SourceDatalet string `json:"source"`
+	// Codec optionally overrides the protocol spoken by the source
+	// datalet (defaults to this controlet's datalet codec).
+	Codec string `json:"codec,omitempty"`
+}
+
+func (s *Server) handleRecover(args RecoverArgs) (struct{}, error) {
+	return struct{}{}, s.recoverFrom(args)
+}
+
+// handleQuiesce returns once every write that was executing when the call
+// arrived has completed. The coordinator pairs it with a synchronous
+// UpdateMap: afterwards, every write this node acknowledges has traversed
+// the new replica set, so a backfill snapshot taken next misses nothing.
+func (s *Server) handleQuiesce(struct{}) (struct{}, error) {
+	s.inflight.Lock()
+	s.inflight.Unlock() //nolint:staticcheck // immediate handover is the point
+	return struct{}{}, nil
+}
+
+// handleDrain flushes any asynchronous replication state so a transition
+// can complete; it returns only when everything acked is fully propagated.
+// Order matters: first install the transition map (it rides in the call —
+// the broadcast push is asynchronous and may not have landed yet, and a
+// draining controlet without the transition map could not know where to
+// forward), then divert new writes (draining flag), then wait out writes
+// already executing (they may still be about to enqueue propagation), and
+// only then drain the propagation state — sampling the queues before the
+// quiesce would miss an acked write racing its enqueue.
+func (s *Server) handleDrain(m *topology.Map) (struct{}, error) {
+	if m != nil {
+		s.SetMap(m)
+	}
+	s.draining.Store(true)
+	s.inflight.Lock()
+	s.inflight.Unlock() //nolint:staticcheck // barrier handover
+	if s.prop != nil {
+		s.prop.drain()
+	}
+	if s.aaec != nil {
+		s.aaec.drain()
+	}
+	return struct{}{}, nil
+}
+
+// StatsReply summarizes the controlet for tooling.
+type StatsReply struct {
+	NodeID  string `json:"node"`
+	ShardID string `json:"shard"`
+	Mode    string `json:"mode"`
+	Epoch   uint64 `json:"epoch"`
+	Role    string `json:"role"`
+	Clock   uint64 `json:"clock"`
+}
+
+func (s *Server) handleStats(struct{}) (StatsReply, error) {
+	m := s.Map()
+	reply := StatsReply{
+		NodeID:  s.cfg.NodeID,
+		ShardID: s.cfg.ShardID,
+		Mode:    s.cfg.Mode.String(),
+		Clock:   s.clock.Load(),
+	}
+	if m != nil {
+		reply.Epoch = m.Epoch
+		_, pos := s.myShard(m)
+		reply.Role = s.roleName(m, pos)
+	}
+	return reply, nil
+}
+
+func (s *Server) roleName(m *topology.Map, pos int) string {
+	shard, _ := s.myShard(m)
+	switch {
+	case pos < 0:
+		return "detached"
+	case s.cfg.Mode.Topology == topology.AA:
+		return "active"
+	case pos == 0:
+		return "head"
+	case pos == len(shard.Replicas)-1:
+		return "tail"
+	default:
+		return "mid"
+	}
+}

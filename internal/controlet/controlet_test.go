@@ -1,0 +1,189 @@
+package controlet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bespokv/internal/datalet"
+	"bespokv/internal/store"
+	"bespokv/internal/store/ht"
+	"bespokv/internal/topology"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+func TestLogRecordRoundtrip(t *testing.T) {
+	in := logRecord{
+		origin: "s0-r1",
+		shard:  "shard-0",
+		del:    true,
+		table:  "jobs",
+		key:    []byte("key-1"),
+		value:  []byte("value-1"),
+	}
+	out, err := decodeLogRecord(encodeLogRecord(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.origin != in.origin || out.shard != in.shard || out.del != in.del || out.table != in.table ||
+		!bytes.Equal(out.key, in.key) || !bytes.Equal(out.value, in.value) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestLogRecordRoundtripQuick(t *testing.T) {
+	f := func(origin, shard, table string, key, value []byte, del bool) bool {
+		in := logRecord{origin: origin, shard: shard, del: del, table: table, key: key, value: value}
+		out, err := decodeLogRecord(encodeLogRecord(in))
+		if err != nil {
+			return false
+		}
+		return out.origin == in.origin && out.shard == in.shard && out.del == in.del && out.table == in.table &&
+			bytes.Equal(out.key, in.key) && bytes.Equal(out.value, in.value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRecordDecodeRejectsGarbage(t *testing.T) {
+	for _, raw := range [][]byte{nil, {}, {1}, {0, 0xff}, {1, 5, 'a'}} {
+		if _, err := decodeLogRecord(raw); err == nil && len(raw) > 0 && raw[0] > 1 {
+			t.Fatalf("garbage %v decoded", raw)
+		}
+	}
+	// A truncated valid record must error, not panic.
+	full := encodeLogRecord(logRecord{origin: "o", shard: "s", table: "t", key: []byte("k"), value: []byte("v")})
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := decodeLogRecord(full[:cut]); err == nil {
+			t.Fatalf("truncated record at %d decoded", cut)
+		}
+	}
+}
+
+// startControlet boots a minimal single-node MS+SC controlet (no
+// coordinator) over an ht datalet for white-box tests.
+func startControlet(t *testing.T, mode topology.Mode) (*Server, *datalet.Server) {
+	t.Helper()
+	net, _ := transport.Lookup("inproc")
+	codec, _ := wire.LookupCodec("binary")
+	d, err := datalet.Serve(datalet.Config{
+		Name:      "ut-datalet",
+		Network:   net,
+		Codec:     codec,
+		NewEngine: func(string) (store.Engine, error) { return ht.New(), nil },
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	s, err := Serve(Config{
+		NodeID:       "ut-node",
+		ShardID:      "ut-shard",
+		Network:      net,
+		Codec:        codec,
+		DataletAddr:  d.Addr(),
+		DataletCodec: codec,
+		Mode:         mode,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, d
+}
+
+func TestStandaloneControletServesWithoutMap(t *testing.T) {
+	s, _ := startControlet(t, topology.Mode{Topology: topology.MS, Consistency: topology.Strong})
+	net, _ := transport.Lookup("inproc")
+	codec, _ := wire.LookupCodec("binary")
+	cli, err := datalet.Dial(net, s.DataAddr(), codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var resp wire.Response
+	if err := cli.Do(&wire.Request{Op: wire.OpPut, Key: []byte("k"), Value: []byte("v")}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("put: %+v", resp)
+	}
+	if err := cli.Do(&wire.Request{Op: wire.OpGet, Key: []byte("k")}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || string(resp.Value) != "v" {
+		t.Fatalf("get: %+v", resp)
+	}
+}
+
+func TestWriteLocalAssignedBumpsPastNewerVersions(t *testing.T) {
+	s, d := startControlet(t, topology.Mode{Topology: topology.MS, Consistency: topology.Eventual})
+	// Plant a value with a version far above the controlet's clock, as a
+	// prior AA+EC era would leave behind.
+	planted := uint64(1)<<63 + 42
+	if _, err := d.Engine("").Put([]byte("k"), []byte("old-era"), planted); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := s.writeLocalAssigned(wire.OpPut, "", []byte("k"), []byte("new-era"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver <= planted {
+		t.Fatalf("assigned version %d did not pass planted %d", ver, planted)
+	}
+	v, gotVer, ok, _ := d.Engine("").Get([]byte("k"))
+	if !ok || string(v) != "new-era" || gotVer != ver {
+		t.Fatalf("write shadowed by old era: (%q,%d,%v)", v, gotVer, ok)
+	}
+}
+
+func TestVersionClockObserves(t *testing.T) {
+	s, _ := startControlet(t, topology.Mode{Topology: topology.MS, Consistency: topology.Eventual})
+	base := s.clock.Load()
+	s.observeVersion(base + 1000)
+	if got := s.nextVersion(); got != base+1001 {
+		t.Fatalf("nextVersion=%d, want %d", got, base+1001)
+	}
+	// Observing a lower version must not move the clock backwards.
+	s.observeVersion(base)
+	if got := s.nextVersion(); got <= base+1001 {
+		t.Fatalf("clock went backwards: %d", got)
+	}
+}
+
+func TestSetMapIgnoresStaleEpochs(t *testing.T) {
+	s, _ := startControlet(t, topology.Mode{Topology: topology.MS, Consistency: topology.Strong})
+	m5 := &topology.Map{Epoch: 5, Mode: topology.Mode{Topology: topology.MS, Consistency: topology.Strong}}
+	m3 := &topology.Map{Epoch: 3, Mode: topology.Mode{Topology: topology.AA, Consistency: topology.Eventual}}
+	s.SetMap(m5)
+	s.SetMap(m3)
+	if got := s.Map().Epoch; got != 5 {
+		t.Fatalf("stale map installed: epoch %d", got)
+	}
+}
+
+func TestRoleNames(t *testing.T) {
+	s, _ := startControlet(t, topology.Mode{Topology: topology.MS, Consistency: topology.Strong})
+	m := &topology.Map{
+		Epoch: 1,
+		Mode:  topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		Shards: []topology.Shard{{
+			ID: "ut-shard",
+			Replicas: []topology.Node{
+				{ID: "other-head"}, {ID: "ut-node"}, {ID: "other-tail"},
+			},
+		}},
+	}
+	s.SetMap(m)
+	shard, pos := s.myShard(s.Map())
+	if shard.ID != "ut-shard" || pos != 1 {
+		t.Fatalf("myShard = (%s,%d)", shard.ID, pos)
+	}
+	if role := s.roleName(s.Map(), pos); role != "mid" {
+		t.Fatalf("role=%s", role)
+	}
+}

@@ -1,0 +1,79 @@
+package controlet
+
+import (
+	"fmt"
+
+	"bespokv/internal/datalet"
+	"bespokv/internal/wire"
+)
+
+// recoverFrom clones a surviving datalet's state into the local datalet —
+// the standby-promotion path the coordinator drives after a node failure
+// ("the new controlet then recovers the data from one of the datalets",
+// §IV-A). Tables are discovered via OpStats and streamed via OpExport;
+// versions ride along, so any replication that races with recovery
+// resolves by LWW.
+func (s *Server) recoverFrom(args RecoverArgs) error {
+	codec := s.cfg.DataletCodec
+	if args.Codec != "" {
+		c, err := wire.LookupCodec(args.Codec)
+		if err != nil {
+			return err
+		}
+		codec = c
+	}
+	src, err := datalet.Dial(s.cfg.DataletNetwork, args.SourceDatalet, codec)
+	if err != nil {
+		return fmt.Errorf("recover: dial source: %w", err)
+	}
+	defer src.Close()
+
+	// Discover the source's tables.
+	var stats wire.Response
+	if err := src.Do(&wire.Request{Op: wire.OpStats}, &stats); err != nil {
+		return fmt.Errorf("recover: stats: %w", err)
+	}
+	if err := stats.ErrValue(); err != nil {
+		return fmt.Errorf("recover: stats: %w", err)
+	}
+	tables := make([]string, 0, len(stats.Pairs))
+	for _, p := range stats.Pairs {
+		tables = append(tables, string(p.Key))
+	}
+	if len(tables) == 0 {
+		tables = []string{""}
+	}
+
+	local := s.local.Get()
+	for _, table := range tables {
+		if table != "" {
+			var resp wire.Response
+			if err := local.Do(&wire.Request{Op: wire.OpCreateTable, Table: table}, &resp); err != nil {
+				return fmt.Errorf("recover: create table %q: %w", table, err)
+			}
+		}
+		count := 0
+		err := src.Export(table, func(kv wire.KV) error {
+			s.observeVersion(kv.Version)
+			var resp wire.Response
+			req := wire.Request{
+				Op:      wire.OpPut,
+				Table:   table,
+				Key:     kv.Key,
+				Value:   kv.Value,
+				Version: kv.Version,
+			}
+			if err := local.Do(&req, &resp); err != nil {
+				return err
+			}
+			count++
+			return resp.ErrValue()
+		})
+		if err != nil {
+			return fmt.Errorf("recover: export table %q: %w", table, err)
+		}
+		s.cfg.Logf("controlet %s: recovered %d pairs of table %q from %s",
+			s.cfg.NodeID, count, table, args.SourceDatalet)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package coordinator
+
+import (
+	"time"
+
+	"bespokv/internal/rpc"
+	"bespokv/internal/topology"
+	"bespokv/internal/transport"
+)
+
+// Client is a typed connection to the coordinator.
+type Client struct {
+	c *rpc.Client
+}
+
+// DialCoordinator connects to a coordinator.
+func DialCoordinator(network transport.Network, addr string) (*Client, error) {
+	c, err := rpc.DialClient(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// GetMap fetches the current cluster map.
+func (c *Client) GetMap() (*topology.Map, error) {
+	var m topology.Map
+	if err := c.c.Call("GetMap", struct{}{}, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WatchMap blocks until a map newer than since exists (or the timeout
+// elapses, returning the current map).
+func (c *Client) WatchMap(since uint64, timeout time.Duration) (*topology.Map, error) {
+	var m topology.Map
+	args := WatchArgs{Since: since, TimeoutMs: int(timeout / time.Millisecond)}
+	if err := c.c.Call("WatchMap", args, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// SetMap installs a map (bootstrap / admin), returning the assigned epoch.
+func (c *Client) SetMap(m *topology.Map) (uint64, error) {
+	var reply HeartbeatReply
+	if err := c.c.Call("SetMap", m, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
+}
+
+// Heartbeat reports liveness for a node pair and learns the current epoch.
+func (c *Client) Heartbeat(nodeID string, dataletOK bool) (uint64, error) {
+	var reply HeartbeatReply
+	if err := c.c.Call("Heartbeat", Heartbeat{NodeID: nodeID, DataletOK: dataletOK}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
+}
+
+// RegisterStandby adds a spare controlet–datalet pair to the failover pool.
+func (c *Client) RegisterStandby(n topology.Node) error {
+	return c.c.Call("RegisterStandby", n, nil)
+}
+
+// LeaderElect promotes a new master for the shard, excluding a failed node.
+func (c *Client) LeaderElect(shardID, exclude string) (topology.Node, error) {
+	var n topology.Node
+	err := c.c.Call("LeaderElect", LeaderElectArgs{ShardID: shardID, Exclude: exclude}, &n)
+	return n, err
+}
+
+// BeginTransition starts a topology/consistency switch to mode to with the
+// given new-mode controlets.
+func (c *Client) BeginTransition(to topology.Mode, newShards []topology.Shard) (uint64, error) {
+	var reply HeartbeatReply
+	if err := c.c.Call("BeginTransition", TransitionArgs{To: to, NewShards: newShards}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
+}
+
+// CompleteTransition forces the in-flight transition to finish.
+func (c *Client) CompleteTransition() (uint64, error) {
+	var reply HeartbeatReply
+	if err := c.c.Call("CompleteTransition", struct{}{}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.c.Close() }

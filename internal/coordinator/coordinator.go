@@ -1,0 +1,295 @@
+// Package coordinator implements the bespokv control-plane metadata
+// service — the reproduction's stand-in for the paper's ZooKeeper-based
+// coordinator. It owns the versioned cluster Map, tracks node liveness via
+// heartbeats, elects new masters, orchestrates failover onto registered
+// standby pairs, and drives topology/consistency transitions. Clients and
+// controlets observe changes through long-poll watches and best-effort map
+// pushes to every controlet's control endpoint.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"bespokv/internal/rpc"
+	"bespokv/internal/topology"
+	"bespokv/internal/transport"
+)
+
+// Config configures a coordinator server.
+type Config struct {
+	// Network and Addr select the RPC listening endpoint.
+	Network transport.Network
+	Addr    string
+	// HeartbeatTimeout declares a node dead after this silence (default
+	// 2s; the paper uses a 5s heartbeat interval on its testbed).
+	HeartbeatTimeout time.Duration
+	// CheckInterval is the failure-detector sweep period (default
+	// HeartbeatTimeout/4).
+	CheckInterval time.Duration
+	// DisableFailover turns the failure detector off (benchmarks that
+	// kill nodes deliberately re-enable it per-experiment).
+	DisableFailover bool
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running coordinator.
+type Server struct {
+	cfg  Config
+	rpc  *rpc.Server
+	addr string
+
+	mu        sync.Mutex
+	cur       *topology.Map
+	lastSeen  map[string]time.Time
+	suspended map[string]bool // nodes already failed over
+	standbys  []topology.Node
+	epochCh   chan struct{} // closed and replaced on every epoch bump
+	stopCh    chan struct{}
+	stopped   bool
+	wg        sync.WaitGroup
+
+	// dialCtl lets tests fake controlet control connections; defaults to
+	// rpc.DialClient over cfg.Network.
+	dialCtl func(addr string) (ctlConn, error)
+}
+
+// ctlConn is the subset of rpc.Client the coordinator needs.
+type ctlConn interface {
+	Call(method string, args, reply any) error
+	Close() error
+}
+
+// Heartbeat is the liveness report a controlet sends for its pair.
+type Heartbeat struct {
+	// NodeID identifies the controlet–datalet pair.
+	NodeID string `json:"node"`
+	// DataletOK reports the controlet's view of its local datalet.
+	DataletOK bool `json:"datalet_ok"`
+}
+
+// HeartbeatReply tells the controlet the current epoch so it can refresh.
+type HeartbeatReply struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// WatchArgs long-polls for a map newer than Since.
+type WatchArgs struct {
+	Since     uint64 `json:"since"`
+	TimeoutMs int    `json:"timeout_ms"`
+}
+
+// TransitionArgs starts a topology/consistency switch.
+type TransitionArgs struct {
+	To topology.Mode `json:"to"`
+	// NewShards carries the new-mode controlets, parallel to the current
+	// shards (same datalets, new controlet/control addresses).
+	NewShards []topology.Shard `json:"new_shards"`
+}
+
+// Serve starts a coordinator and returns once it is listening.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("coordinator: Network is required")
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 2 * time.Second
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = cfg.HeartbeatTimeout / 4
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Server{
+		cfg:       cfg,
+		rpc:       rpc.NewServer(),
+		lastSeen:  map[string]time.Time{},
+		suspended: map[string]bool{},
+		epochCh:   make(chan struct{}),
+		stopCh:    make(chan struct{}),
+	}
+	s.dialCtl = func(addr string) (ctlConn, error) {
+		return rpc.DialClient(cfg.Network, addr)
+	}
+	rpc.HandleFunc(s.rpc, "GetMap", s.handleGetMap)
+	rpc.HandleFunc(s.rpc, "WatchMap", s.handleWatchMap)
+	rpc.HandleFunc(s.rpc, "SetMap", s.handleSetMap)
+	rpc.HandleFunc(s.rpc, "Heartbeat", s.handleHeartbeat)
+	rpc.HandleFunc(s.rpc, "RegisterStandby", s.handleRegisterStandby)
+	rpc.HandleFunc(s.rpc, "LeaderElect", s.handleLeaderElect)
+	rpc.HandleFunc(s.rpc, "BeginTransition", s.handleBeginTransition)
+	rpc.HandleFunc(s.rpc, "CompleteTransition", s.handleCompleteTransition)
+	addr, err := s.rpc.Serve(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.addr = addr
+	if !cfg.DisableFailover {
+		s.wg.Add(1)
+		go s.failureDetector()
+	}
+	return s, nil
+}
+
+// Addr returns the coordinator's RPC address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the coordinator.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	close(s.stopCh)
+	s.mu.Unlock()
+	err := s.rpc.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleGetMap(struct{}) (*topology.Map, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return nil, errors.New("coordinator: no map installed")
+	}
+	return s.cur.Clone(), nil
+}
+
+func (s *Server) handleWatchMap(args WatchArgs) (*topology.Map, error) {
+	timeout := time.Duration(args.TimeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		s.mu.Lock()
+		cur := s.cur
+		ch := s.epochCh
+		s.mu.Unlock()
+		if cur != nil && cur.Epoch > args.Since {
+			return cur.Clone(), nil
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			if cur == nil {
+				return nil, errors.New("coordinator: no map installed")
+			}
+			return cur.Clone(), nil
+		case <-s.stopCh:
+			return nil, errors.New("coordinator: shutting down")
+		}
+	}
+}
+
+func (s *Server) handleSetMap(m *topology.Map) (HeartbeatReply, error) {
+	if m == nil || len(m.Shards) == 0 {
+		return HeartbeatReply{}, errors.New("coordinator: empty map")
+	}
+	if !m.Mode.Valid() {
+		return HeartbeatReply{}, fmt.Errorf("coordinator: invalid mode %s", m.Mode)
+	}
+	s.mu.Lock()
+	// The new epoch continues past both the current history and the
+	// submitted map's own epoch, so a promoted follower seeding a
+	// mirrored map keeps the cluster's epoch sequence monotonic.
+	epoch := m.Epoch + 1
+	if s.cur != nil && s.cur.Epoch+1 > epoch {
+		epoch = s.cur.Epoch + 1
+	}
+	m = m.Clone()
+	m.Epoch = epoch
+	s.cur = m
+	now := time.Now()
+	for _, shard := range m.Shards {
+		for _, n := range shard.Replicas {
+			s.lastSeen[n.ID] = now
+			delete(s.suspended, n.ID)
+		}
+	}
+	s.bumpLocked()
+	s.mu.Unlock()
+	s.pushMap()
+	return HeartbeatReply{Epoch: epoch}, nil
+}
+
+// bumpLocked wakes watchers; caller holds mu and has already set cur.
+func (s *Server) bumpLocked() {
+	close(s.epochCh)
+	s.epochCh = make(chan struct{})
+}
+
+func (s *Server) handleHeartbeat(hb Heartbeat) (HeartbeatReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !hb.DataletOK {
+		// A controlet reporting a dead datalet is treated as a pair
+		// failure: stop refreshing so the detector fails it over.
+		s.cfg.Logf("coordinator: node %s reports datalet failure", hb.NodeID)
+	} else {
+		s.lastSeen[hb.NodeID] = time.Now()
+	}
+	var epoch uint64
+	if s.cur != nil {
+		epoch = s.cur.Epoch
+	}
+	return HeartbeatReply{Epoch: epoch}, nil
+}
+
+func (s *Server) handleRegisterStandby(n topology.Node) (struct{}, error) {
+	if n.ID == "" || n.ControletAddr == "" || n.DataletAddr == "" {
+		return struct{}{}, errors.New("coordinator: standby needs ID, controlet and datalet addresses")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.standbys = append(s.standbys, n)
+	return struct{}{}, nil
+}
+
+// LeaderElectArgs asks for a new master for a shard (excluding a node).
+type LeaderElectArgs struct {
+	ShardID string `json:"shard"`
+	Exclude string `json:"exclude,omitempty"`
+}
+
+// handleLeaderElect promotes the first surviving replica of the shard to
+// the head of its replica list and returns the new leader.
+func (s *Server) handleLeaderElect(args LeaderElectArgs) (topology.Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return topology.Node{}, errors.New("coordinator: no map installed")
+	}
+	m := s.cur.Clone()
+	for si := range m.Shards {
+		if m.Shards[si].ID != args.ShardID {
+			continue
+		}
+		reps := m.Shards[si].Replicas
+		for ri, n := range reps {
+			if n.ID == args.Exclude {
+				continue
+			}
+			// Move the winner to the front.
+			winner := reps[ri]
+			copy(reps[1:ri+1], reps[:ri])
+			reps[0] = winner
+			m.Epoch++
+			s.cur = m
+			s.bumpLocked()
+			go s.pushMap()
+			return winner, nil
+		}
+		return topology.Node{}, fmt.Errorf("coordinator: shard %s has no electable replica", args.ShardID)
+	}
+	return topology.Node{}, fmt.Errorf("coordinator: unknown shard %s", args.ShardID)
+}

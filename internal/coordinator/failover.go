@@ -1,0 +1,376 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bespokv/internal/topology"
+)
+
+// failureDetector periodically sweeps heartbeat timestamps and fails over
+// nodes that went silent.
+func (s *Server) failureDetector() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.sweep()
+		}
+	}
+}
+
+func (s *Server) sweep() {
+	s.mu.Lock()
+	if s.cur == nil {
+		s.mu.Unlock()
+		return
+	}
+	if s.cur.Transition != nil {
+		// Failover and transition machinery must not interleave: a node
+		// removed from the old shards mid-switch would leave the new
+		// shards referencing it. Defer detection until the transition
+		// completes (its drain runs in seconds); truly dead nodes stay
+		// silent and are swept on the next pass.
+		s.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	var dead []string
+	for _, shard := range s.cur.Shards {
+		for _, n := range shard.Replicas {
+			if s.suspended[n.ID] {
+				continue
+			}
+			seen, ok := s.lastSeen[n.ID]
+			if !ok || now.Sub(seen) > s.cfg.HeartbeatTimeout {
+				dead = append(dead, n.ID)
+				s.suspended[n.ID] = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range dead {
+		s.cfg.Logf("coordinator: node %s missed heartbeats, failing over", id)
+		if err := s.FailNode(id); err != nil {
+			s.cfg.Logf("coordinator: failover of %s: %v", id, err)
+		}
+	}
+}
+
+// FailNode removes a node from its shard immediately (chain repair /
+// master promotion happen implicitly through replica order), then — if a
+// standby pair is registered — recovers the shard's data onto the standby
+// and appends it as the new tail. Exposed for tests and the kill-based
+// failover experiments.
+func (s *Server) FailNode(nodeID string) error {
+	s.mu.Lock()
+	if s.cur == nil {
+		s.mu.Unlock()
+		return errors.New("coordinator: no map installed")
+	}
+	if s.cur.Transition != nil {
+		s.mu.Unlock()
+		return errors.New("coordinator: transition in flight; failover deferred")
+	}
+	m := s.cur.Clone()
+	shardIdx := -1
+	for si := range m.Shards {
+		reps := m.Shards[si].Replicas
+		for ri, n := range reps {
+			if n.ID != nodeID {
+				continue
+			}
+			m.Shards[si].Replicas = append(reps[:ri:ri], reps[ri+1:]...)
+			shardIdx = si
+		}
+	}
+	if shardIdx == -1 {
+		s.mu.Unlock()
+		return fmt.Errorf("coordinator: node %s not in map", nodeID)
+	}
+	if len(m.Shards[shardIdx].Replicas) == 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("coordinator: node %s was the last replica of %s", nodeID, m.Shards[shardIdx].ID)
+	}
+	s.suspended[nodeID] = true
+	m.Epoch++
+	s.cur = m
+	s.bumpLocked()
+
+	// Claim a standby for recovery, if any.
+	var standby *topology.Node
+	if len(s.standbys) > 0 {
+		sb := s.standbys[0]
+		s.standbys = s.standbys[1:]
+		standby = &sb
+	}
+	shardID := m.Shards[shardIdx].ID
+	source := m.Shards[shardIdx].Replicas[len(m.Shards[shardIdx].Replicas)-1]
+	s.mu.Unlock()
+
+	s.pushMap()
+	if standby == nil {
+		return nil
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.recoverOnto(*standby, source, shardID); err != nil {
+			s.cfg.Logf("coordinator: recovery of %s onto %s: %v", shardID, standby.ID, err)
+			s.mu.Lock()
+			s.standbys = append(s.standbys, *standby) // return to pool
+			s.mu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// recoverOnto performs the two-phase standby join. Phase 1 appends the
+// standby to the shard marked Recovering: from that epoch on, every new
+// write traverses it (chain tail position / EC propagation target), so it
+// can miss nothing going forward, while reads skip it. Phase 2 backfills
+// history by pulling a surviving datalet's snapshot — last-writer-wins
+// versioning makes the concurrent backfill and live writes commute — and
+// then clears the Recovering mark, moving reads to the new tail. Without
+// phase 1 first, a write acknowledged between the backfill snapshot and
+// the join would be missing from the new read tail: an acked-write loss
+// under strong consistency (caught by cluster.TestChaosKillsUnderMSSC).
+func (s *Server) recoverOnto(standby, source topology.Node, shardID string) error {
+	// Phase 1: join for writes, hidden from reads.
+	joining := standby
+	joining.Recovering = true
+	if err := s.mutateShard(shardID, func(shard *topology.Shard) error {
+		shard.Replicas = append(shard.Replicas, joining)
+		return nil
+	}); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.lastSeen[standby.ID] = time.Now()
+	delete(s.suspended, standby.ID)
+	cur := s.cur.Clone()
+	s.mu.Unlock()
+	s.pushMap()
+
+	// Barrier: hand the new chain to every surviving member synchronously
+	// and wait for their in-flight writes to finish, so no write acked
+	// under the OLD chain can still be racing the backfill snapshot.
+	for si := range cur.Shards {
+		if cur.Shards[si].ID != shardID {
+			continue
+		}
+		for _, n := range cur.Shards[si].Replicas {
+			if n.ID == standby.ID || n.ControlAddr == "" {
+				continue
+			}
+			ctl, err := s.dialCtl(n.ControlAddr)
+			if err != nil {
+				continue // node likely dead; it cannot ack writes either
+			}
+			_ = ctl.Call("UpdateMap", cur, nil)
+			_ = ctl.Call("Quiesce", struct{}{}, nil)
+			ctl.Close()
+		}
+	}
+
+	// Phase 2: backfill, then expose to reads.
+	if standby.ControlAddr != "" {
+		ctl, err := s.dialCtl(standby.ControlAddr)
+		if err != nil {
+			return err
+		}
+		defer ctl.Close()
+		args := struct {
+			SourceDatalet string `json:"source"`
+			Codec         string `json:"codec,omitempty"`
+		}{SourceDatalet: source.DataletAddr, Codec: source.DataletCodec}
+		if err := ctl.Call("Recover", args, nil); err != nil {
+			// Leave the shard functional: drop the half-joined node.
+			_ = s.mutateShard(shardID, func(shard *topology.Shard) error {
+				kept := shard.Replicas[:0]
+				for _, n := range shard.Replicas {
+					if n.ID != standby.ID {
+						kept = append(kept, n)
+					}
+				}
+				shard.Replicas = kept
+				return nil
+			})
+			s.pushMap()
+			return err
+		}
+	}
+	if err := s.mutateShard(shardID, func(shard *topology.Shard) error {
+		for i := range shard.Replicas {
+			if shard.Replicas[i].ID == standby.ID {
+				shard.Replicas[i].Recovering = false
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	s.pushMap()
+	s.cfg.Logf("coordinator: standby %s joined shard %s after recovery", standby.ID, shardID)
+	return nil
+}
+
+// mutateShard applies fn to one shard under the lock, bumping the epoch.
+func (s *Server) mutateShard(shardID string, fn func(*topology.Shard) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return errors.New("coordinator: no map installed")
+	}
+	m := s.cur.Clone()
+	for si := range m.Shards {
+		if m.Shards[si].ID != shardID {
+			continue
+		}
+		if err := fn(&m.Shards[si]); err != nil {
+			return err
+		}
+		m.Epoch++
+		s.cur = m
+		s.bumpLocked()
+		return nil
+	}
+	return fmt.Errorf("coordinator: unknown shard %s", shardID)
+}
+
+// pushMap best-effort delivers the current map to every controlet control
+// endpoint (old-mode and, mid-transition, new-mode controlets).
+func (s *Server) pushMap() {
+	s.mu.Lock()
+	if s.cur == nil {
+		s.mu.Unlock()
+		return
+	}
+	m := s.cur.Clone()
+	s.mu.Unlock()
+	targets := map[string]bool{}
+	for _, shard := range m.Shards {
+		for _, n := range shard.Replicas {
+			if n.ControlAddr != "" {
+				targets[n.ControlAddr] = true
+			}
+		}
+	}
+	if m.Transition != nil {
+		for _, shard := range m.Transition.NewShards {
+			for _, n := range shard.Replicas {
+				if n.ControlAddr != "" {
+					targets[n.ControlAddr] = true
+				}
+			}
+		}
+	}
+	for addr := range targets {
+		addr := addr
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ctl, err := s.dialCtl(addr)
+			if err != nil {
+				return
+			}
+			defer ctl.Close()
+			_ = ctl.Call("UpdateMap", m, nil)
+		}()
+	}
+}
+
+// handleBeginTransition installs the transition descriptor and starts the
+// drain protocol: old controlets flush pending propagation and forward new
+// writes to their new-mode replacements; when every old controlet reports
+// drained, the coordinator completes the switch automatically.
+func (s *Server) handleBeginTransition(args TransitionArgs) (HeartbeatReply, error) {
+	if !args.To.Valid() {
+		return HeartbeatReply{}, fmt.Errorf("coordinator: invalid target mode %s", args.To)
+	}
+	s.mu.Lock()
+	if s.cur == nil {
+		s.mu.Unlock()
+		return HeartbeatReply{}, errors.New("coordinator: no map installed")
+	}
+	if s.cur.Transition != nil {
+		s.mu.Unlock()
+		return HeartbeatReply{}, errors.New("coordinator: transition already in flight")
+	}
+	if len(args.NewShards) != len(s.cur.Shards) {
+		s.mu.Unlock()
+		return HeartbeatReply{}, fmt.Errorf("coordinator: %d new shards for %d existing",
+			len(args.NewShards), len(s.cur.Shards))
+	}
+	m := s.cur.Clone()
+	m.Transition = &topology.Transition{To: args.To, NewShards: args.NewShards}
+	m.Epoch++
+	s.cur = m
+	// New-mode nodes begin heartbeating now.
+	now := time.Now()
+	for _, shard := range args.NewShards {
+		for _, n := range shard.Replicas {
+			s.lastSeen[n.ID] = now
+		}
+	}
+	epoch := m.Epoch
+	drains := make([]topology.Node, 0, len(m.Shards))
+	for _, shard := range m.Shards {
+		drains = append(drains, shard.Replicas...)
+	}
+	s.bumpLocked()
+	s.mu.Unlock()
+	s.pushMap()
+
+	transitionMap := m.Clone()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for _, n := range drains {
+			if n.ControlAddr == "" {
+				continue
+			}
+			ctl, err := s.dialCtl(n.ControlAddr)
+			if err != nil {
+				s.cfg.Logf("coordinator: drain dial %s: %v", n.ID, err)
+				continue
+			}
+			// The transition map rides in the Drain call: the broadcast
+			// push is asynchronous, and a controlet must know its
+			// forward target before it starts diverting writes.
+			if err := ctl.Call("Drain", transitionMap, nil); err != nil {
+				s.cfg.Logf("coordinator: drain %s: %v", n.ID, err)
+			}
+			ctl.Close()
+		}
+		if _, err := s.handleCompleteTransition(struct{}{}); err != nil {
+			s.cfg.Logf("coordinator: complete transition: %v", err)
+		}
+	}()
+	return HeartbeatReply{Epoch: epoch}, nil
+}
+
+// handleCompleteTransition promotes the new-mode shards to current.
+func (s *Server) handleCompleteTransition(struct{}) (HeartbeatReply, error) {
+	s.mu.Lock()
+	if s.cur == nil || s.cur.Transition == nil {
+		s.mu.Unlock()
+		return HeartbeatReply{}, errors.New("coordinator: no transition in flight")
+	}
+	m := s.cur.Clone()
+	m.Mode = m.Transition.To
+	m.Shards = m.Transition.NewShards
+	m.Transition = nil
+	m.Epoch++
+	s.cur = m
+	s.bumpLocked()
+	epoch := m.Epoch
+	s.mu.Unlock()
+	s.pushMap()
+	return HeartbeatReply{Epoch: epoch}, nil
+}

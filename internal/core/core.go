@@ -1,0 +1,185 @@
+// Package core is the top-level embedding API for bespokv — the paper's
+// primary contribution assembled into one handle. Launch deploys a
+// complete distributed KV service (coordinator, lock manager, shared log,
+// and N shards × R replicas of controlet+datalet pairs) from a
+// single-server datalet choice, and the returned Service exposes the
+// Table II client API plus the framework's distinguishing operations:
+// per-request consistency, range queries, live topology/consistency
+// transitions, and node-failure injection for chaos testing.
+//
+// The packages underneath remain usable à la carte — internal/controlet
+// wraps an existing datalet process, internal/cluster gives fine-grained
+// deployment control — but applications that just want "a datalet, scaled
+// out" start here:
+//
+//	svc, _ := core.Launch(core.Options{Shards: 4, Replicas: 3,
+//	        Engine: "btree", Mode: core.ModeMSStrong})
+//	defer svc.Close()
+//	svc.Put("t", []byte("k"), []byte("v"))
+//	v, ok, _ := svc.Get("t", []byte("k"))
+//	svc.Transition(core.ModeAAEventual) // live, zero downtime
+package core
+
+import (
+	"time"
+
+	"bespokv/internal/client"
+	"bespokv/internal/cluster"
+	"bespokv/internal/topology"
+	"bespokv/internal/wire"
+)
+
+// The four pre-built topology+consistency modes (§IV).
+var (
+	// ModeMSStrong is master-slave with chain-replicated strong
+	// consistency (MS+SC).
+	ModeMSStrong = topology.Mode{Topology: topology.MS, Consistency: topology.Strong}
+	// ModeMSEventual is master-slave with asynchronous propagation
+	// (MS+EC).
+	ModeMSEventual = topology.Mode{Topology: topology.MS, Consistency: topology.Eventual}
+	// ModeAAStrong is active-active with DLM-locked strong consistency
+	// (AA+SC).
+	ModeAAStrong = topology.Mode{Topology: topology.AA, Consistency: topology.Strong}
+	// ModeAAEventual is active-active with shared-log-ordered eventual
+	// consistency (AA+EC).
+	ModeAAEventual = topology.Mode{Topology: topology.AA, Consistency: topology.Eventual}
+)
+
+// Consistency levels for per-request reads (§IV-C).
+const (
+	// LevelDefault uses the service's configured consistency.
+	LevelDefault = wire.LevelDefault
+	// LevelStrong demands a linearizable read.
+	LevelStrong = wire.LevelStrong
+	// LevelEventual allows any replica to answer.
+	LevelEventual = wire.LevelEventual
+)
+
+// Options shape a Launch. The zero value is a 1-shard, 3-replica MS+SC
+// hash-table store on the in-process transport.
+type Options struct {
+	// Shards and Replicas shape the data plane (defaults 1 and 3).
+	Shards   int
+	Replicas int
+	// Mode is the topology+consistency pair (default ModeMSStrong).
+	Mode topology.Mode
+	// Engine selects the datalet: "ht", "btree", "applog", "lsm"
+	// (default "ht"). EnginesByReplica configures polyglot persistence
+	// (§IV-D), one engine name per replica.
+	Engine           string
+	EnginesByReplica []string
+	// RangePartitioned selects range partitioning (enables cross-shard
+	// GetRange on ordered engines); default is consistent hashing.
+	RangePartitioned bool
+	// P2PRouting lets any controlet accept any key (§IV-E).
+	P2PRouting bool
+	// TCP deploys over loopback sockets instead of the in-process
+	// transport.
+	TCP bool
+	// DataDir persists applog/lsm engines under per-node directories.
+	DataDir string
+	// Standbys pre-provisions spare pairs for automatic failover.
+	Standbys int
+	// HeartbeatTimeout tunes failure detection (default 800ms).
+	HeartbeatTimeout time.Duration
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Service is a running bespokv deployment plus a connected client.
+type Service struct {
+	cluster *cluster.Cluster
+	cli     *client.Client
+}
+
+// Launch deploys a service per opts and connects a client to it.
+func Launch(opts Options) (*Service, error) {
+	copts := cluster.Options{
+		Shards:           opts.Shards,
+		Replicas:         opts.Replicas,
+		Mode:             opts.Mode,
+		Engine:           opts.Engine,
+		EnginesByReplica: opts.EnginesByReplica,
+		P2PRouting:       opts.P2PRouting,
+		DataDir:          opts.DataDir,
+		Standbys:         opts.Standbys,
+		HeartbeatTimeout: opts.HeartbeatTimeout,
+		Logf:             opts.Logf,
+	}
+	if opts.RangePartitioned {
+		copts.Partitioner = topology.RangePartitioner
+	}
+	if opts.TCP {
+		copts.NetworkName = "tcp"
+	}
+	c, err := cluster.Start(copts)
+	if err != nil {
+		return nil, err
+	}
+	cli, err := c.Client()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Service{cluster: c, cli: cli}, nil
+}
+
+// Put writes key=value into table ("" = default table).
+func (s *Service) Put(table string, key, value []byte) error {
+	return s.cli.Put(table, key, value)
+}
+
+// Get reads key at the service's default consistency.
+func (s *Service) Get(table string, key []byte) ([]byte, bool, error) {
+	return s.cli.Get(table, key)
+}
+
+// GetLevel reads key at an explicit consistency level (§IV-C).
+func (s *Service) GetLevel(table string, key []byte, level wire.Level) ([]byte, bool, error) {
+	return s.cli.GetLevel(table, key, level)
+}
+
+// Del deletes key; found reports whether it existed.
+func (s *Service) Del(table string, key []byte) (bool, error) {
+	return s.cli.Del(table, key)
+}
+
+// GetRange returns live pairs with start <= key < end in key order
+// (§IV-B); requires ordered engines, and range partitioning for
+// cross-shard efficiency.
+func (s *Service) GetRange(table string, start, end []byte, limit int) ([]wire.KV, error) {
+	return s.cli.GetRange(table, start, end, limit)
+}
+
+// CreateTable creates a table on every shard.
+func (s *Service) CreateTable(table string) error { return s.cli.CreateTable(table) }
+
+// DeleteTable drops a table on every shard.
+func (s *Service) DeleteTable(table string) error { return s.cli.DeleteTable(table) }
+
+// Transition switches the service's topology/consistency mode live (§V):
+// no downtime, no data migration. It returns once the new mode serves.
+func (s *Service) Transition(to topology.Mode) error {
+	return s.cluster.Transition(to)
+}
+
+// Mode returns the service's current topology+consistency mode.
+func (s *Service) Mode() topology.Mode {
+	return s.cluster.Opts.Mode
+}
+
+// NewClient opens an additional independent client (e.g. one per worker).
+func (s *Service) NewClient() (*client.Client, error) {
+	return s.cluster.Client()
+}
+
+// Cluster exposes the underlying deployment for advanced control
+// (node kills, admin access, white-box inspection).
+func (s *Service) Cluster() *cluster.Cluster { return s.cluster }
+
+// Close stops the client and tears the whole deployment down.
+func (s *Service) Close() error {
+	err := s.cli.Close()
+	s.cluster.Close()
+	return err
+}

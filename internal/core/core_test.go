@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestLaunchDefaults(t *testing.T) {
+	svc, err := Launch(Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.Mode() != ModeMSStrong {
+		t.Fatalf("default mode = %s", svc.Mode())
+	}
+	if err := svc.Put("", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := svc.Get("", []byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("(%q,%v,%v)", v, ok, err)
+	}
+	found, err := svc.Del("", []byte("k"))
+	if err != nil || !found {
+		t.Fatalf("del: %v %v", found, err)
+	}
+}
+
+func TestLaunchTablesAndLevels(t *testing.T) {
+	svc, err := Launch(Options{Shards: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.CreateTable("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Put("jobs", []byte("j1"), []byte("running")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := svc.GetLevel("jobs", []byte("j1"), LevelEventual)
+	if err != nil || !ok || string(v) != "running" {
+		t.Fatalf("(%q,%v,%v)", v, ok, err)
+	}
+	if err := svc.DeleteTable("jobs"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchRangePartitionedScan(t *testing.T) {
+	svc, err := Launch(Options{
+		Shards:           2,
+		Engine:           "btree",
+		RangePartitioned: true,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("%c-key", 'a'+i))
+		if err := svc.Put("", k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kvs, err := svc.GetRange("", []byte("c"), []byte("h"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 5 {
+		t.Fatalf("range returned %d keys", len(kvs))
+	}
+}
+
+func TestLaunchTransition(t *testing.T) {
+	svc, err := Launch(Options{Mode: ModeMSEventual, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Put("", []byte("durable"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Transition(ModeAAEventual); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Mode() != ModeAAEventual {
+		t.Fatalf("mode after transition = %s", svc.Mode())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, ok, err := svc.Get("", []byte("durable"))
+		if err == nil && ok && string(v) == "v" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("durable key lost: (%q,%v,%v)", v, ok, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := svc.Put("", []byte("post"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchPolyglot(t *testing.T) {
+	svc, err := Launch(Options{
+		Mode:             ModeMSEventual,
+		EnginesByReplica: []string{"ht", "btree", "applog"},
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Put("", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, pair := range svc.Cluster().Shards[0] {
+		names[pair.Datalet.Engine("").Name()] = true
+	}
+	if len(names) != 3 {
+		t.Fatalf("polyglot engines = %v", names)
+	}
+}
+
+func TestLaunchRejectsBadEngine(t *testing.T) {
+	if _, err := Launch(Options{Engine: "rocksdb", Logf: t.Logf}); err == nil {
+		t.Fatal("unknown engine must be rejected")
+	}
+}

@@ -1,0 +1,177 @@
+package datalet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"sync"
+
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+// Client is a synchronous connection to one datalet (or to any server that
+// speaks the wire protocol — controlets reuse it for peer forwarding). One
+// request is outstanding at a time per Client; holders needing concurrency
+// open several clients.
+type Client struct {
+	mu    sync.Mutex
+	conn  transport.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	codec wire.Codec
+	seq   uint64
+	err   error // sticky transport error
+}
+
+// Dial connects a client to addr over the given network and codec.
+func Dial(network transport.Network, addr string, codec wire.Codec) (*Client, error) {
+	conn, err := network.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn:  conn,
+		br:    bufio.NewReader(conn),
+		bw:    bufio.NewWriter(conn),
+		codec: codec,
+	}, nil
+}
+
+// ErrClientClosed is returned after the connection has failed or closed.
+var ErrClientClosed = errors.New("datalet: client closed")
+
+// Do sends req and decodes the reply into resp. It assigns req.ID.
+func (c *Client) Do(req *wire.Request, resp *wire.Response) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.seq++
+	req.ID = c.seq
+	if err := c.codec.WriteRequest(c.bw, req); err != nil {
+		c.fail(err)
+		return err
+	}
+	resp.Reset()
+	if err := c.codec.ReadResponse(c.br, resp); err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Export streams the table's pairs, calling fn for each.
+func (c *Client) Export(table string, fn func(kv wire.KV) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.seq++
+	req := wire.Request{ID: c.seq, Op: wire.OpExport, Table: table}
+	if err := c.codec.WriteRequest(c.bw, &req); err != nil {
+		c.fail(err)
+		return err
+	}
+	var resp wire.Response
+	for {
+		resp.Reset()
+		if err := c.codec.ReadResponse(c.br, &resp); err != nil {
+			c.fail(err)
+			return err
+		}
+		if resp.Status != wire.StatusOK {
+			if err := resp.ErrValue(); err != nil {
+				return err
+			}
+			return fmt.Errorf("datalet: export %q: %s %s", table, resp.Status, resp.Err)
+		}
+		if len(resp.Pairs) == 0 {
+			return nil // sentinel
+		}
+		for i := range resp.Pairs {
+			if err := fn(resp.Pairs[i]); err != nil {
+				// The stream must still be drained to keep the
+				// connection usable; fail it instead.
+				c.fail(err)
+				return err
+			}
+		}
+	}
+}
+
+// Ping round-trips an OpNop.
+func (c *Client) Ping() error {
+	var resp wire.Response
+	if err := c.Do(&wire.Request{Op: wire.OpNop}, &resp); err != nil {
+		return err
+	}
+	return resp.ErrValue()
+}
+
+func (c *Client) fail(err error) {
+	if c.err == nil {
+		c.err = err
+		_ = c.conn.Close()
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = ErrClientClosed
+	}
+	return c.conn.Close()
+}
+
+// Pool is a fixed-size set of clients to one address, handed out
+// round-robin so callers get connection-level parallelism with FIFO
+// ordering preserved per connection.
+type Pool struct {
+	clients []*Client
+	mu      sync.Mutex
+	next    int
+}
+
+// DialPool opens size connections to addr.
+func DialPool(network transport.Network, addr string, codec wire.Codec, size int) (*Pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{}
+	for i := 0; i < size; i++ {
+		c, err := Dial(network, addr, codec)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Get returns the next client round-robin.
+func (p *Pool) Get() *Client {
+	p.mu.Lock()
+	c := p.clients[p.next%len(p.clients)]
+	p.next++
+	p.mu.Unlock()
+	return c
+}
+
+// Do dispatches one request on the next pooled connection.
+func (p *Pool) Do(req *wire.Request, resp *wire.Response) error {
+	return p.Get().Do(req, resp)
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	for _, c := range p.clients {
+		_ = c.Close()
+	}
+	return nil
+}

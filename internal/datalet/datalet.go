@@ -1,0 +1,357 @@
+// Package datalet runs a single-node KV store behind a wire protocol — the
+// paper's data plane. A datalet is completely unaware of any other datalet:
+// it owns one storage engine per table and answers Put/Get/Del/Scan plus the
+// Export stream used by standby recovery. Distribution (sharding,
+// replication, consistency) lives entirely in the controlet layer.
+package datalet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"strconv"
+	"sync"
+
+	"bespokv/internal/store"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+// exportBatch is how many pairs one Export response frame carries.
+const exportBatch = 256
+
+// Config configures a datalet server.
+type Config struct {
+	// Name labels the datalet in logs and stats.
+	Name string
+	// Network and Addr select where to listen.
+	Network transport.Network
+	Addr    string
+	// Codec selects the protocol parser (binary or text).
+	Codec wire.Codec
+	// NewEngine creates the storage engine backing one table. It is
+	// called once for the default table at startup and once per
+	// CreateTable.
+	NewEngine func(table string) (store.Engine, error)
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running datalet.
+type Server struct {
+	cfg      Config
+	listener transport.Listener
+
+	mu     sync.RWMutex
+	tables map[string]store.Engine
+	active map[transport.Conn]struct{}
+	closed bool
+
+	conns sync.WaitGroup
+}
+
+// Serve starts a datalet and returns once it is listening.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Network == nil || cfg.Codec == nil || cfg.NewEngine == nil {
+		return nil, errors.New("datalet: Network, Codec and NewEngine are required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	l, err := cfg.Network.Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	def, err := cfg.NewEngine("")
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: l,
+		tables:   map[string]store.Engine{"": def},
+		active:   map[transport.Conn]struct{}{},
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Engine returns the engine backing table (nil if absent); tests and the
+// in-process harness use it for white-box checks.
+func (s *Server) Engine(table string) store.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[table]
+}
+
+// Close stops the listener and closes every engine.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.active {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.conns.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.tables {
+		_ = e.Close()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.active[conn] = struct{}{}
+		s.mu.Unlock()
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.active, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn processes one connection's requests sequentially, which
+// preserves FIFO response ordering (required by the text protocol and
+// relied on by all clients).
+func (s *Server) serveConn(conn transport.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var req wire.Request
+	var resp wire.Response
+	for {
+		req.Reset()
+		if err := s.cfg.Codec.ReadRequest(br, &req); err != nil {
+			if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.cfg.Logf("datalet %s: read: %v", s.cfg.Name, err)
+			}
+			return
+		}
+		if req.Op == wire.OpExport {
+			if err := s.streamExport(bw, &req); err != nil {
+				return
+			}
+			continue
+		}
+		resp.Reset()
+		resp.ID = req.ID
+		s.handle(&req, &resp)
+		if err := s.cfg.Codec.WriteResponse(bw, &resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) engineFor(table string) (store.Engine, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.tables[table]
+	return e, ok
+}
+
+func (s *Server) handle(req *wire.Request, resp *wire.Response) {
+	switch req.Op {
+	case wire.OpNop:
+		resp.Status = wire.StatusOK
+
+	case wire.OpCreateTable:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, exists := s.tables[req.Table]; exists {
+			resp.Status = wire.StatusOK // idempotent
+			return
+		}
+		e, err := s.cfg.NewEngine(req.Table)
+		if err != nil {
+			fail(resp, err)
+			return
+		}
+		s.tables[req.Table] = e
+		resp.Status = wire.StatusOK
+
+	case wire.OpDeleteTable:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		e, exists := s.tables[req.Table]
+		if !exists || req.Table == "" {
+			resp.Status = wire.StatusNotFound
+			return
+		}
+		delete(s.tables, req.Table)
+		_ = e.Close()
+		resp.Status = wire.StatusOK
+
+	case wire.OpPut:
+		e, ok := s.engineFor(req.Table)
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			resp.Err = "no such table: " + req.Table
+			return
+		}
+		ver, err := e.Put(req.Key, req.Value, req.Version)
+		if err != nil {
+			fail(resp, err)
+			return
+		}
+		resp.Status = wire.StatusOK
+		resp.Version = ver
+
+	case wire.OpGet:
+		e, ok := s.engineFor(req.Table)
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			resp.Err = "no such table: " + req.Table
+			return
+		}
+		v, ver, found, err := e.Get(req.Key)
+		if err != nil {
+			fail(resp, err)
+			return
+		}
+		if !found {
+			resp.Status = wire.StatusNotFound
+			return
+		}
+		resp.Status = wire.StatusOK
+		resp.Value = append(resp.Value[:0], v...)
+		resp.Version = ver
+
+	case wire.OpDel:
+		e, ok := s.engineFor(req.Table)
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			resp.Err = "no such table: " + req.Table
+			return
+		}
+		existed, winner, err := e.Delete(req.Key, req.Version)
+		if err != nil {
+			fail(resp, err)
+			return
+		}
+		resp.Version = winner
+		if existed {
+			resp.Status = wire.StatusOK
+		} else {
+			resp.Status = wire.StatusNotFound
+		}
+
+	case wire.OpScan:
+		e, ok := s.engineFor(req.Table)
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			resp.Err = "no such table: " + req.Table
+			return
+		}
+		kvs, err := e.Scan(req.Key, req.EndKey, int(req.Limit))
+		if err != nil {
+			fail(resp, err)
+			return
+		}
+		resp.Status = wire.StatusOK
+		for _, kv := range kvs {
+			resp.Pairs = append(resp.Pairs, wire.KV{Key: kv.Key, Value: kv.Value, Version: kv.Version})
+		}
+
+	case wire.OpStats:
+		s.mu.RLock()
+		names := make([]string, 0, len(s.tables))
+		for name := range s.tables {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			resp.Pairs = append(resp.Pairs, wire.KV{
+				Key:   []byte(name),
+				Value: []byte(strconv.Itoa(s.tables[name].Len())),
+			})
+		}
+		var engineName string
+		if e, ok := s.tables[""]; ok {
+			engineName = e.Name()
+		}
+		s.mu.RUnlock()
+		resp.Status = wire.StatusOK
+		resp.Value = []byte(engineName)
+
+	default:
+		resp.Status = wire.StatusErr
+		resp.Err = fmt.Sprintf("datalet: unsupported op %s", req.Op)
+	}
+}
+
+// streamExport writes the requested table as a sequence of batched
+// responses terminated by an empty-Pairs sentinel carrying the total count.
+func (s *Server) streamExport(bw *bufio.Writer, req *wire.Request) error {
+	e, ok := s.engineFor(req.Table)
+	if !ok {
+		resp := wire.Response{ID: req.ID, Status: wire.StatusNotFound, Err: "no such table: " + req.Table}
+		return s.cfg.Codec.WriteResponse(bw, &resp)
+	}
+	var batch wire.Response
+	batch.ID = req.ID
+	total := uint64(0)
+	err := e.Snapshot(func(kv store.KV) error {
+		batch.Pairs = append(batch.Pairs, wire.KV{
+			Key:     store.CloneBytes(kv.Key),
+			Value:   store.CloneBytes(kv.Value),
+			Version: kv.Version,
+		})
+		total++
+		if len(batch.Pairs) >= exportBatch {
+			if err := s.cfg.Codec.WriteResponse(bw, &batch); err != nil {
+				return err
+			}
+			batch.Pairs = batch.Pairs[:0]
+		}
+		return nil
+	})
+	if err != nil {
+		resp := wire.Response{ID: req.ID, Status: wire.StatusErr, Err: err.Error()}
+		return s.cfg.Codec.WriteResponse(bw, &resp)
+	}
+	if len(batch.Pairs) > 0 {
+		if err := s.cfg.Codec.WriteResponse(bw, &batch); err != nil {
+			return err
+		}
+	}
+	final := wire.Response{ID: req.ID, Status: wire.StatusOK, Version: total}
+	return s.cfg.Codec.WriteResponse(bw, &final)
+}
+
+func fail(resp *wire.Response, err error) {
+	resp.Status = wire.StatusErr
+	resp.Err = err.Error()
+	if errors.Is(err, store.ErrUnordered) {
+		resp.Err = "scan unsupported by this engine"
+	}
+}

@@ -1,0 +1,287 @@
+package datalet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bespokv/internal/store"
+	"bespokv/internal/store/btree"
+	"bespokv/internal/store/ht"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+func newServer(t *testing.T, codecName string, newEngine func(string) (store.Engine, error)) (*Server, *Client) {
+	t.Helper()
+	net, err := transport.Lookup("inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := wire.LookupCodec(codecName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newEngine == nil {
+		newEngine = func(string) (store.Engine, error) { return ht.New(), nil }
+	}
+	srv, err := Serve(Config{
+		Name:      "test",
+		Network:   net,
+		Addr:      "",
+		Codec:     codec,
+		NewEngine: newEngine,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(net, srv.Addr(), codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func do(t *testing.T, c *Client, req wire.Request) wire.Response {
+	t.Helper()
+	var resp wire.Response
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("Do(%s): %v", req.Op, err)
+	}
+	return resp
+}
+
+func TestPutGetDelOverBothCodecs(t *testing.T) {
+	for _, codec := range []string{"binary", "text"} {
+		codec := codec
+		t.Run(codec, func(t *testing.T) {
+			_, cli := newServer(t, codec, nil)
+			r := do(t, cli, wire.Request{Op: wire.OpPut, Key: []byte("k"), Value: []byte("v")})
+			if r.Status != wire.StatusOK || r.Version == 0 {
+				t.Fatalf("put: %+v", r)
+			}
+			r = do(t, cli, wire.Request{Op: wire.OpGet, Key: []byte("k")})
+			if r.Status != wire.StatusOK || string(r.Value) != "v" {
+				t.Fatalf("get: %+v", r)
+			}
+			r = do(t, cli, wire.Request{Op: wire.OpDel, Key: []byte("k")})
+			if r.Status != wire.StatusOK {
+				t.Fatalf("del: %+v", r)
+			}
+			r = do(t, cli, wire.Request{Op: wire.OpGet, Key: []byte("k")})
+			if r.Status != wire.StatusNotFound {
+				t.Fatalf("get after del: %+v", r)
+			}
+			r = do(t, cli, wire.Request{Op: wire.OpDel, Key: []byte("k")})
+			if r.Status != wire.StatusNotFound {
+				t.Fatalf("del missing: %+v", r)
+			}
+		})
+	}
+}
+
+func TestTables(t *testing.T) {
+	_, cli := newServer(t, "binary", nil)
+	r := do(t, cli, wire.Request{Op: wire.OpCreateTable, Table: "jobs"})
+	if r.Status != wire.StatusOK {
+		t.Fatalf("create: %+v", r)
+	}
+	do(t, cli, wire.Request{Op: wire.OpPut, Table: "jobs", Key: []byte("j1"), Value: []byte("running")})
+	do(t, cli, wire.Request{Op: wire.OpPut, Key: []byte("j1"), Value: []byte("default-table")})
+	r = do(t, cli, wire.Request{Op: wire.OpGet, Table: "jobs", Key: []byte("j1")})
+	if string(r.Value) != "running" {
+		t.Fatalf("tables not isolated: %+v", r)
+	}
+	// Unknown table fails.
+	r = do(t, cli, wire.Request{Op: wire.OpPut, Table: "nope", Key: []byte("k"), Value: []byte("v")})
+	if r.Status != wire.StatusNotFound {
+		t.Fatalf("unknown table: %+v", r)
+	}
+	// Drop and confirm gone.
+	r = do(t, cli, wire.Request{Op: wire.OpDeleteTable, Table: "jobs"})
+	if r.Status != wire.StatusOK {
+		t.Fatalf("drop: %+v", r)
+	}
+	r = do(t, cli, wire.Request{Op: wire.OpGet, Table: "jobs", Key: []byte("j1")})
+	if r.Status != wire.StatusNotFound {
+		t.Fatalf("dropped table still answers: %+v", r)
+	}
+	// Default table cannot be dropped.
+	r = do(t, cli, wire.Request{Op: wire.OpDeleteTable, Table: ""})
+	if r.Status == wire.StatusOK {
+		t.Fatal("default table must not be droppable")
+	}
+}
+
+func TestScanOrderedEngine(t *testing.T) {
+	_, cli := newServer(t, "binary", func(string) (store.Engine, error) { return btree.New(), nil })
+	for i := 0; i < 20; i++ {
+		do(t, cli, wire.Request{Op: wire.OpPut, Key: []byte(fmt.Sprintf("k%02d", i)), Value: []byte("v")})
+	}
+	r := do(t, cli, wire.Request{Op: wire.OpScan, Key: []byte("k05"), EndKey: []byte("k10"), Limit: 3})
+	if r.Status != wire.StatusOK || len(r.Pairs) != 3 {
+		t.Fatalf("scan: %+v", r)
+	}
+	if string(r.Pairs[0].Key) != "k05" || string(r.Pairs[2].Key) != "k07" {
+		t.Fatalf("scan keys wrong: %v", r.Pairs)
+	}
+}
+
+func TestScanUnorderedEngineErrors(t *testing.T) {
+	_, cli := newServer(t, "binary", nil) // ht
+	r := do(t, cli, wire.Request{Op: wire.OpScan})
+	if r.Status != wire.StatusErr {
+		t.Fatalf("scan on ht should fail: %+v", r)
+	}
+}
+
+func TestVersionedWritesLWW(t *testing.T) {
+	_, cli := newServer(t, "binary", nil)
+	do(t, cli, wire.Request{Op: wire.OpPut, Key: []byte("k"), Value: []byte("new"), Version: 10})
+	do(t, cli, wire.Request{Op: wire.OpPut, Key: []byte("k"), Value: []byte("stale"), Version: 5})
+	r := do(t, cli, wire.Request{Op: wire.OpGet, Key: []byte("k")})
+	if string(r.Value) != "new" || r.Version != 10 {
+		t.Fatalf("LWW violated at datalet: %+v", r)
+	}
+}
+
+func TestExportStream(t *testing.T) {
+	srv, cli := newServer(t, "binary", nil)
+	const n = 1000 // several batches
+	for i := 0; i < n; i++ {
+		do(t, cli, wire.Request{Op: wire.OpPut, Key: []byte(fmt.Sprintf("key-%04d", i)), Value: []byte("v")})
+	}
+	got := map[string]bool{}
+	err := cli.Export("", func(kv wire.KV) error {
+		got[string(kv.Key)] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("export saw %d keys, want %d", len(got), n)
+	}
+	// Connection still usable after export.
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping after export: %v", err)
+	}
+	_ = srv
+}
+
+func TestExportMissingTable(t *testing.T) {
+	_, cli := newServer(t, "binary", nil)
+	err := cli.Export("ghost", func(wire.KV) error { return nil })
+	if err == nil {
+		t.Fatal("export of missing table must fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, cli := newServer(t, "binary", nil)
+	do(t, cli, wire.Request{Op: wire.OpCreateTable, Table: "aux"})
+	do(t, cli, wire.Request{Op: wire.OpPut, Key: []byte("a"), Value: []byte("1")})
+	r := do(t, cli, wire.Request{Op: wire.OpStats})
+	if r.Status != wire.StatusOK || string(r.Value) != "ht" {
+		t.Fatalf("stats: %+v", r)
+	}
+	if len(r.Pairs) != 2 {
+		t.Fatalf("stats tables: %v", r.Pairs)
+	}
+	if string(r.Pairs[0].Key) != "" || string(r.Pairs[0].Value) != "1" {
+		t.Fatalf("default table stats wrong: %v", r.Pairs)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := newServer(t, "binary", nil)
+	net, _ := transport.Lookup("inproc")
+	codec, _ := wire.LookupCodec("binary")
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := Dial(net, srv.Addr(), codec)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			var resp wire.Response
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("w%d-k%d", w, i))
+				if err := cli.Do(&wire.Request{Op: wire.OpPut, Key: k, Value: k}, &resp); err != nil {
+					errCh <- err
+					return
+				}
+				if err := cli.Do(&wire.Request{Op: wire.OpGet, Key: k}, &resp); err != nil {
+					errCh <- err
+					return
+				}
+				if resp.Status != wire.StatusOK || string(resp.Value) != string(k) {
+					errCh <- fmt.Errorf("w%d: bad echo %+v", w, resp)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRoundRobin(t *testing.T) {
+	srv, _ := newServer(t, "binary", nil)
+	net, _ := transport.Lookup("inproc")
+	codec, _ := wire.LookupCodec("binary")
+	pool, err := DialPool(net, srv.Addr(), codec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var resp wire.Response
+	for i := 0; i < 20; i++ {
+		if err := pool.Do(&wire.Request{Op: wire.OpNop}, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[*Client]bool{}
+	for i := 0; i < 8; i++ {
+		seen[pool.Get()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("round robin visited %d clients, want 4", len(seen))
+	}
+}
+
+func TestClientAfterServerClose(t *testing.T) {
+	srv, cli := newServer(t, "binary", nil)
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	var resp wire.Response
+	if err := cli.Do(&wire.Request{Op: wire.OpNop}, &resp); err == nil {
+		t.Fatal("request after server close must fail")
+	}
+	// Sticky error.
+	if err := cli.Ping(); err == nil {
+		t.Fatal("client must stay failed")
+	}
+}
+
+func TestUnsupportedOp(t *testing.T) {
+	_, cli := newServer(t, "binary", nil)
+	r := do(t, cli, wire.Request{Op: wire.OpChainPut})
+	if r.Status != wire.StatusErr {
+		t.Fatalf("chain op on datalet: %+v", r)
+	}
+}

@@ -1,0 +1,318 @@
+// Package dlm is a lease-based distributed lock manager — the
+// reproduction's stand-in for the paper's Redlock/ZooKeeper lock service,
+// used by the AA+SC controlet. Locks are per-key, shared (read) or
+// exclusive (write), carry a TTL so a crashed controlet cannot wedge the
+// cluster (the paper's "locks are released after a configurable period"),
+// and return monotonically increasing fencing tokens.
+package dlm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bespokv/internal/rpc"
+	"bespokv/internal/transport"
+)
+
+// Mode selects shared or exclusive locking.
+type Mode string
+
+const (
+	// Read locks are shared.
+	Read Mode = "r"
+	// Write locks are exclusive.
+	Write Mode = "w"
+)
+
+// Config configures a lock server.
+type Config struct {
+	Network transport.Network
+	Addr    string
+	// DefaultTTL bounds a lease when the client does not specify one
+	// (default 5s).
+	DefaultTTL time.Duration
+	// SweepInterval is how often expired leases are reclaimed (default
+	// DefaultTTL/4); expiry is also checked lazily on every request.
+	SweepInterval time.Duration
+}
+
+type lockState struct {
+	writer    string               // owner holding exclusive, "" if none
+	writerExp time.Time            // writer lease expiry
+	readers   map[string]time.Time // shared holders → lease expiry
+	token     uint64               // fencing token of the newest grant
+	waiters   []chan struct{}      // woken on any release
+}
+
+// Server is a running lock manager.
+type Server struct {
+	cfg  Config
+	rpc  *rpc.Server
+	addr string
+
+	mu        sync.Mutex
+	locks     map[string]*lockState
+	nextToken uint64
+	stopCh    chan struct{}
+	stopped   bool
+	wg        sync.WaitGroup
+}
+
+// LockArgs requests a lease.
+type LockArgs struct {
+	Key   string `json:"key"`
+	Owner string `json:"owner"`
+	Mode  Mode   `json:"mode"`
+	// TTLMs bounds the lease; 0 uses the server default.
+	TTLMs int `json:"ttl_ms,omitempty"`
+	// WaitMs bounds how long to queue for a contended lock; 0 means
+	// fail immediately.
+	WaitMs int `json:"wait_ms,omitempty"`
+}
+
+// LockReply carries the fencing token of the granted lease.
+type LockReply struct {
+	Token uint64 `json:"token"`
+}
+
+// UnlockArgs releases a lease.
+type UnlockArgs struct {
+	Key   string `json:"key"`
+	Owner string `json:"owner"`
+	Mode  Mode   `json:"mode"`
+}
+
+// ErrLockHeld is the error message returned when a lock cannot be granted
+// within the wait budget.
+const ErrLockHeld = "dlm: lock held"
+
+// Serve starts a lock server.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("dlm: Network is required")
+	}
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = 5 * time.Second
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.DefaultTTL / 4
+	}
+	s := &Server{
+		cfg:    cfg,
+		rpc:    rpc.NewServer(),
+		locks:  map[string]*lockState{},
+		stopCh: make(chan struct{}),
+	}
+	rpc.HandleFunc(s.rpc, "Lock", s.handleLock)
+	rpc.HandleFunc(s.rpc, "Unlock", s.handleUnlock)
+	addr, err := s.rpc.Serve(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.addr = addr
+	s.wg.Add(1)
+	go s.sweeper()
+	return s, nil
+}
+
+// Addr returns the server's RPC address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	close(s.stopCh)
+	s.mu.Unlock()
+	err := s.rpc.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) sweeper() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			now := time.Now()
+			for key, st := range s.locks {
+				if s.expireLocked(st, now) {
+					s.wakeLocked(st)
+				}
+				if st.writer == "" && len(st.readers) == 0 && len(st.waiters) == 0 {
+					delete(s.locks, key)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// expireLocked drops expired leases; reports whether anything was freed.
+func (s *Server) expireLocked(st *lockState, now time.Time) bool {
+	freed := false
+	if st.writer != "" && now.After(st.writerExp) {
+		st.writer = ""
+		freed = true
+	}
+	for owner, exp := range st.readers {
+		if now.After(exp) {
+			delete(st.readers, owner)
+			freed = true
+		}
+	}
+	return freed
+}
+
+func (s *Server) wakeLocked(st *lockState) {
+	for _, ch := range st.waiters {
+		close(ch)
+	}
+	st.waiters = nil
+}
+
+func (s *Server) handleLock(args LockArgs) (LockReply, error) {
+	if args.Key == "" || args.Owner == "" {
+		return LockReply{}, errors.New("dlm: key and owner required")
+	}
+	if args.Mode != Read && args.Mode != Write {
+		return LockReply{}, fmt.Errorf("dlm: bad mode %q", args.Mode)
+	}
+	ttl := time.Duration(args.TTLMs) * time.Millisecond
+	if ttl <= 0 {
+		ttl = s.cfg.DefaultTTL
+	}
+	var deadline time.Time
+	if args.WaitMs > 0 {
+		deadline = time.Now().Add(time.Duration(args.WaitMs) * time.Millisecond)
+	}
+	for {
+		s.mu.Lock()
+		st := s.locks[args.Key]
+		if st == nil {
+			st = &lockState{readers: map[string]time.Time{}}
+			s.locks[args.Key] = st
+		}
+		now := time.Now()
+		s.expireLocked(st, now)
+		if granted := s.tryGrantLocked(st, args, now, ttl); granted != 0 {
+			s.mu.Unlock()
+			return LockReply{Token: granted}, nil
+		}
+		if deadline.IsZero() || now.After(deadline) {
+			s.mu.Unlock()
+			return LockReply{}, errors.New(ErrLockHeld)
+		}
+		ch := make(chan struct{})
+		st.waiters = append(st.waiters, ch)
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(time.Until(deadline)):
+		case <-s.stopCh:
+			return LockReply{}, errors.New("dlm: shutting down")
+		}
+	}
+}
+
+// tryGrantLocked grants the lock if compatible, returning the fencing
+// token (0 = not granted).
+func (s *Server) tryGrantLocked(st *lockState, args LockArgs, now time.Time, ttl time.Duration) uint64 {
+	switch args.Mode {
+	case Read:
+		// Shared: compatible with other readers and with a re-entrant
+		// writer of the same owner.
+		if st.writer != "" && st.writer != args.Owner {
+			return 0
+		}
+		st.readers[args.Owner] = now.Add(ttl)
+	case Write:
+		otherReaders := len(st.readers)
+		if _, selfReads := st.readers[args.Owner]; selfReads {
+			otherReaders--
+		}
+		if (st.writer != "" && st.writer != args.Owner) || otherReaders > 0 {
+			return 0
+		}
+		st.writer = args.Owner
+		st.writerExp = now.Add(ttl)
+	}
+	s.nextToken++
+	st.token = s.nextToken
+	return s.nextToken
+}
+
+func (s *Server) handleUnlock(args UnlockArgs) (struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.locks[args.Key]
+	if st == nil {
+		return struct{}{}, nil // already expired and reclaimed
+	}
+	switch args.Mode {
+	case Write:
+		if st.writer == args.Owner {
+			st.writer = ""
+		}
+	case Read:
+		delete(st.readers, args.Owner)
+	default:
+		return struct{}{}, fmt.Errorf("dlm: bad mode %q", args.Mode)
+	}
+	s.wakeLocked(st)
+	if st.writer == "" && len(st.readers) == 0 {
+		delete(s.locks, args.Key)
+	}
+	return struct{}{}, nil
+}
+
+// Client is a typed connection to the lock server.
+type Client struct {
+	c     *rpc.Client
+	owner string
+}
+
+// DialClient connects with the given owner identity.
+func DialClient(network transport.Network, addr, owner string) (*Client, error) {
+	c, err := rpc.DialClient(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, owner: owner}, nil
+}
+
+// Lock acquires key in the given mode, waiting up to wait; it returns the
+// fencing token.
+func (c *Client) Lock(key string, mode Mode, ttl, wait time.Duration) (uint64, error) {
+	var reply LockReply
+	err := c.c.Call("Lock", LockArgs{
+		Key:    key,
+		Owner:  c.owner,
+		Mode:   mode,
+		TTLMs:  int(ttl / time.Millisecond),
+		WaitMs: int(wait / time.Millisecond),
+	}, &reply)
+	if err != nil {
+		return 0, err
+	}
+	return reply.Token, nil
+}
+
+// Unlock releases key in the given mode.
+func (c *Client) Unlock(key string, mode Mode) error {
+	return c.c.Call("Unlock", UnlockArgs{Key: key, Owner: c.owner, Mode: mode}, nil)
+}
+
+// Close tears down the connection (held leases expire via TTL).
+func (c *Client) Close() error { return c.c.Close() }

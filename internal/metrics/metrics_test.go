@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 40*time.Millisecond || mean > 60*time.Millisecond {
+		t.Fatalf("mean=%v, want ~50ms", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 30*time.Millisecond || p50 > 70*time.Millisecond {
+		t.Fatalf("p50=%v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 80*time.Millisecond {
+		t.Fatalf("p99=%v", p99)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max=%v", h.Max())
+	}
+	if h.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(1+i%1000) * time.Microsecond)
+	}
+	q50, q95, q99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if !(q50 <= q95 && q95 <= q99) {
+		t.Fatalf("quantiles not ordered: %v %v %v", q50, q95, q99)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must be all zero")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Nanosecond) // below 1µs clamps to first bucket
+	h.Observe(time.Hour)       // above range clamps to last bucket
+	if h.Count() != 2 {
+		t.Fatal("observations lost")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*i%5000+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count=%d", h.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(500)
+	time.Sleep(50 * time.Millisecond)
+	if tp.Ops() != 500 {
+		t.Fatalf("ops=%d", tp.Ops())
+	}
+	qps := tp.PerSecond()
+	if qps <= 0 || qps > 500/0.05*2 {
+		t.Fatalf("qps=%f", qps)
+	}
+	kqps := tp.KQPS()
+	if kqps <= 0 || kqps > qps/1000*1.5 {
+		t.Fatalf("kqps=%f vs qps=%f", kqps, qps)
+	}
+}
+
+func TestTimelineBins(t *testing.T) {
+	tl := NewTimeline(20 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		tl.Record()
+	}
+	time.Sleep(25 * time.Millisecond)
+	tl.Mark("event")
+	for i := 0; i < 5; i++ {
+		tl.Record()
+	}
+	pts := tl.Series()
+	if len(pts) < 2 {
+		t.Fatalf("series has %d bins", len(pts))
+	}
+	if pts[0].QPS != 10/0.02 {
+		t.Fatalf("bin 0 qps=%f", pts[0].QPS)
+	}
+	marks := tl.Marks()
+	if marks["event"] < 20*time.Millisecond {
+		t.Fatalf("mark at %v", marks["event"])
+	}
+	// Mutating the returned map must not affect internals.
+	marks["evil"] = 0
+	if len(tl.Marks()) != 1 {
+		t.Fatal("Marks leaked internal map")
+	}
+}
+
+func TestTimelineConcurrent(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tl.Record()
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range tl.Series() {
+		total += p.QPS * 0.01
+	}
+	if int(total+0.5) != 4000 {
+		t.Fatalf("timeline lost records: %f", total)
+	}
+}

@@ -1,0 +1,320 @@
+// Package rpc is a minimal JSON-RPC layer over the transport abstraction,
+// used on the control path (coordinator, distributed lock manager, shared
+// log). The hot data path uses internal/wire instead; control traffic is
+// low-rate, so readability and evolvability win over compactness here.
+//
+// Framing: 4-byte little-endian length followed by a JSON object.
+// Requests: {"id":n,"m":"Method","a":<args>}; responses:
+// {"id":n,"r":<result>} or {"id":n,"e":"message"}. Multiple calls may be in
+// flight concurrently on one connection; responses match by id.
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"bespokv/internal/transport"
+)
+
+const maxFrame = 16 << 20
+
+type reqMsg struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"m"`
+	Args   json.RawMessage `json:"a,omitempty"`
+}
+
+type respMsg struct {
+	ID     uint64          `json:"id"`
+	Result json.RawMessage `json:"r,omitempty"`
+	Err    string          `json:"e,omitempty"`
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return errors.New("rpc: frame too large")
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errors.New("rpc: frame too large")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Handler processes one call. args is the raw JSON argument; the returned
+// value is marshaled as the result.
+type Handler func(args json.RawMessage) (any, error)
+
+// Server dispatches calls to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	listener transport.Listener
+	conns    sync.WaitGroup
+	active   map[transport.Conn]struct{}
+	closed   bool
+}
+
+// NewServer returns a server with no handlers bound.
+func NewServer() *Server {
+	return &Server{
+		handlers: map[string]Handler{},
+		active:   map[transport.Conn]struct{}{},
+	}
+}
+
+// Handle registers fn under method; it panics on duplicates (init-time bug).
+func (s *Server) Handle(method string, fn Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic("rpc: duplicate method " + method)
+	}
+	s.handlers[method] = fn
+}
+
+// HandleFunc registers a typed handler: fn's argument is unmarshaled from
+// the request JSON.
+func HandleFunc[A any, R any](s *Server, method string, fn func(A) (R, error)) {
+	s.Handle(method, func(raw json.RawMessage) (any, error) {
+		var args A
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &args); err != nil {
+				return nil, fmt.Errorf("rpc: bad args for %s: %w", method, err)
+			}
+		}
+		return fn(args)
+	})
+}
+
+// Serve starts listening on network/addr and returns immediately.
+func (s *Server) Serve(network transport.Network, addr string) (string, error) {
+	l, err := network.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+func (s *Server) acceptLoop(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.active[conn] = struct{}{}
+		s.mu.Unlock()
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.active, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	var writeMu sync.Mutex
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		var req reqMsg
+		if err := json.Unmarshal(frame, &req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[req.Method]
+		s.mu.RUnlock()
+		// Dispatch concurrently so slow handlers (watch long-polls)
+		// don't block the connection.
+		go func() {
+			var resp respMsg
+			resp.ID = req.ID
+			if !ok {
+				resp.Err = "rpc: unknown method " + req.Method
+			} else if result, err := h(req.Args); err != nil {
+				resp.Err = err.Error()
+			} else if result != nil {
+				raw, err := json.Marshal(result)
+				if err != nil {
+					resp.Err = "rpc: marshal result: " + err.Error()
+				} else {
+					resp.Result = raw
+				}
+			}
+			payload, err := json.Marshal(resp)
+			if err != nil {
+				return
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = writeFrame(conn, payload)
+		}()
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.active {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	s.conns.Wait()
+	return nil
+}
+
+// Client is a concurrent-safe RPC client over one connection.
+type Client struct {
+	conn    transport.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan respMsg
+	nextID  uint64
+	err     error
+}
+
+// DialClient connects to an rpc.Server.
+func DialClient(network transport.Network, addr string) (*Client, error) {
+	conn, err := network.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: map[uint64]chan respMsg{}}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		var resp respMsg
+		if err := json.Unmarshal(frame, &resp); err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- respMsg{Err: "rpc: connection failed: " + err.Error()}
+	}
+}
+
+// Call invokes method with args, unmarshaling the result into reply
+// (which may be nil to discard it).
+func (c *Client) Call(method string, args any, reply any) error {
+	var rawArgs json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return err
+		}
+		rawArgs = b
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan respMsg, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	payload, err := json.Marshal(reqMsg{ID: id, Method: method, Args: rawArgs})
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	err = writeFrame(c.conn, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	if reply != nil && len(resp.Result) > 0 {
+		return json.Unmarshal(resp.Result, reply)
+	}
+	return nil
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}

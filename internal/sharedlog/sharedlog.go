@@ -1,0 +1,361 @@
+// Package sharedlog is a totally ordered append-only log service — the
+// reproduction's stand-in for the paper's ZLog/CORFU shared log. The AA+EC
+// controlet appends every write here first, and all replicas apply entries
+// in log order, which is how bespoKV resolves concurrent multi-master
+// writes that Dynomite cannot (§C of the paper).
+//
+// The design keeps CORFU's split between a sequencer (offset assignment)
+// and storage (segmented entry store), collapsed into one process; readers
+// long-poll so propagation latency is one RPC, not a poll interval.
+package sharedlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bespokv/internal/rpc"
+	"bespokv/internal/transport"
+)
+
+// Entry is one ordered log record.
+type Entry struct {
+	// Offset is the global sequence number.
+	Offset uint64 `json:"o"`
+	// Data is the opaque payload ([]byte marshals as base64 in JSON).
+	Data []byte `json:"d"`
+}
+
+// Config configures a log server.
+type Config struct {
+	Network transport.Network
+	Addr    string
+	// SegmentEntries is the per-segment capacity before a new segment
+	// starts (default 4096); Trim drops whole segments.
+	SegmentEntries int
+}
+
+type segment struct {
+	base    uint64
+	entries []Entry
+}
+
+// logState is one independent stream's segments and sequencer. Streams
+// are CORFU-style: one server multiplexes many totally ordered logs (the
+// controlets use one stream per shard), which is the paper's noted path
+// for scaling the shared log with the cluster.
+type logState struct {
+	segs    []*segment
+	next    uint64 // sequencer: next offset to assign
+	trimmed uint64 // offsets below this are gone
+	tailCh  chan struct{}
+}
+
+// Server is a running shared log.
+type Server struct {
+	cfg  Config
+	rpc  *rpc.Server
+	addr string
+
+	mu      sync.Mutex
+	streams map[string]*logState
+	stopCh  chan struct{}
+	stopped bool
+}
+
+// AppendArgs appends a batch atomically (contiguous offsets).
+type AppendArgs struct {
+	// Stream selects an independent log ("" is the default stream).
+	Stream  string   `json:"stream,omitempty"`
+	Entries [][]byte `json:"entries"`
+}
+
+// AppendReply returns the offset of the first appended entry.
+type AppendReply struct {
+	First uint64 `json:"first"`
+	Next  uint64 `json:"next"`
+}
+
+// ReadArgs fetches entries at offsets >= From, up to Max, long-polling up
+// to WaitMs when the log has nothing newer.
+type ReadArgs struct {
+	Stream string `json:"stream,omitempty"`
+	From   uint64 `json:"from"`
+	Max    int    `json:"max,omitempty"`
+	WaitMs int    `json:"wait_ms,omitempty"`
+}
+
+// ReadReply carries the entries and the next offset to read from.
+type ReadReply struct {
+	Entries []Entry `json:"entries,omitempty"`
+	Next    uint64  `json:"next"`
+}
+
+// TrimArgs discards entries below Before.
+type TrimArgs struct {
+	Stream string `json:"stream,omitempty"`
+	Before uint64 `json:"before"`
+}
+
+// TailArgs names the stream to inspect.
+type TailArgs struct {
+	Stream string `json:"stream,omitempty"`
+}
+
+// TailReply reports the next offset the sequencer will assign.
+type TailReply struct {
+	Next uint64 `json:"next"`
+}
+
+// Serve starts a shared log server.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("sharedlog: Network is required")
+	}
+	if cfg.SegmentEntries <= 0 {
+		cfg.SegmentEntries = 4096
+	}
+	s := &Server{
+		cfg:     cfg,
+		rpc:     rpc.NewServer(),
+		streams: map[string]*logState{},
+		stopCh:  make(chan struct{}),
+	}
+	rpc.HandleFunc(s.rpc, "Append", s.handleAppend)
+	rpc.HandleFunc(s.rpc, "Read", s.handleRead)
+	rpc.HandleFunc(s.rpc, "Trim", s.handleTrim)
+	rpc.HandleFunc(s.rpc, "Tail", s.handleTail)
+	addr, err := s.rpc.Serve(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.addr = addr
+	return s, nil
+}
+
+// Addr returns the server's RPC address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	close(s.stopCh)
+	s.mu.Unlock()
+	return s.rpc.Close()
+}
+
+// stream returns (creating if needed) the named stream. Caller holds mu.
+func (s *Server) streamLocked(name string) *logState {
+	st, ok := s.streams[name]
+	if !ok {
+		st = &logState{tailCh: make(chan struct{})}
+		s.streams[name] = st
+	}
+	return st
+}
+
+func (s *Server) handleAppend(args AppendArgs) (AppendReply, error) {
+	if len(args.Entries) == 0 {
+		return AppendReply{}, errors.New("sharedlog: empty append")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streamLocked(args.Stream)
+	first := st.next
+	for _, data := range args.Entries {
+		if len(st.segs) == 0 || len(st.segs[len(st.segs)-1].entries) >= s.cfg.SegmentEntries {
+			st.segs = append(st.segs, &segment{base: st.next})
+		}
+		seg := st.segs[len(st.segs)-1]
+		seg.entries = append(seg.entries, Entry{Offset: st.next, Data: data})
+		st.next++
+	}
+	close(st.tailCh)
+	st.tailCh = make(chan struct{})
+	return AppendReply{First: first, Next: st.next}, nil
+}
+
+func (s *Server) handleRead(args ReadArgs) (ReadReply, error) {
+	max := args.Max
+	if max <= 0 {
+		max = 1024
+	}
+	var deadline <-chan time.Time
+	if args.WaitMs > 0 {
+		t := time.NewTimer(time.Duration(args.WaitMs) * time.Millisecond)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		s.mu.Lock()
+		st := s.streamLocked(args.Stream)
+		if args.From < st.trimmed {
+			from := st.trimmed
+			s.mu.Unlock()
+			return ReadReply{}, fmt.Errorf("sharedlog: offset %d trimmed (oldest available %d)", args.From, from)
+		}
+		if args.From < st.next {
+			reply := ReadReply{Next: args.From}
+			for _, seg := range st.segs {
+				if seg.base+uint64(len(seg.entries)) <= args.From {
+					continue
+				}
+				start := 0
+				if args.From > seg.base {
+					start = int(args.From - seg.base)
+				}
+				for _, e := range seg.entries[start:] {
+					if len(reply.Entries) >= max {
+						break
+					}
+					reply.Entries = append(reply.Entries, e)
+				}
+				if len(reply.Entries) >= max {
+					break
+				}
+			}
+			reply.Next = args.From + uint64(len(reply.Entries))
+			s.mu.Unlock()
+			return reply, nil
+		}
+		ch := st.tailCh
+		s.mu.Unlock()
+		if deadline == nil {
+			return ReadReply{Next: args.From}, nil
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			return ReadReply{Next: args.From}, nil
+		case <-s.stopCh:
+			return ReadReply{}, errors.New("sharedlog: shutting down")
+		}
+	}
+}
+
+func (s *Server) handleTrim(args TrimArgs) (struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streamLocked(args.Stream)
+	if args.Before > st.next {
+		return struct{}{}, fmt.Errorf("sharedlog: trim %d beyond tail %d", args.Before, st.next)
+	}
+	kept := st.segs[:0]
+	for _, seg := range st.segs {
+		if seg.base+uint64(len(seg.entries)) <= args.Before {
+			continue // whole segment below the trim point
+		}
+		kept = append(kept, seg)
+	}
+	st.segs = append([]*segment(nil), kept...)
+	// Trim drops whole segments only, so the true floor is the first
+	// retained segment's base (or Before itself when nothing remains).
+	floor := args.Before
+	if len(st.segs) > 0 && st.segs[0].base < floor {
+		floor = st.segs[0].base
+	}
+	if floor > st.trimmed {
+		st.trimmed = floor
+	}
+	return struct{}{}, nil
+}
+
+func (s *Server) handleTail(args TailArgs) (TailReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TailReply{Next: s.streamLocked(args.Stream).next}, nil
+}
+
+// Client is a typed connection to the shared log, bound to one stream
+// (the zero-value default stream unless Stream is used).
+type Client struct {
+	c      *rpc.Client
+	stream string
+}
+
+// DialClient connects to a shared log server (default stream).
+func DialClient(network transport.Network, addr string) (*Client, error) {
+	c, err := rpc.DialClient(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Stream returns a view of this connection bound to the named stream.
+// Views share the underlying connection; Close on any of them closes it.
+func (c *Client) Stream(name string) *Client {
+	return &Client{c: c.c, stream: name}
+}
+
+// Append writes the batch, returning the first assigned offset.
+func (c *Client) Append(entries ...[]byte) (uint64, error) {
+	var reply AppendReply
+	if err := c.c.Call("Append", AppendArgs{Stream: c.stream, Entries: entries}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.First, nil
+}
+
+// Read fetches entries from offset from, long-polling up to wait.
+func (c *Client) Read(from uint64, max int, wait time.Duration) ([]Entry, uint64, error) {
+	var reply ReadReply
+	args := ReadArgs{Stream: c.stream, From: from, Max: max, WaitMs: int(wait / time.Millisecond)}
+	if err := c.c.Call("Read", args, &reply); err != nil {
+		return nil, 0, err
+	}
+	return reply.Entries, reply.Next, nil
+}
+
+// Trim discards entries below before.
+func (c *Client) Trim(before uint64) error {
+	return c.c.Call("Trim", TrimArgs{Stream: c.stream, Before: before}, nil)
+}
+
+// Tail returns the next offset the sequencer will assign.
+func (c *Client) Tail() (uint64, error) {
+	var reply TailReply
+	if err := c.c.Call("Tail", TailArgs{Stream: c.stream}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Next, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Subscribe starts a background reader that calls fn for every entry from
+// offset from onward, in order, until stop is closed or the log dies. It
+// opens its own connection so long-polls never block other calls.
+func Subscribe(network transport.Network, addr string, from uint64, stop <-chan struct{}, fn func(Entry)) error {
+	c, err := DialClient(network, addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer c.Close()
+		next := from
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			entries, n, err := c.Read(next, 1024, time.Second)
+			if err != nil {
+				return
+			}
+			for _, e := range entries {
+				fn(e)
+			}
+			next = n
+		}
+	}()
+	return nil
+}

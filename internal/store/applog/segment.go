@@ -1,0 +1,93 @@
+package applog
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// fileSegment is a log extent backed by one append-only file.
+type fileSegment struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	end  int64
+}
+
+func openFileSegment(path string) (*fileSegment, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileSegment{f: f, path: path, end: st.Size()}, nil
+}
+
+func (s *fileSegment) append(rec []byte) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := s.end
+	if _, err := s.f.WriteAt(rec, off); err != nil {
+		return 0, err
+	}
+	s.end += int64(len(rec))
+	return off, nil
+}
+
+func (s *fileSegment) readAt(p []byte, off int64) error {
+	n, err := s.f.ReadAt(p, off)
+	if err != nil {
+		return err
+	}
+	if n != len(p) {
+		return fmt.Errorf("applog: short read %d/%d at %d", n, len(p), off)
+	}
+	return nil
+}
+
+func (s *fileSegment) size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+func (s *fileSegment) close() error  { return s.f.Close() }
+func (s *fileSegment) remove() error { return os.Remove(s.path) }
+
+// memSegment is a log extent backed by an in-memory byte slice, used when
+// the store is opened without a directory.
+type memSegment struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+func (s *memSegment) append(rec []byte) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := int64(len(s.buf))
+	s.buf = append(s.buf, rec...)
+	return off, nil
+}
+
+func (s *memSegment) readAt(p []byte, off int64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if off < 0 || off+int64(len(p)) > int64(len(s.buf)) {
+		return fmt.Errorf("applog: read [%d,%d) outside segment of %d bytes", off, off+int64(len(p)), len(s.buf))
+	}
+	copy(p, s.buf[off:])
+	return nil
+}
+
+func (s *memSegment) size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.buf))
+}
+
+func (s *memSegment) close() error  { return nil }
+func (s *memSegment) remove() error { return nil }

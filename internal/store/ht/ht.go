@@ -1,0 +1,179 @@
+// Package ht implements the tHT datalet engine: a striped in-memory hash
+// table. It is the fastest engine for point operations and the default
+// backend in the paper's scalability experiments (Fig. 7).
+package ht
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"bespokv/internal/store"
+)
+
+// shardCount stripes the table to reduce lock contention; a power of two so
+// the hash can be masked.
+const shardCount = 64
+
+type entry struct {
+	value     []byte
+	version   uint64
+	tombstone bool
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]entry
+}
+
+// Store is a striped in-memory hash table engine.
+type Store struct {
+	shards  [shardCount]shard
+	seed    maphash.Seed
+	maxVer  atomic.Uint64
+	live    atomic.Int64
+	closed  atomic.Bool
+	nameStr string
+}
+
+// New returns an empty hash-table engine.
+func New() *Store {
+	s := &Store{seed: maphash.MakeSeed(), nameStr: "ht"}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]entry)
+	}
+	return s
+}
+
+// Name reports "ht".
+func (s *Store) Name() string { return s.nameStr }
+
+func (s *Store) shardFor(key []byte) *shard {
+	h := maphash.Bytes(s.seed, key)
+	return &s.shards[h&(shardCount-1)]
+}
+
+// nextVersion assigns a version strictly greater than any seen so far.
+func (s *Store) nextVersion() uint64 {
+	return s.maxVer.Add(1)
+}
+
+// observeVersion keeps the local counter ahead of replicated versions.
+func (s *Store) observeVersion(v uint64) {
+	for {
+		cur := s.maxVer.Load()
+		if v <= cur || s.maxVer.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Put stores value under key with LWW semantics (see store.Engine).
+func (s *Store) Put(key, value []byte, version uint64) (uint64, error) {
+	if s.closed.Load() {
+		return 0, store.ErrClosed
+	}
+	if version == 0 {
+		version = s.nextVersion()
+	} else {
+		s.observeVersion(version)
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	old, exists := sh.m[string(key)]
+	if exists && !old.wins(version) {
+		sh.mu.Unlock()
+		return old.version, nil
+	}
+	sh.m[string(key)] = entry{value: store.CloneBytes(value), version: version}
+	sh.mu.Unlock()
+	if !exists || old.tombstone {
+		s.live.Add(1)
+	}
+	return version, nil
+}
+
+func (e entry) wins(v uint64) bool { return v >= e.version }
+
+// Get returns the live value for key.
+func (s *Store) Get(key []byte) ([]byte, uint64, bool, error) {
+	if s.closed.Load() {
+		return nil, 0, false, store.ErrClosed
+	}
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.m[string(key)]
+	sh.mu.RUnlock()
+	if !ok || e.tombstone {
+		return nil, 0, false, nil
+	}
+	return store.CloneBytes(e.value), e.version, true, nil
+}
+
+// Delete writes a tombstone for key under LWW semantics.
+func (s *Store) Delete(key []byte, version uint64) (bool, uint64, error) {
+	if s.closed.Load() {
+		return false, 0, store.ErrClosed
+	}
+	if version == 0 {
+		version = s.nextVersion()
+	} else {
+		s.observeVersion(version)
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	old, exists := sh.m[string(key)]
+	if exists && !old.wins(version) {
+		sh.mu.Unlock()
+		return !old.tombstone, old.version, nil
+	}
+	sh.m[string(key)] = entry{version: version, tombstone: true}
+	sh.mu.Unlock()
+	existed := exists && !old.tombstone
+	if existed {
+		s.live.Add(-1)
+	}
+	return existed, version, nil
+}
+
+// Scan is unsupported: hash tables have no ordered iteration.
+func (s *Store) Scan(start, end []byte, limit int) ([]store.KV, error) {
+	return nil, store.ErrUnordered
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return int(s.live.Load()) }
+
+// Snapshot calls fn for every live pair in shard order.
+func (s *Store) Snapshot(fn func(store.KV) error) error {
+	if s.closed.Load() {
+		return store.ErrClosed
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		// Copy the shard's live pairs so fn runs without the lock held.
+		batch := make([]store.KV, 0, len(sh.m))
+		for k, e := range sh.m {
+			if e.tombstone {
+				continue
+			}
+			batch = append(batch, store.KV{Key: []byte(k), Value: e.value, Version: e.version})
+		}
+		sh.mu.RUnlock()
+		for _, kv := range batch {
+			if err := fn(kv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close marks the engine closed.
+func (s *Store) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+var _ store.Engine = (*Store)(nil)

@@ -1,0 +1,49 @@
+package ht
+
+import (
+	"testing"
+
+	"bespokv/internal/store"
+	"bespokv/internal/store/enginetest"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T) store.Engine { return New() })
+}
+
+func TestScanUnsupported(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if _, err := s.Scan(nil, nil, 0); err != store.ErrUnordered {
+		t.Fatalf("got %v, want ErrUnordered", err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "ht" {
+		t.Fatal("wrong name")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New()
+	defer s.Close()
+	key := []byte("benchmark-key")
+	val := []byte("benchmark-value-0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		s.Put(key, val, 0)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New()
+	defer s.Close()
+	key := []byte("benchmark-key")
+	s.Put(key, []byte("benchmark-value"), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(key)
+	}
+}

@@ -1,0 +1,85 @@
+// Package store defines the datalet storage engine contract and common
+// helpers. An Engine is a single-node KV store with last-writer-wins
+// versioning; the four concrete engines (ht, applog, btree, lsm) mirror the
+// data-structure families the paper evaluates — hash table (tHT), persistent
+// log (tLog), ordered tree (tMT/Masstree), and LSM-tree (LevelDB-class).
+//
+// Versioning: every write carries a uint64 version. Version 0 asks the
+// engine to assign the next locally monotonic version (normal single-node
+// writes); a non-zero version is applied only if it is >= the stored
+// version (replicated writes and log replay), which makes propagation
+// idempotent and order-insensitive where eventual consistency permits.
+// Deletes write tombstones under the same rule so a late Put cannot
+// resurrect a newer Delete.
+package store
+
+import (
+	"bytes"
+	"errors"
+)
+
+// KV is one live key/value pair with its version, as surfaced by Scan and
+// Snapshot.
+type KV struct {
+	Key     []byte
+	Value   []byte
+	Version uint64
+}
+
+// ErrUnordered is returned by Scan on engines without ordered iteration
+// (hash table, append-only log).
+var ErrUnordered = errors.New("store: engine does not support ordered scans")
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("store: engine is closed")
+
+// Engine is a single-node KV store.
+//
+// All methods are safe for concurrent use. Key and value slices passed in
+// are copied; slices returned are private copies the caller owns.
+type Engine interface {
+	// Name identifies the engine family ("ht", "applog", "btree", "lsm").
+	Name() string
+	// Put stores value under key. If version is zero the engine assigns
+	// the next local version; otherwise the write applies only when
+	// version >= the stored version. It returns the version stored (or
+	// the winning existing version when the write lost).
+	Put(key, value []byte, version uint64) (uint64, error)
+	// Get returns the live value and version for key; ok is false when
+	// the key is absent or deleted.
+	Get(key []byte) (value []byte, version uint64, ok bool, err error)
+	// Delete removes key under the same versioning rule as Put. existed
+	// reports whether a live value was visible before the call; winner is
+	// the version now governing the key (the tombstone's version when the
+	// delete applied, or the newer existing version when it lost).
+	Delete(key []byte, version uint64) (existed bool, winner uint64, err error)
+	// Scan returns live pairs with start <= key < end in key order, up to
+	// limit (0 = unbounded). An empty end means +infinity. Engines
+	// without ordered iteration return ErrUnordered.
+	Scan(start, end []byte, limit int) ([]KV, error)
+	// Len returns the number of live keys.
+	Len() int
+	// Snapshot calls fn for every live pair; used for recovery export.
+	// Iteration order is engine-specific. fn must not retain the KV's
+	// slices past the call.
+	Snapshot(fn func(KV) error) error
+	// Close releases resources. The engine must not be used afterwards.
+	Close() error
+}
+
+// InRange reports whether key falls within [start, end); empty end means
+// +infinity.
+func InRange(key, start, end []byte) bool {
+	if bytes.Compare(key, start) < 0 {
+		return false
+	}
+	return len(end) == 0 || bytes.Compare(key, end) < 0
+}
+
+// CloneBytes returns a private copy of b (nil stays nil).
+func CloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVirtualNodes is the number of ring points per shard; 160 matches
+// common consistent-hashing deployments (libketama, Cassandra vnodes) and
+// keeps the load spread within a few percent.
+const defaultVirtualNodes = 160
+
+// Ring is an immutable consistent-hash ring mapping keys to shard indexes.
+// Clients build one per Map epoch and reuse it for every lookup.
+type Ring struct {
+	hashes []uint64
+	owners []int
+}
+
+// BuildRing constructs a ring over the map's shard IDs with the default
+// virtual-node count.
+func BuildRing(m *Map) *Ring {
+	ids := make([]string, len(m.Shards))
+	for i, s := range m.Shards {
+		ids[i] = s.ID
+	}
+	return BuildRingFromIDs(ids, defaultVirtualNodes)
+}
+
+// BuildRingFromIDs constructs a ring with vnodes points per shard ID. The
+// ring depends only on the IDs, so adding or removing one shard moves only
+// ~1/n of the keyspace (the consistent-hashing property).
+func BuildRingFromIDs(ids []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{
+		hashes: make([]uint64, 0, len(ids)*vnodes),
+		owners: make([]int, 0, len(ids)*vnodes),
+	}
+	type point struct {
+		h     uint64
+		owner int
+	}
+	points := make([]point, 0, len(ids)*vnodes)
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, point{h: hash64(id + "#" + strconv.Itoa(v)), owner: i})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a].h < points[b].h })
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.h)
+		r.owners = append(r.owners, p.owner)
+	}
+	return r
+}
+
+// Lookup returns the shard index owning key.
+func (r *Ring) Lookup(key []byte) int {
+	if len(r.hashes) == 0 {
+		return 0
+	}
+	h := hash64Bytes(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap around
+	}
+	return r.owners[i]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+func hash64Bytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer; FNV alone clusters on short
+// structured keys, and ring balance needs avalanche behaviour.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,227 @@
+// Package topology models the cluster layout shared by the coordinator,
+// controlets and clients: shards, replica chains, the topology+consistency
+// mode, and the two partitioning schemes (consistent hashing and range
+// partitioning). A Map is versioned by an Epoch; any change — failover,
+// mode transition, membership — bumps the epoch, and servers reject
+// stale-epoch requests so clients refresh their view.
+package topology
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Topology is the replica-graph shape.
+type Topology string
+
+const (
+	// MS is master-slave: one writer per shard.
+	MS Topology = "ms"
+	// AA is active-active (multi-master): every replica accepts writes.
+	AA Topology = "aa"
+)
+
+// Consistency is the replication contract.
+type Consistency string
+
+const (
+	// Strong gives linearizable reads and writes.
+	Strong Consistency = "strong"
+	// Eventual acknowledges writes before full propagation.
+	Eventual Consistency = "eventual"
+)
+
+// Mode pairs a topology with a consistency model, e.g. MS+SC.
+type Mode struct {
+	Topology    Topology    `json:"topology"`
+	Consistency Consistency `json:"consistency"`
+}
+
+// String renders "ms+strong" style.
+func (m Mode) String() string { return fmt.Sprintf("%s+%s", m.Topology, m.Consistency) }
+
+// Valid reports whether both fields hold known values.
+func (m Mode) Valid() bool {
+	return (m.Topology == MS || m.Topology == AA) &&
+		(m.Consistency == Strong || m.Consistency == Eventual)
+}
+
+// Node is one controlet–datalet pair.
+type Node struct {
+	// ID is unique across the cluster (e.g. "shard0-r1").
+	ID string `json:"id"`
+	// ControletAddr is the data-path address clients and peers talk to.
+	ControletAddr string `json:"controlet"`
+	// ControlAddr is the controlet's control-RPC endpoint, used by the
+	// coordinator for map pushes, recovery and transition commands.
+	ControlAddr string `json:"control,omitempty"`
+	// DataletAddr is the backing datalet, used during recovery.
+	DataletAddr string `json:"datalet"`
+	// DataletCodec names the wire codec the datalet speaks ("binary" by
+	// default, "text" for tRedis/tSSDB-style backends).
+	DataletCodec string `json:"datalet_codec,omitempty"`
+	// Recovering marks a node that has joined the replica group for
+	// writes (so it misses nothing new) but is still backfilling history
+	// and must not serve reads yet — the two-phase standby join.
+	Recovering bool `json:"recovering,omitempty"`
+}
+
+// Shard is one replica group. Replica order is meaningful: under MS the
+// first node is the master/chain head and the last is the chain tail;
+// under AA all nodes are active peers.
+type Shard struct {
+	ID       string `json:"id"`
+	Replicas []Node `json:"replicas"`
+}
+
+// Head returns the first replica (master / chain head).
+func (s Shard) Head() Node { return s.Replicas[0] }
+
+// Tail returns the last replica (chain tail), including one still
+// recovering; writes must traverse it so it misses nothing.
+func (s Shard) Tail() Node { return s.Replicas[len(s.Replicas)-1] }
+
+// ReadTail returns the last replica eligible to serve reads: recovering
+// nodes are skipped because their backfill is incomplete.
+func (s Shard) ReadTail() Node {
+	for i := len(s.Replicas) - 1; i >= 0; i-- {
+		if !s.Replicas[i].Recovering {
+			return s.Replicas[i]
+		}
+	}
+	return s.Tail()
+}
+
+// ReadReplicas returns the replicas eligible to serve reads (recovering
+// nodes excluded; falls back to all replicas if every node is recovering).
+func (s Shard) ReadReplicas() []Node {
+	out := make([]Node, 0, len(s.Replicas))
+	for _, n := range s.Replicas {
+		if !n.Recovering {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return s.Replicas
+	}
+	return out
+}
+
+// Partitioner names the key→shard scheme.
+type Partitioner string
+
+const (
+	// HashPartitioner routes by consistent hashing.
+	HashPartitioner Partitioner = "hash"
+	// RangePartitioner routes by sorted key ranges.
+	RangePartitioner Partitioner = "range"
+)
+
+// Map is the versioned cluster layout.
+type Map struct {
+	// Epoch increases on every change.
+	Epoch uint64 `json:"epoch"`
+	// Mode is the current topology+consistency pair.
+	Mode Mode `json:"mode"`
+	// Partitioner selects hash or range routing.
+	Partitioner Partitioner `json:"partitioner"`
+	// Shards lists every replica group.
+	Shards []Shard `json:"shards"`
+	// RangeSplits are the len(Shards)-1 sorted boundaries for range
+	// partitioning: shard i owns [splits[i-1], splits[i]).
+	RangeSplits [][]byte `json:"range_splits,omitempty"`
+	// Transition is non-nil while a mode switch is in flight; it carries
+	// the new-mode controlets (parallel to Shards) and the target mode.
+	Transition *Transition `json:"transition,omitempty"`
+}
+
+// Transition describes an in-flight topology/consistency switch (§V).
+type Transition struct {
+	To Mode `json:"to"`
+	// NewShards holds the new-mode controlets, parallel to Map.Shards.
+	NewShards []Shard `json:"new_shards"`
+}
+
+// Clone deep-copies the map so mutations never race with readers.
+func (m *Map) Clone() *Map {
+	if m == nil {
+		return nil
+	}
+	out := *m
+	out.Shards = cloneShards(m.Shards)
+	out.RangeSplits = make([][]byte, len(m.RangeSplits))
+	for i, s := range m.RangeSplits {
+		out.RangeSplits[i] = append([]byte(nil), s...)
+	}
+	if m.Transition != nil {
+		tr := *m.Transition
+		tr.NewShards = cloneShards(m.Transition.NewShards)
+		out.Transition = &tr
+	}
+	return &out
+}
+
+func cloneShards(in []Shard) []Shard {
+	out := make([]Shard, len(in))
+	for i, s := range in {
+		out[i] = Shard{ID: s.ID, Replicas: append([]Node(nil), s.Replicas...)}
+	}
+	return out
+}
+
+// ShardFor routes key to a shard index under the map's partitioner. The
+// ring argument must have been built from this map (BuildRing); it may be
+// nil for range partitioning.
+func (m *Map) ShardFor(key []byte, ring *Ring) int {
+	if m.Partitioner == RangePartitioner {
+		return rangeShard(m.RangeSplits, key)
+	}
+	return ring.Lookup(key)
+}
+
+// rangeShard binary-searches the split points: shard i owns keys in
+// [splits[i-1], splits[i]).
+func rangeShard(splits [][]byte, key []byte) int {
+	return sort.Search(len(splits), func(i int) bool {
+		return bytes.Compare(key, splits[i]) < 0
+	})
+}
+
+// ShardsForRange returns the shard indexes, in order, that a scan over
+// [start, end) must visit under range partitioning.
+func (m *Map) ShardsForRange(start, end []byte) []int {
+	if m.Partitioner != RangePartitioner {
+		// Hash partitioning scatters ranges everywhere.
+		out := make([]int, len(m.Shards))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	first := rangeShard(m.RangeSplits, start)
+	last := len(m.Shards) - 1
+	if len(end) != 0 {
+		// end is exclusive, so the owning shard of end-epsilon is the
+		// shard owning end unless end is exactly a split boundary.
+		last = rangeShard(m.RangeSplits, end)
+		if last > 0 && last <= len(m.RangeSplits) && bytes.Equal(end, m.RangeSplits[last-1]) {
+			last--
+		}
+	}
+	var out []int
+	for i := first; i <= last && i < len(m.Shards); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// UniformSplits builds n-1 evenly spaced single-byte-prefix split points
+// for range partitioning over a uniformly distributed keyspace.
+func UniformSplits(n int) [][]byte {
+	splits := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		splits = append(splits, []byte{byte(i * 256 / n)})
+	}
+	return splits
+}

@@ -1,0 +1,212 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testMap(nShards, nReplicas int, part Partitioner) *Map {
+	m := &Map{
+		Epoch:       1,
+		Mode:        Mode{Topology: MS, Consistency: Strong},
+		Partitioner: part,
+	}
+	for s := 0; s < nShards; s++ {
+		shard := Shard{ID: fmt.Sprintf("shard-%d", s)}
+		for r := 0; r < nReplicas; r++ {
+			shard.Replicas = append(shard.Replicas, Node{
+				ID:            fmt.Sprintf("s%d-r%d", s, r),
+				ControletAddr: fmt.Sprintf("c-%d-%d", s, r),
+				DataletAddr:   fmt.Sprintf("d-%d-%d", s, r),
+			})
+		}
+		m.Shards = append(m.Shards, shard)
+	}
+	if part == RangePartitioner {
+		m.RangeSplits = UniformSplits(nShards)
+	}
+	return m
+}
+
+func TestModeString(t *testing.T) {
+	m := Mode{Topology: MS, Consistency: Strong}
+	if m.String() != "ms+strong" {
+		t.Fatalf("got %q", m)
+	}
+	if !m.Valid() {
+		t.Fatal("valid mode reported invalid")
+	}
+	if (Mode{Topology: "p2p", Consistency: Strong}).Valid() {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestHeadTail(t *testing.T) {
+	m := testMap(1, 3, HashPartitioner)
+	s := m.Shards[0]
+	if s.Head().ID != "s0-r0" || s.Tail().ID != "s0-r2" {
+		t.Fatalf("head=%s tail=%s", s.Head().ID, s.Tail().ID)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	m := testMap(8, 3, HashPartitioner)
+	r1 := BuildRing(m)
+	r2 := BuildRing(m)
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if r1.Lookup(k) != r2.Lookup(k) {
+			t.Fatalf("ring lookup not deterministic for %q", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	m := testMap(8, 3, HashPartitioner)
+	r := BuildRing(m)
+	counts := make([]int, 8)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Lookup([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	want := float64(n) / 8
+	for s, c := range counts {
+		dev := math.Abs(float64(c)-want) / want
+		if dev > 0.30 {
+			t.Fatalf("shard %d has %d keys (%.0f%% deviation)", s, c, dev*100)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	ids8 := make([]string, 8)
+	ids9 := make([]string, 9)
+	for i := range ids9 {
+		if i < 8 {
+			ids8[i] = fmt.Sprintf("shard-%d", i)
+		}
+		ids9[i] = fmt.Sprintf("shard-%d", i)
+	}
+	r8 := BuildRingFromIDs(ids8, 160)
+	r9 := BuildRingFromIDs(ids9, 160)
+	const n = 20000
+	moved := 0
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if r8.Lookup(k) != r9.Lookup(k) {
+			moved++
+		}
+	}
+	// Adding the 9th shard should move roughly 1/9 of the keys, not 8/9.
+	frac := float64(moved) / n
+	if frac > 0.25 {
+		t.Fatalf("adding one shard moved %.1f%% of keys", frac*100)
+	}
+	if frac < 0.02 {
+		t.Fatalf("suspiciously few keys moved (%.2f%%): new shard not getting load", frac*100)
+	}
+}
+
+func TestRangeShard(t *testing.T) {
+	m := testMap(4, 3, RangePartitioner)
+	// Splits at 0x40, 0x80, 0xC0.
+	cases := []struct {
+		key  byte
+		want int
+	}{
+		{0x00, 0}, {0x3f, 0}, {0x40, 1}, {0x7f, 1}, {0x80, 2}, {0xbf, 2}, {0xc0, 3}, {0xff, 3},
+	}
+	for _, c := range cases {
+		got := m.ShardFor([]byte{c.key}, nil)
+		if got != c.want {
+			t.Fatalf("key 0x%02x → shard %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestShardsForRange(t *testing.T) {
+	m := testMap(4, 3, RangePartitioner)
+	got := m.ShardsForRange([]byte{0x30}, []byte{0x90})
+	want := []int{0, 1, 2}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Exactly on a boundary: end 0x80 excludes shard 2.
+	got = m.ShardsForRange([]byte{0x30}, []byte{0x80})
+	want = []int{0, 1}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("boundary: got %v, want %v", got, want)
+	}
+	// Unbounded end reaches the last shard.
+	got = m.ShardsForRange([]byte{0xd0}, nil)
+	want = []int{3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("unbounded: got %v, want %v", got, want)
+	}
+}
+
+func TestShardsForRangeHashScatters(t *testing.T) {
+	m := testMap(4, 3, HashPartitioner)
+	got := m.ShardsForRange([]byte("a"), []byte("b"))
+	if len(got) != 4 {
+		t.Fatalf("hash partitioning must visit all shards, got %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := testMap(2, 3, RangePartitioner)
+	m.Transition = &Transition{
+		To:        Mode{Topology: AA, Consistency: Eventual},
+		NewShards: cloneShards(m.Shards),
+	}
+	c := m.Clone()
+	c.Shards[0].Replicas[0].ID = "mutated"
+	c.RangeSplits[0][0] = 0xee
+	c.Transition.NewShards[0].Replicas[0].ID = "mutated"
+	if m.Shards[0].Replicas[0].ID == "mutated" ||
+		m.RangeSplits[0][0] == 0xee ||
+		m.Transition.NewShards[0].Replicas[0].ID == "mutated" {
+		t.Fatal("Clone shares memory with the original")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var m *Map
+	if m.Clone() != nil {
+		t.Fatal("nil clone must be nil")
+	}
+}
+
+// TestRangePartitionProperty: every key lands in exactly the shard whose
+// range contains it.
+func TestRangePartitionProperty(t *testing.T) {
+	m := testMap(4, 1, RangePartitioner)
+	f := func(key []byte) bool {
+		idx := m.ShardFor(key, nil)
+		if idx < 0 || idx >= 4 {
+			return false
+		}
+		var lo, hi []byte
+		if idx > 0 {
+			lo = m.RangeSplits[idx-1]
+		}
+		if idx < len(m.RangeSplits) {
+			hi = m.RangeSplits[idx]
+		}
+		inLo := lo == nil || string(key) >= string(lo)
+		inHi := hi == nil || string(key) < string(hi)
+		return inLo && inHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyRingLookup(t *testing.T) {
+	r := BuildRingFromIDs(nil, 160)
+	if r.Lookup([]byte("k")) != 0 {
+		t.Fatal("empty ring must return shard 0")
+	}
+}

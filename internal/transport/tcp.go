@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"errors"
+	"net"
+)
+
+// TCP is the kernel socket network. It disables Nagle's algorithm on every
+// connection, as latency-sensitive KV stores do.
+type TCP struct{}
+
+// Name reports "tcp".
+func (TCP) Name() string { return "tcp" }
+
+// Listen binds a TCP listener on addr ("host:port"; port 0 picks a free one).
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a TCP address.
+func (TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return tcpConn{c}, nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return tcpConn{c}, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+type tcpConn struct {
+	net.Conn
+}
+
+func (c tcpConn) LocalAddr() string  { return c.Conn.LocalAddr().String() }
+func (c tcpConn) RemoteAddr() string { return c.Conn.RemoteAddr().String() }
+
+func init() {
+	Register(TCP{})
+}

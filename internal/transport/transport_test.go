@@ -1,0 +1,296 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func networksUnderTest(t *testing.T) []Network {
+	t.Helper()
+	var nets []Network
+	for _, name := range []string{"tcp", "inproc"} {
+		n, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, n)
+	}
+	return nets
+}
+
+func listenAddr(n Network) string {
+	if n.Name() == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return ""
+}
+
+func TestEchoRoundtrip(t *testing.T) {
+	for _, n := range networksUnderTest(t) {
+		n := n
+		t.Run(n.Name(), func(t *testing.T) {
+			l, err := n.Listen(listenAddr(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+			c, err := n.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			msg := []byte("hello bespokv")
+			if _, err := c.Write(msg); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("echo mismatch: %q", got)
+			}
+		})
+	}
+}
+
+func TestLargeTransferIntegrity(t *testing.T) {
+	for _, n := range networksUnderTest(t) {
+		n := n
+		t.Run(n.Name(), func(t *testing.T) {
+			l, err := n.Listen(listenAddr(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			const total = 4 << 20 // 4 MiB, several ring wraps
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				buf := make([]byte, total)
+				for i := range buf {
+					buf[i] = byte(i * 31)
+				}
+				c.Write(buf)
+			}()
+			c, err := n.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			got := make([]byte, total)
+			if _, err := io.ReadFull(c, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != byte(i*31) {
+					t.Fatalf("corruption at byte %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestDialUnboundAddressFails(t *testing.T) {
+	for _, n := range networksUnderTest(t) {
+		addr := "127.0.0.1:1" // reserved port, nothing listens
+		if n.Name() == "inproc" {
+			addr = "no-such-endpoint"
+		}
+		if _, err := n.Dial(addr); err == nil {
+			t.Fatalf("%s: dialing unbound address must fail", n.Name())
+		}
+	}
+}
+
+func TestAcceptAfterCloseReturnsErrClosed(t *testing.T) {
+	for _, n := range networksUnderTest(t) {
+		l, err := n.Listen(listenAddr(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := l.Accept()
+			done <- err
+		}()
+		l.Close()
+		if err := <-done; err != ErrClosed {
+			t.Fatalf("%s: got %v, want ErrClosed", n.Name(), err)
+		}
+	}
+}
+
+func TestReadAfterPeerCloseSeesEOF(t *testing.T) {
+	for _, n := range networksUnderTest(t) {
+		n := n
+		t.Run(n.Name(), func(t *testing.T) {
+			l, err := n.Listen(listenAddr(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				c.Write([]byte("bye"))
+				c.Close()
+			}()
+			c, err := n.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			got, err := io.ReadAll(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "bye" {
+				t.Fatalf("got %q", got)
+			}
+		})
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	for _, n := range networksUnderTest(t) {
+		n := n
+		t.Run(n.Name(), func(t *testing.T) {
+			l, err := n.Listen(listenAddr(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			go func() {
+				for {
+					c, err := l.Accept()
+					if err != nil {
+						return
+					}
+					go func(c Conn) {
+						defer c.Close()
+						io.Copy(c, c)
+					}(c)
+				}
+			}()
+			const workers = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c, err := n.Dial(l.Addr())
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer c.Close()
+					msg := []byte(fmt.Sprintf("worker-%d-payload", w))
+					for i := 0; i < 50; i++ {
+						if _, err := c.Write(msg); err != nil {
+							errs <- err
+							return
+						}
+						got := make([]byte, len(msg))
+						if _, err := io.ReadFull(c, got); err != nil {
+							errs <- err
+							return
+						}
+						if !bytes.Equal(got, msg) {
+							errs <- fmt.Errorf("worker %d echo mismatch", w)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestInprocDuplicateBind(t *testing.T) {
+	n, _ := Lookup("inproc")
+	l, err := n.Listen("dup-bind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Listen("dup-bind"); err == nil {
+		t.Fatal("duplicate bind must fail")
+	}
+}
+
+func TestInprocAddrReusableAfterClose(t *testing.T) {
+	n, _ := Lookup("inproc")
+	l, err := n.Listen("reuse-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := n.Listen("reuse-me")
+	if err != nil {
+		t.Fatalf("address not released on close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestLookupUnknownNetwork(t *testing.T) {
+	if _, err := Lookup("rdma"); err == nil {
+		t.Fatal("unknown network must error")
+	}
+}
+
+// TestRingPropertyBytesPreserved drives the raw ring with random chunk
+// boundaries and checks the stream is preserved byte for byte.
+func TestRingPropertyBytesPreserved(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		r := newRing()
+		var want, got bytes.Buffer
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			buf := make([]byte, 1024)
+			for {
+				n, err := r.read(buf)
+				got.Write(buf[:n])
+				if err != nil {
+					return
+				}
+			}
+		}()
+		for _, c := range chunks {
+			want.Write(c)
+			if _, err := r.write(c); err != nil {
+				return false
+			}
+		}
+		r.close()
+		<-done
+		return bytes.Equal(want.Bytes(), got.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

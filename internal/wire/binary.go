@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// BinaryCodec is the default, compact encoding: every message is a uvarint
+// field stream inside a 4-byte little-endian length frame. It plays the role
+// of the paper's Protocol-Buffers-based bespokv protocol.
+type BinaryCodec struct{}
+
+// Name reports the codec's registry name.
+func (BinaryCodec) Name() string { return "binary" }
+
+type frameWriter struct {
+	buf []byte
+}
+
+func (f *frameWriter) uvarint(v uint64) {
+	f.buf = binary.AppendUvarint(f.buf, v)
+}
+
+func (f *frameWriter) bytes(b []byte) {
+	f.uvarint(uint64(len(b)))
+	f.buf = append(f.buf, b...)
+}
+
+func (f *frameWriter) string(s string) {
+	f.uvarint(uint64(len(s)))
+	f.buf = append(f.buf, s...)
+}
+
+func (f *frameWriter) flush(w *bufio.Writer) error {
+	if len(f.buf) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(f.buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(f.buf); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+type frameReader struct {
+	buf []byte
+	pos int
+}
+
+func (f *frameReader) fill(r *bufio.Reader) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	if cap(f.buf) < int(n) {
+		f.buf = make([]byte, n)
+	}
+	f.buf = f.buf[:n]
+	f.pos = 0
+	_, err := io.ReadFull(r, f.buf)
+	return err
+}
+
+func (f *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(f.buf[f.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated uvarint at offset %d", f.pos)
+	}
+	f.pos += n
+	return v, nil
+}
+
+func (f *frameReader) bytes(dst []byte) ([]byte, error) {
+	n, err := f.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(f.buf)-f.pos) {
+		return nil, fmt.Errorf("wire: byte field of %d exceeds frame", n)
+	}
+	dst = append(dst[:0], f.buf[f.pos:f.pos+int(n)]...)
+	f.pos += int(n)
+	return dst, nil
+}
+
+func (f *frameReader) string() (string, error) {
+	n, err := f.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(f.buf)-f.pos) {
+		return "", fmt.Errorf("wire: string field of %d exceeds frame", n)
+	}
+	s := string(f.buf[f.pos : f.pos+int(n)])
+	f.pos += int(n)
+	return s, nil
+}
+
+// WriteRequest encodes req into w.
+func (BinaryCodec) WriteRequest(w *bufio.Writer, req *Request) error {
+	var f frameWriter
+	f.buf = make([]byte, 0, 64+len(req.Key)+len(req.Value)+len(req.EndKey))
+	f.uvarint(req.ID)
+	f.uvarint(uint64(req.Op))
+	f.string(req.Table)
+	f.bytes(req.Key)
+	f.bytes(req.Value)
+	f.bytes(req.EndKey)
+	f.uvarint(uint64(req.Limit))
+	f.uvarint(req.Version)
+	f.uvarint(uint64(req.Level))
+	f.uvarint(req.Epoch)
+	return f.flush(w)
+}
+
+// ReadRequest decodes the next request from r into req, reusing its buffers.
+func (BinaryCodec) ReadRequest(r *bufio.Reader, req *Request) error {
+	var f frameReader
+	if err := f.fill(r); err != nil {
+		return err
+	}
+	var err error
+	if req.ID, err = f.uvarint(); err != nil {
+		return err
+	}
+	op, err := f.uvarint()
+	if err != nil {
+		return err
+	}
+	if op > math.MaxUint8 {
+		return fmt.Errorf("wire: bad op %d", op)
+	}
+	req.Op = Op(op)
+	if req.Table, err = f.string(); err != nil {
+		return err
+	}
+	if req.Key, err = f.bytes(req.Key); err != nil {
+		return err
+	}
+	if req.Value, err = f.bytes(req.Value); err != nil {
+		return err
+	}
+	if req.EndKey, err = f.bytes(req.EndKey); err != nil {
+		return err
+	}
+	limit, err := f.uvarint()
+	if err != nil {
+		return err
+	}
+	if limit > math.MaxUint32 {
+		return fmt.Errorf("wire: bad limit %d", limit)
+	}
+	req.Limit = uint32(limit)
+	if req.Version, err = f.uvarint(); err != nil {
+		return err
+	}
+	lvl, err := f.uvarint()
+	if err != nil {
+		return err
+	}
+	if lvl > math.MaxUint8 {
+		return fmt.Errorf("wire: bad level %d", lvl)
+	}
+	req.Level = Level(lvl)
+	if req.Epoch, err = f.uvarint(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteResponse encodes resp into w.
+func (BinaryCodec) WriteResponse(w *bufio.Writer, resp *Response) error {
+	var f frameWriter
+	n := 64 + len(resp.Value) + len(resp.Err)
+	for i := range resp.Pairs {
+		n += 20 + len(resp.Pairs[i].Key) + len(resp.Pairs[i].Value)
+	}
+	f.buf = make([]byte, 0, n)
+	f.uvarint(resp.ID)
+	f.uvarint(uint64(resp.Status))
+	f.bytes(resp.Value)
+	f.uvarint(uint64(len(resp.Pairs)))
+	for i := range resp.Pairs {
+		f.bytes(resp.Pairs[i].Key)
+		f.bytes(resp.Pairs[i].Value)
+		f.uvarint(resp.Pairs[i].Version)
+	}
+	f.uvarint(resp.Version)
+	f.uvarint(resp.Epoch)
+	f.string(resp.Err)
+	return f.flush(w)
+}
+
+// ReadResponse decodes the next response from r into resp.
+func (BinaryCodec) ReadResponse(r *bufio.Reader, resp *Response) error {
+	var f frameReader
+	if err := f.fill(r); err != nil {
+		return err
+	}
+	var err error
+	if resp.ID, err = f.uvarint(); err != nil {
+		return err
+	}
+	st, err := f.uvarint()
+	if err != nil {
+		return err
+	}
+	if st > math.MaxUint8 {
+		return fmt.Errorf("wire: bad status %d", st)
+	}
+	resp.Status = Status(st)
+	if resp.Value, err = f.bytes(resp.Value); err != nil {
+		return err
+	}
+	np, err := f.uvarint()
+	if err != nil {
+		return err
+	}
+	if np > uint64(len(f.buf)) {
+		return fmt.Errorf("wire: pair count %d exceeds frame", np)
+	}
+	if cap(resp.Pairs) < int(np) {
+		resp.Pairs = make([]KV, np)
+	}
+	resp.Pairs = resp.Pairs[:np]
+	for i := range resp.Pairs {
+		if resp.Pairs[i].Key, err = f.bytes(resp.Pairs[i].Key); err != nil {
+			return err
+		}
+		if resp.Pairs[i].Value, err = f.bytes(resp.Pairs[i].Value); err != nil {
+			return err
+		}
+		if resp.Pairs[i].Version, err = f.uvarint(); err != nil {
+			return err
+		}
+	}
+	if resp.Version, err = f.uvarint(); err != nil {
+		return err
+	}
+	if resp.Epoch, err = f.uvarint(); err != nil {
+		return err
+	}
+	if resp.Err, err = f.string(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryReadRequest feeds arbitrary bytes to the binary request
+// decoder: it must never panic, and anything it accepts must re-encode and
+// re-decode to the same message (decode∘encode idempotence).
+func FuzzBinaryReadRequest(f *testing.F) {
+	var seedBuf bytes.Buffer
+	w := bufio.NewWriter(&seedBuf)
+	seed := Request{ID: 7, Op: OpPut, Table: "t", Key: []byte("k"), Value: []byte("v"), Epoch: 2}
+	_ = BinaryCodec{}.WriteRequest(w, &seed)
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := (BinaryCodec{}).ReadRequest(bufio.NewReader(bytes.NewReader(data)), &req); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		bw := bufio.NewWriter(&out)
+		if err := (BinaryCodec{}).WriteRequest(bw, &req); err != nil {
+			t.Fatalf("accepted request failed to re-encode: %v", err)
+		}
+		var again Request
+		if err := (BinaryCodec{}).ReadRequest(bufio.NewReader(&out), &again); err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
+		}
+		if again.Op != req.Op || string(again.Key) != string(req.Key) ||
+			string(again.Value) != string(req.Value) || again.Version != req.Version {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzBinaryReadResponse is the response-side twin.
+func FuzzBinaryReadResponse(f *testing.F) {
+	var seedBuf bytes.Buffer
+	w := bufio.NewWriter(&seedBuf)
+	seed := Response{ID: 7, Status: StatusOK, Value: []byte("v"), Pairs: []KV{{Key: []byte("a"), Value: []byte("1")}}}
+	_ = BinaryCodec{}.WriteResponse(w, &seed)
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{4, 0, 0, 0, 1, 2, 3, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var resp Response
+		if err := (BinaryCodec{}).ReadResponse(bufio.NewReader(bytes.NewReader(data)), &resp); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		bw := bufio.NewWriter(&out)
+		if err := (BinaryCodec{}).WriteResponse(bw, &resp); err != nil {
+			t.Fatalf("accepted response failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzTextReadRequest fuzzes the RESP-like parser.
+func FuzzTextReadRequest(f *testing.F) {
+	var seedBuf bytes.Buffer
+	w := bufio.NewWriter(&seedBuf)
+	seed := Request{Op: OpGet, Key: []byte("k")}
+	_ = TextCodec{}.WriteRequest(w, &seed)
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte("*9\r\n$3\r\nPUT\r\n"))
+	f.Add([]byte("*-1\r\n"))
+	f.Add([]byte("$$$$\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := (TextCodec{}).ReadRequest(bufio.NewReader(bytes.NewReader(data)), &req); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		bw := bufio.NewWriter(&out)
+		if err := (TextCodec{}).WriteRequest(bw, &req); err != nil {
+			t.Fatalf("accepted text request failed to re-encode: %v", err)
+		}
+		var again Request
+		if err := (TextCodec{}).ReadRequest(bufio.NewReader(&out), &again); err != nil {
+			t.Fatalf("re-encoded text request failed to decode: %v", err)
+		}
+	})
+}

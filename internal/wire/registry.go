@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec encodes and decodes the data-path message pair. Implementations must
+// be safe for use by one reader and one writer goroutine concurrently but
+// need not support concurrent writers.
+type Codec interface {
+	Name() string
+	WriteRequest(w *bufio.Writer, req *Request) error
+	ReadRequest(r *bufio.Reader, req *Request) error
+	WriteResponse(w *bufio.Writer, resp *Response) error
+	ReadResponse(r *bufio.Reader, resp *Response) error
+}
+
+var (
+	codecMu sync.RWMutex
+	codecs  = map[string]Codec{}
+)
+
+// RegisterCodec adds a codec to the registry; it panics on duplicates, which
+// indicate a programming error at init time.
+func RegisterCodec(c Codec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecs[c.Name()]; dup {
+		panic("wire: duplicate codec " + c.Name())
+	}
+	codecs[c.Name()] = c
+}
+
+// LookupCodec returns the codec registered under name.
+func LookupCodec(name string) (Codec, error) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecs[name]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Codecs returns the sorted names of all registered codecs.
+func Codecs() []string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	names := make([]string, 0, len(codecs))
+	for n := range codecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterCodec(BinaryCodec{})
+	RegisterCodec(TextCodec{})
+}

@@ -1,0 +1,316 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+)
+
+// TextCodec is a RESP-style text protocol: every message is an array of
+// bulk strings ("*N\r\n" then N "$len\r\n<bytes>\r\n" items). It is the
+// stand-in for the paper's Redis/SSDB text protocol parsers, used by the
+// tRedis/tSSDB-style datalets, and demonstrates that a datalet can be ported
+// by supplying a parser rather than adopting the binary protocol.
+//
+// A request is the 9-element array
+//
+//	[verb, table, key, value, endkey, limit, version, level, epoch]
+//
+// and a response is the (6+3n)-element array
+//
+//	[status, value, version, epoch, err, npairs, k1, v1, ver1, ...]
+//
+// The text protocol carries no request ID: it relies on FIFO ordering per
+// connection, as Redis pipelining does. Servers process each connection
+// sequentially, so this holds for both codecs.
+type TextCodec struct{}
+
+// Name reports the codec's registry name.
+func (TextCodec) Name() string { return "text" }
+
+var crlf = []byte("\r\n")
+
+func writeBulk(w *bufio.Writer, b []byte) error {
+	if _, err := w.WriteString("$" + strconv.Itoa(len(b)) + "\r\n"); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.Write(crlf)
+	return err
+}
+
+func writeBulkString(w *bufio.Writer, s string) error {
+	return writeBulk(w, []byte(s))
+}
+
+func writeBulkUint(w *bufio.Writer, v uint64) error {
+	return writeBulkString(w, strconv.FormatUint(v, 10))
+}
+
+func writeArrayHeader(w *bufio.Writer, n int) error {
+	_, err := w.WriteString("*" + strconv.Itoa(n) + "\r\n")
+	return err
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("wire: malformed text line %q", line)
+	}
+	return line[:len(line)-2], nil
+}
+
+func readArrayHeader(r *bufio.Reader) (int, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return 0, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return 0, fmt.Errorf("wire: expected array header, got %q", line)
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < 0 || n > MaxFrame {
+		return 0, fmt.Errorf("wire: bad array length %q", line)
+	}
+	return n, nil
+}
+
+func readBulk(r *bufio.Reader, dst []byte) ([]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, fmt.Errorf("wire: expected bulk header, got %q", line)
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < 0 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: bad bulk length %q", line)
+	}
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	if _, err := readFull(r, dst); err != nil {
+		return nil, err
+	}
+	tail := make([]byte, 2)
+	if _, err := readFull(r, tail); err != nil {
+		return nil, err
+	}
+	if tail[0] != '\r' || tail[1] != '\n' {
+		return nil, fmt.Errorf("wire: bulk missing CRLF terminator")
+	}
+	return dst, nil
+}
+
+func readFull(r *bufio.Reader, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := r.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func readBulkUint(r *bufio.Reader) (uint64, error) {
+	b, err := readBulk(r, nil)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(string(b), 10, 64)
+}
+
+var opByVerb = func() map[string]Op {
+	m := make(map[string]Op)
+	for op := OpNop; op <= OpHandoff; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// WriteRequest encodes req into w.
+func (TextCodec) WriteRequest(w *bufio.Writer, req *Request) error {
+	if err := writeArrayHeader(w, 9); err != nil {
+		return err
+	}
+	if err := writeBulkString(w, req.Op.String()); err != nil {
+		return err
+	}
+	if err := writeBulkString(w, req.Table); err != nil {
+		return err
+	}
+	if err := writeBulk(w, req.Key); err != nil {
+		return err
+	}
+	if err := writeBulk(w, req.Value); err != nil {
+		return err
+	}
+	if err := writeBulk(w, req.EndKey); err != nil {
+		return err
+	}
+	if err := writeBulkUint(w, uint64(req.Limit)); err != nil {
+		return err
+	}
+	if err := writeBulkUint(w, req.Version); err != nil {
+		return err
+	}
+	if err := writeBulkUint(w, uint64(req.Level)); err != nil {
+		return err
+	}
+	if err := writeBulkUint(w, req.Epoch); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadRequest decodes the next request from r into req.
+func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
+	n, err := readArrayHeader(r)
+	if err != nil {
+		return err
+	}
+	if n != 9 {
+		return fmt.Errorf("wire: text request has %d elements, want 9", n)
+	}
+	verb, err := readBulk(r, nil)
+	if err != nil {
+		return err
+	}
+	op, ok := opByVerb[string(verb)]
+	if !ok {
+		return fmt.Errorf("wire: unknown verb %q", verb)
+	}
+	req.Op = op
+	table, err := readBulk(r, nil)
+	if err != nil {
+		return err
+	}
+	req.Table = string(table)
+	if req.Key, err = readBulk(r, req.Key); err != nil {
+		return err
+	}
+	if req.Value, err = readBulk(r, req.Value); err != nil {
+		return err
+	}
+	if req.EndKey, err = readBulk(r, req.EndKey); err != nil {
+		return err
+	}
+	limit, err := readBulkUint(r)
+	if err != nil {
+		return err
+	}
+	req.Limit = uint32(limit)
+	if req.Version, err = readBulkUint(r); err != nil {
+		return err
+	}
+	lvl, err := readBulkUint(r)
+	if err != nil {
+		return err
+	}
+	req.Level = Level(lvl)
+	if req.Epoch, err = readBulkUint(r); err != nil {
+		return err
+	}
+	req.ID = 0
+	return nil
+}
+
+// WriteResponse encodes resp into w.
+func (TextCodec) WriteResponse(w *bufio.Writer, resp *Response) error {
+	if err := writeArrayHeader(w, 6+3*len(resp.Pairs)); err != nil {
+		return err
+	}
+	if err := writeBulkUint(w, uint64(resp.Status)); err != nil {
+		return err
+	}
+	if err := writeBulk(w, resp.Value); err != nil {
+		return err
+	}
+	if err := writeBulkUint(w, resp.Version); err != nil {
+		return err
+	}
+	if err := writeBulkUint(w, resp.Epoch); err != nil {
+		return err
+	}
+	if err := writeBulkString(w, resp.Err); err != nil {
+		return err
+	}
+	if err := writeBulkUint(w, uint64(len(resp.Pairs))); err != nil {
+		return err
+	}
+	for i := range resp.Pairs {
+		if err := writeBulk(w, resp.Pairs[i].Key); err != nil {
+			return err
+		}
+		if err := writeBulk(w, resp.Pairs[i].Value); err != nil {
+			return err
+		}
+		if err := writeBulkUint(w, resp.Pairs[i].Version); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// ReadResponse decodes the next response from r into resp.
+func (TextCodec) ReadResponse(r *bufio.Reader, resp *Response) error {
+	n, err := readArrayHeader(r)
+	if err != nil {
+		return err
+	}
+	if n < 6 || (n-6)%3 != 0 {
+		return fmt.Errorf("wire: text response has %d elements", n)
+	}
+	st, err := readBulkUint(r)
+	if err != nil {
+		return err
+	}
+	resp.Status = Status(st)
+	if resp.Value, err = readBulk(r, resp.Value); err != nil {
+		return err
+	}
+	if resp.Version, err = readBulkUint(r); err != nil {
+		return err
+	}
+	if resp.Epoch, err = readBulkUint(r); err != nil {
+		return err
+	}
+	errStr, err := readBulk(r, nil)
+	if err != nil {
+		return err
+	}
+	resp.Err = string(errStr)
+	np, err := readBulkUint(r)
+	if err != nil {
+		return err
+	}
+	if int(np) != (n-6)/3 {
+		return fmt.Errorf("wire: pair count %d disagrees with array length %d", np, n)
+	}
+	if cap(resp.Pairs) < int(np) {
+		resp.Pairs = make([]KV, np)
+	}
+	resp.Pairs = resp.Pairs[:np]
+	for i := range resp.Pairs {
+		if resp.Pairs[i].Key, err = readBulk(r, resp.Pairs[i].Key); err != nil {
+			return err
+		}
+		if resp.Pairs[i].Value, err = readBulk(r, resp.Pairs[i].Value); err != nil {
+			return err
+		}
+		if resp.Pairs[i].Version, err = readBulkUint(r); err != nil {
+			return err
+		}
+	}
+	resp.ID = 0
+	return nil
+}

@@ -1,0 +1,249 @@
+// Package wire defines the bespokv data-path message model and its two
+// interchangeable encodings: a compact length-prefixed binary codec (the
+// stand-in for the paper's Protocol Buffers option) and a RESP-like text
+// codec (the stand-in for the Redis/SSDB protocol parsers). Controlets,
+// datalets and clients all exchange Request/Response pairs; the codec in use
+// is negotiated out of band (per-listener configuration), exactly as the
+// paper's per-datalet protocol parser is.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op identifies a request operation. Client-visible operations come first;
+// operations used internally between controlets (chain forwarding,
+// propagation, recovery) follow.
+type Op uint8
+
+const (
+	// OpNop does nothing; used for liveness probes.
+	OpNop Op = iota
+	// OpPut writes a key/value pair.
+	OpPut
+	// OpGet reads a value by key.
+	OpGet
+	// OpDel deletes a key.
+	OpDel
+	// OpScan returns pairs with Key <= k < EndKey, up to Limit.
+	OpScan
+	// OpCreateTable creates a table (namespace).
+	OpCreateTable
+	// OpDeleteTable drops a table and its contents.
+	OpDeleteTable
+
+	// OpChainPut forwards a Put down a replication chain (MS+SC).
+	OpChainPut
+	// OpChainDel forwards a Del down a replication chain (MS+SC).
+	OpChainDel
+	// OpReplPut asynchronously propagates a Put to a replica (MS+EC, AA+EC).
+	OpReplPut
+	// OpReplDel asynchronously propagates a Del to a replica.
+	OpReplDel
+	// OpExport streams every pair a node holds; used for standby recovery.
+	OpExport
+	// OpStats returns server statistics.
+	OpStats
+	// OpHandoff transfers an in-flight write from an old-epoch controlet to
+	// its new-epoch replacement during a topology/consistency transition.
+	OpHandoff
+)
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpNop:
+		return "NOP"
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpDel:
+		return "DEL"
+	case OpScan:
+		return "SCAN"
+	case OpCreateTable:
+		return "CREATETABLE"
+	case OpDeleteTable:
+		return "DELETETABLE"
+	case OpChainPut:
+		return "CHAINPUT"
+	case OpChainDel:
+		return "CHAINDEL"
+	case OpReplPut:
+		return "REPLPUT"
+	case OpReplDel:
+		return "REPLDEL"
+	case OpExport:
+		return "EXPORT"
+	case OpStats:
+		return "STATS"
+	case OpHandoff:
+		return "HANDOFF"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// Level is the per-request consistency level (§IV-C of the paper).
+type Level uint8
+
+const (
+	// LevelDefault uses whatever the controlet's configured mode provides.
+	LevelDefault Level = iota
+	// LevelStrong demands linearizable reads (e.g. tail reads under MS+SC).
+	LevelStrong
+	// LevelEventual permits reads from any replica.
+	LevelEventual
+)
+
+// String returns the level mnemonic.
+func (l Level) String() string {
+	switch l {
+	case LevelDefault:
+		return "default"
+	case LevelStrong:
+		return "strong"
+	case LevelEventual:
+		return "eventual"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Status codes carried by responses.
+type Status uint8
+
+const (
+	// StatusOK indicates success.
+	StatusOK Status = iota
+	// StatusNotFound indicates the key (or table) does not exist.
+	StatusNotFound
+	// StatusErr indicates a server-side failure; Response.Err has detail.
+	StatusErr
+	// StatusWrongEpoch tells the client its shard map is stale; re-fetch
+	// from the coordinator and retry. Response.Epoch carries the current one.
+	StatusWrongEpoch
+	// StatusRedirect tells the client to retry at Response.Err (an address),
+	// used by P2P-style routing and by mid-transition controlets.
+	StatusRedirect
+	// StatusUnavailable indicates the node cannot serve the request now
+	// (e.g. recovering standby); the client should back off and retry.
+	StatusUnavailable
+)
+
+// String returns the status mnemonic.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOTFOUND"
+	case StatusErr:
+		return "ERR"
+	case StatusWrongEpoch:
+		return "WRONGEPOCH"
+	case StatusRedirect:
+		return "REDIRECT"
+	case StatusUnavailable:
+		return "UNAVAILABLE"
+	default:
+		return fmt.Sprintf("STATUS(%d)", uint8(s))
+	}
+}
+
+// KV is one key/value pair with its last-writer-wins version.
+type KV struct {
+	Key     []byte
+	Value   []byte
+	Version uint64
+}
+
+// Request is the single message type sent toward servers on the data path.
+type Request struct {
+	// ID is chosen by the sender and echoed in the matching Response.
+	ID uint64
+	// Op selects the operation.
+	Op Op
+	// Table namespaces keys; empty means the default table.
+	Table string
+	// Key is the primary key operand.
+	Key []byte
+	// Value is the value operand for writes.
+	Value []byte
+	// EndKey is the exclusive upper bound for OpScan.
+	EndKey []byte
+	// Limit caps the number of pairs returned by OpScan; 0 means no cap.
+	Limit uint32
+	// Version carries the LWW version on internal replication ops.
+	Version uint64
+	// Level is the per-request consistency level for reads.
+	Level Level
+	// Epoch is the shard-map epoch the sender believes is current.
+	Epoch uint64
+}
+
+// Response is the single message type sent back toward clients.
+type Response struct {
+	// ID echoes Request.ID.
+	ID uint64
+	// Status reports the outcome.
+	Status Status
+	// Value carries the result of a Get.
+	Value []byte
+	// Pairs carries Scan results and Export batches.
+	Pairs []KV
+	// Version is the stored version of the affected/read key.
+	Version uint64
+	// Epoch is the server's current epoch on StatusWrongEpoch.
+	Epoch uint64
+	// Err carries an error message (StatusErr) or redirect address
+	// (StatusRedirect).
+	Err string
+}
+
+// Reset clears a Request for reuse without freeing its backing arrays.
+func (r *Request) Reset() {
+	r.ID = 0
+	r.Op = OpNop
+	r.Table = ""
+	r.Key = r.Key[:0]
+	r.Value = r.Value[:0]
+	r.EndKey = r.EndKey[:0]
+	r.Limit = 0
+	r.Version = 0
+	r.Level = LevelDefault
+	r.Epoch = 0
+}
+
+// Reset clears a Response for reuse without freeing its backing arrays.
+func (r *Response) Reset() {
+	r.ID = 0
+	r.Status = StatusOK
+	r.Value = r.Value[:0]
+	r.Pairs = r.Pairs[:0]
+	r.Version = 0
+	r.Epoch = 0
+	r.Err = ""
+}
+
+// ErrValue returns the response's error as a Go error, or nil when OK.
+func (r *Response) ErrValue() error {
+	switch r.Status {
+	case StatusOK, StatusNotFound:
+		return nil
+	default:
+		if r.Err != "" {
+			return fmt.Errorf("%s: %s", r.Status, r.Err)
+		}
+		return errors.New(r.Status.String())
+	}
+}
+
+// MaxFrame is the largest encoded message either codec will accept, a guard
+// against corrupt length prefixes.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned when a length prefix exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")

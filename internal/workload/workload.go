@@ -1,0 +1,253 @@
+// Package workload generates the request streams the paper evaluates
+// with: YCSB-style mixes (update-intensive 50% GET, read-mostly 95% GET,
+// scan-intensive 95% SCAN) over uniform and zipfian(0.99) key popularity
+// with 16-byte keys and 32-byte values, plus the four HPC-derived traces
+// §VIII-A describes — job launch (50:50 get:put), I/O forwarding (62:38),
+// Lustre monitoring (put-dominated time series) and analytics (pure
+// uniform reads).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind is the operation type of one generated request.
+type Kind uint8
+
+const (
+	// Get reads one key.
+	Get Kind = iota
+	// Put writes one key.
+	Put
+	// Scan reads a short ordered range.
+	Scan
+)
+
+// Op is one generated request.
+type Op struct {
+	Kind  Kind
+	Key   []byte
+	Value []byte
+	// End and Limit shape Scan requests.
+	End   []byte
+	Limit int
+}
+
+// KeyDist draws key indexes in [0, N).
+type KeyDist interface {
+	// Next returns the next key index using r.
+	Next(r *rand.Rand) int
+	// N is the keyspace size.
+	N() int
+}
+
+// Uniform draws keys uniformly.
+type Uniform struct{ Keys int }
+
+// Next returns a uniform index.
+func (u Uniform) Next(r *rand.Rand) int { return r.Intn(u.Keys) }
+
+// N returns the keyspace size.
+func (u Uniform) N() int { return u.Keys }
+
+// Zipfian draws keys with the YCSB zipfian distribution (constant 0.99):
+// item ranks are scrambled so popular keys scatter across the keyspace,
+// as YCSB's ScrambledZipfian does.
+type Zipfian struct {
+	keys  int
+	theta float64
+	zetan float64
+	alpha float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipfian precomputes the distribution for n keys with the YCSB
+// constant 0.99.
+func NewZipfian(n int) *Zipfian {
+	return NewZipfianTheta(n, 0.99)
+}
+
+// NewZipfianTheta precomputes the distribution with an explicit constant.
+func NewZipfianTheta(n int, theta float64) *Zipfian {
+	z := &Zipfian{keys: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next zipfian-ranked key index, scrambled.
+func (z *Zipfian) Next(r *rand.Rand) int {
+	u := r.Float64()
+	uz := u * z.zetan
+	var rank int
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = int(float64(z.keys) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.keys {
+		rank = z.keys - 1
+	}
+	// Scramble so hot keys spread over the keyspace (FNV-style hash).
+	h := uint64(rank) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % uint64(z.keys))
+}
+
+// N returns the keyspace size.
+func (z *Zipfian) N() int { return z.keys }
+
+// Mix is an operation ratio in percent; the three fields must sum to 100.
+type Mix struct {
+	GetPct  int
+	PutPct  int
+	ScanPct int
+}
+
+// The paper's standard mixes.
+var (
+	// ReadMostly is YCSB 95% GET / 5% PUT.
+	ReadMostly = Mix{GetPct: 95, PutPct: 5}
+	// UpdateIntensive is YCSB 50% GET / 50% PUT.
+	UpdateIntensive = Mix{GetPct: 50, PutPct: 50}
+	// ScanIntensive is YCSB 95% SCAN / 5% PUT.
+	ScanIntensive = Mix{PutPct: 5, ScanPct: 95}
+	// JobLaunch mirrors the MPI job-launch trace: 50:50 get:put.
+	JobLaunch = Mix{GetPct: 50, PutPct: 50}
+	// IOForwarding mirrors the SeaweedFS metadata trace: 62:38 get:put.
+	IOForwarding = Mix{GetPct: 62, PutPct: 38}
+	// Monitoring is the put-dominated Lustre statistics stream.
+	Monitoring = Mix{GetPct: 5, PutPct: 95}
+	// Analytics is the read-only model-driving workload.
+	Analytics = Mix{GetPct: 100}
+)
+
+// Generator produces ops for one workload configuration. It is not safe
+// for concurrent use; give each load goroutine its own (SplitRand helps).
+type Generator struct {
+	dist      KeyDist
+	mix       Mix
+	keySize   int
+	valueSize int
+	scanSpan  int
+	rnd       *rand.Rand
+	keyBuf    []byte
+	endBuf    []byte
+	valBuf    []byte
+}
+
+// Options configure a Generator.
+type Options struct {
+	// Dist is the key popularity distribution (required).
+	Dist KeyDist
+	// Mix is the operation ratio (required, must sum to 100).
+	Mix Mix
+	// KeySize and ValueSize default to the paper's 16 B and 32 B.
+	KeySize   int
+	ValueSize int
+	// ScanSpan is the key span of one Scan (default 64).
+	ScanSpan int
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(opts Options) (*Generator, error) {
+	if opts.Dist == nil {
+		return nil, fmt.Errorf("workload: Dist is required")
+	}
+	if opts.Mix.GetPct+opts.Mix.PutPct+opts.Mix.ScanPct != 100 {
+		return nil, fmt.Errorf("workload: mix %+v does not sum to 100", opts.Mix)
+	}
+	if opts.KeySize <= 0 {
+		opts.KeySize = 16
+	}
+	if opts.KeySize < 12 {
+		return nil, fmt.Errorf("workload: KeySize %d too small (min 12)", opts.KeySize)
+	}
+	if opts.ValueSize <= 0 {
+		opts.ValueSize = 32
+	}
+	if opts.ScanSpan <= 0 {
+		opts.ScanSpan = 64
+	}
+	g := &Generator{
+		dist:      opts.Dist,
+		mix:       opts.Mix,
+		keySize:   opts.KeySize,
+		valueSize: opts.ValueSize,
+		scanSpan:  opts.ScanSpan,
+		rnd:       rand.New(rand.NewSource(opts.Seed)),
+		keyBuf:    make([]byte, opts.KeySize),
+		endBuf:    make([]byte, opts.KeySize),
+		valBuf:    make([]byte, opts.ValueSize),
+	}
+	for i := range g.valBuf {
+		g.valBuf[i] = byte('a' + i%26)
+	}
+	return g, nil
+}
+
+// KeyAt renders key index i into buf (len = keySize): "k" + zero-padded
+// decimal, so keys sort by index — which range partitioning relies on.
+func keyAt(buf []byte, i int) {
+	buf[0] = 'k'
+	for p := len(buf) - 1; p >= 1; p-- {
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+}
+
+// Key materializes key index i (for preloading).
+func Key(size, i int) []byte {
+	if size <= 0 {
+		size = 16
+	}
+	buf := make([]byte, size)
+	keyAt(buf, i)
+	return buf
+}
+
+// Next produces the next operation. The returned slices are owned by the
+// generator and invalid after the next call.
+func (g *Generator) Next() Op {
+	i := g.dist.Next(g.rnd)
+	keyAt(g.keyBuf, i)
+	p := g.rnd.Intn(100)
+	switch {
+	case p < g.mix.GetPct:
+		return Op{Kind: Get, Key: g.keyBuf}
+	case p < g.mix.GetPct+g.mix.PutPct:
+		// Perturb the value slightly so writes are distinguishable.
+		g.valBuf[0] = byte('A' + i%26)
+		return Op{Kind: Put, Key: g.keyBuf, Value: g.valBuf}
+	default:
+		end := i + g.scanSpan
+		if end > g.dist.N() {
+			end = g.dist.N()
+		}
+		keyAt(g.endBuf, end)
+		return Op{Kind: Scan, Key: g.keyBuf, End: g.endBuf, Limit: g.scanSpan}
+	}
+}
+
+// SplitRand derives a distinct seed for worker w from a base seed.
+func SplitRand(seed int64, w int) int64 {
+	return seed*1_000_003 + int64(w)*7919
+}

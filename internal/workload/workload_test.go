@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestUniformCoversKeyspace(t *testing.T) {
+	u := Uniform{Keys: 100}
+	r := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		k := u.Next(r)
+		if k < 0 || k >= 100 {
+			t.Fatalf("index %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("uniform draw covered %d/100 keys", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(10000)
+	r := rand.New(rand.NewSource(42))
+	counts := map[int]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := z.Next(r)
+		if k < 0 || k >= 10000 {
+			t.Fatalf("index %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Sort key frequencies; the hottest keys should dominate.
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	topShare := 0
+	for i := 0; i < 100 && i < len(freqs); i++ {
+		topShare += freqs[i]
+	}
+	share := float64(topShare) / n
+	// With theta=0.99 over 10k items, the hottest 1% of keys draw well
+	// over a third of accesses.
+	if share < 0.35 {
+		t.Fatalf("zipfian not skewed enough: top-100 share %.2f", share)
+	}
+	// And it must not collapse to a handful of keys.
+	if len(counts) < 1000 {
+		t.Fatalf("zipfian visited only %d distinct keys", len(counts))
+	}
+}
+
+func TestZipfianDeterministicAcrossInstances(t *testing.T) {
+	z1 := NewZipfian(1000)
+	z2 := NewZipfian(1000)
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if z1.Next(r1) != z2.Next(r2) {
+			t.Fatal("zipfian draws diverge for identical seeds")
+		}
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	g, err := NewGenerator(Options{
+		Dist: Uniform{Keys: 1000},
+		Mix:  Mix{GetPct: 60, PutPct: 30, ScanPct: 10},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gets, puts, scans int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		switch g.Next().Kind {
+		case Get:
+			gets++
+		case Put:
+			puts++
+		case Scan:
+			scans++
+		}
+	}
+	if gets < n*55/100 || gets > n*65/100 {
+		t.Fatalf("gets=%d, want ~60%%", gets)
+	}
+	if puts < n*25/100 || puts > n*35/100 {
+		t.Fatalf("puts=%d, want ~30%%", puts)
+	}
+	if scans < n*7/100 || scans > n*13/100 {
+		t.Fatalf("scans=%d, want ~10%%", scans)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	if _, err := NewGenerator(Options{Dist: Uniform{Keys: 10}, Mix: Mix{GetPct: 50}}); err == nil {
+		t.Fatal("mix not summing to 100 must be rejected")
+	}
+	if _, err := NewGenerator(Options{Mix: ReadMostly}); err == nil {
+		t.Fatal("missing dist must be rejected")
+	}
+}
+
+func TestStandardMixesSum(t *testing.T) {
+	for _, m := range []Mix{ReadMostly, UpdateIntensive, ScanIntensive, JobLaunch, IOForwarding, Monitoring, Analytics} {
+		if m.GetPct+m.PutPct+m.ScanPct != 100 {
+			t.Fatalf("mix %+v does not sum to 100", m)
+		}
+	}
+}
+
+func TestKeysSortByIndex(t *testing.T) {
+	prev := Key(16, 0)
+	for i := 1; i < 2000; i += 17 {
+		k := Key(16, i)
+		if len(k) != 16 {
+			t.Fatalf("key length %d", len(k))
+		}
+		if bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("keys not ordered: %q >= %q", prev, k)
+		}
+		prev = k
+	}
+}
+
+func TestGeneratorKeySizesAndValues(t *testing.T) {
+	g, err := NewGenerator(Options{Dist: Uniform{Keys: 100}, Mix: UpdateIntensive, KeySize: 20, ValueSize: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if len(op.Key) != 20 {
+			t.Fatalf("key size %d", len(op.Key))
+		}
+		if op.Kind == Put && len(op.Value) != 64 {
+			t.Fatalf("value size %d", len(op.Value))
+		}
+	}
+}
+
+func TestScanOps(t *testing.T) {
+	g, err := NewGenerator(Options{Dist: Uniform{Keys: 10000}, Mix: ScanIntensive, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawScan := false
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Kind != Scan {
+			continue
+		}
+		sawScan = true
+		if bytes.Compare(op.Key, op.End) >= 0 && string(op.Key) < string(Key(16, 9999)) {
+			t.Fatalf("scan range inverted: [%q,%q)", op.Key, op.End)
+		}
+		if op.Limit <= 0 {
+			t.Fatal("scan without limit")
+		}
+	}
+	if !sawScan {
+		t.Fatal("scan-intensive mix produced no scans")
+	}
+}
+
+func TestSplitRandDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for w := 0; w < 64; w++ {
+		s := SplitRand(1, w)
+		if seen[s] {
+			t.Fatal("duplicate worker seed")
+		}
+		seen[s] = true
+	}
+}
