@@ -1,0 +1,33 @@
+GO ?= go
+
+# Packages whose concurrency is stress-tested under the race detector:
+# the pipelined datalet client, the RPC layer, transports, controlet
+# replication paths, and the client router.
+RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... ./internal/controlet/... ./internal/client/...
+
+.PHONY: all check vet build test race bench bench-pipeline clean
+
+all: check
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./...
+
+bench-pipeline:
+	$(GO) test -run NONE -bench 'Pipelined|Lockstep' -benchtime 2s ./internal/datalet/
+
+clean:
+	$(GO) clean ./...

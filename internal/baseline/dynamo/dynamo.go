@@ -284,6 +284,7 @@ func (n *node) serveConn(conn transport.Conn) {
 	codec := n.cluster.opts.Codec
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	bcd, _ := codec.(wire.BufferedCodec)
 	var req wire.Request
 	var resp wire.Response
 	for {
@@ -298,6 +299,13 @@ func (n *node) serveConn(conn transport.Conn) {
 		resp.ID = req.ID
 		n.handle(&req, &resp)
 		resp.ID = req.ID
+		// Coalesce response flushes while more pipelined requests wait.
+		if bcd != nil && br.Buffered() > 0 {
+			if err := bcd.EncodeResponse(bw, &resp); err != nil {
+				return
+			}
+			continue
+		}
 		if err := codec.WriteResponse(bw, &resp); err != nil {
 			return
 		}
@@ -455,37 +463,68 @@ func (n *node) forward(owner int, req *wire.Request, resp *wire.Response) {
 	}
 }
 
-// replicationPump drains the node's replication queue.
+// replPipelineDepth caps how many replica copies one pump round keeps in
+// flight on its peer connections.
+const replPipelineDepth = 32
+
+// replicationPump drains the node's replication queue, gathering backlog
+// into windows and keeping every copy in the window in flight at once on
+// the pipelined peer connections.
 func (n *node) replicationPump() {
 	defer n.wg.Done()
+	batch := make([]replRecord, 0, replPipelineDepth)
 	for {
 		select {
 		case <-n.stopCh:
 			return
 		case rec := <-n.replQ:
-			n.replicate(rec)
+			batch = append(batch[:0], rec)
+			for len(batch) < replPipelineDepth {
+				select {
+				case more := <-n.replQ:
+					batch = append(batch, more)
+				default:
+					goto full
+				}
+			}
+		full:
+			n.replicateBatch(batch)
 		}
 	}
 }
 
-func (n *node) replicate(rec replRecord) {
-	pool, err := n.peerPool(n.addrs[rec.owner])
-	if err != nil {
-		return
+func (n *node) replicateBatch(batch []replRecord) {
+	type flight struct {
+		addr string
+		req  *wire.Request
+		resp *wire.Response
+		errc <-chan error
 	}
-	fwd := wire.Request{
-		Op:      wire.OpReplPut,
-		Table:   rec.table,
-		Key:     rec.key,
-		Value:   rec.value,
-		Version: rec.version,
+	flights := make([]flight, 0, len(batch))
+	for _, rec := range batch {
+		addr := n.addrs[rec.owner]
+		pool, err := n.peerPool(addr)
+		if err != nil {
+			continue // copy dropped; anti-entropy territory
+		}
+		req := wire.GetRequest()
+		req.Op = wire.OpReplPut
+		if rec.op == wire.OpDel {
+			req.Op = wire.OpReplDel
+		}
+		req.Table = rec.table
+		req.Key = rec.key
+		req.Value = rec.value
+		req.Version = rec.version
+		resp := wire.GetResponse()
+		flights = append(flights, flight{addr, req, resp, pool.DoAsync(req, resp)})
 	}
-	if rec.op == wire.OpDel {
-		fwd.Op = wire.OpReplDel
-	}
-	var resp wire.Response
-	if err := pool.Do(&fwd, &resp); err != nil {
-		n.dropPeer(n.addrs[rec.owner])
+	for _, f := range flights {
+		if err := <-f.errc; err != nil {
+			n.dropPeer(f.addr)
+		}
+		wire.PutRequest(f.req)
+		wire.PutResponse(f.resp)
 	}
 }
 

@@ -57,42 +57,65 @@ func (s *Server) lockedWrite(m *topology.Map, shard topology.Shard, req *wire.Re
 		return
 	}
 	if m != nil {
-		for _, n := range shard.Replicas {
-			if n.ID == s.cfg.NodeID {
-				continue
-			}
-			if err := s.replicateTo(n, replOp, req, version); err != nil {
-				// Under write-all a dead peer fails the write; the
-				// coordinator will remove it and the client retries.
-				resp.Status = wire.StatusUnavailable
-				resp.Err = "replicate: " + err.Error()
-				return
-			}
+		if err := s.replicateAll(shard, replOp, req, version); err != nil {
+			// Under write-all a dead peer fails the write; the
+			// coordinator will remove it and the client retries.
+			resp.Status = wire.StatusUnavailable
+			resp.Err = "replicate: " + err.Error()
+			return
 		}
 	}
 	resp.Status = wire.StatusOK
 	resp.Version = version
 }
 
-// replicateTo synchronously applies the write at a peer controlet.
-func (s *Server) replicateTo(n topology.Node, op wire.Op, req *wire.Request, version uint64) error {
-	pool, err := s.peerPool(n.ControletAddr)
-	if err != nil {
-		return err
+// replicateAll applies the write at every peer replica concurrently — the
+// fan-out rides the pipelined peer connections so the write-all costs one
+// round-trip to the slowest peer, not the sum. It always waits for every
+// peer (in-flight requests alias req's buffers); the first error wins.
+func (s *Server) replicateAll(shard topology.Shard, op wire.Op, req *wire.Request, version uint64) error {
+	type flight struct {
+		addr  string
+		fwd   *wire.Request
+		presp *wire.Response
+		errc  <-chan error
 	}
-	fwd := wire.Request{
-		Op:      op,
-		Table:   req.Table,
-		Key:     req.Key,
-		Value:   req.Value,
-		Version: version,
+	var flights []flight
+	var firstErr error
+	for _, n := range shard.Replicas {
+		if n.ID == s.cfg.NodeID {
+			continue
+		}
+		pool, err := s.peerPool(n.ControletAddr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fwd := wire.GetRequest()
+		fwd.Op = op
+		fwd.Table = req.Table
+		fwd.Key = req.Key
+		fwd.Value = req.Value
+		fwd.Version = version
+		presp := wire.GetResponse()
+		flights = append(flights, flight{n.ControletAddr, fwd, presp, pool.DoAsync(fwd, presp)})
 	}
-	var peerResp wire.Response
-	if err := pool.Do(&fwd, &peerResp); err != nil {
-		s.dropPeer(n.ControletAddr)
-		return err
+	for _, f := range flights {
+		err := <-f.errc
+		if err != nil {
+			s.dropPeer(f.addr)
+		} else {
+			err = f.presp.ErrValue()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		wire.PutRequest(f.fwd)
+		wire.PutResponse(f.presp)
 	}
-	return peerResp.ErrValue()
+	return firstErr
 }
 
 // lockedGet implements the AA+SC read path: a shared lease on the key,

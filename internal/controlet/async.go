@@ -104,10 +104,18 @@ func (p *propagator) enqueue(shard topology.Shard, rec propRecord) {
 	}
 }
 
+// propPipelineDepth caps how many records one delivery round keeps in
+// flight on the slave connection.
+const propPipelineDepth = 32
+
 // slaveLoop drains one slave's queue, retrying transient failures and
 // dropping records destined for a dead slave (recovery re-syncs it).
+// Backlogged records are gathered into windows of propPipelineDepth and
+// kept in flight together on the pipelined peer connection, so a slave a
+// round-trip away no longer bounds propagation throughput to 1/RTT.
 func (p *propagator) slaveLoop(addr string, q chan propRecord) {
 	defer p.s.wg.Done()
+	batch := make([]propRecord, 0, propPipelineDepth)
 	for {
 		select {
 		case <-p.s.stopCh:
@@ -121,28 +129,63 @@ func (p *propagator) slaveLoop(addr string, q chan propRecord) {
 				}
 			}
 		case rec := <-q:
-			p.deliver(addr, rec)
-			p.pending.Done()
+			batch = append(batch[:0], rec)
+			for len(batch) < propPipelineDepth {
+				select {
+				case more := <-q:
+					batch = append(batch, more)
+				default:
+					goto full
+				}
+			}
+		full:
+			p.deliverBatch(addr, batch)
+			for range batch {
+				p.pending.Done()
+			}
 		}
 	}
 }
 
-func (p *propagator) deliver(addr string, rec propRecord) {
-	req := wire.Request{
-		Op:      rec.op,
-		Table:   rec.table,
-		Key:     rec.key,
-		Value:   rec.value,
-		Version: rec.version,
+// deliverBatch pushes a window of records to one slave, all in flight at
+// once, retrying whichever ones hit transport errors. Retries can reorder a
+// failed record behind a later success, which is safe: slaves apply with
+// LWW versions, so replays and reorderings converge.
+func (p *propagator) deliverBatch(addr string, batch []propRecord) {
+	type flight struct {
+		rec  propRecord
+		req  *wire.Request
+		resp *wire.Response
+		errc <-chan error
 	}
-	var resp wire.Response
+	outstanding := batch
 	for attempt := 0; attempt < 3; attempt++ {
 		pool, err := p.s.peerPool(addr)
 		if err == nil {
-			if err = pool.Do(&req, &resp); err == nil {
+			flights := make([]flight, 0, len(outstanding))
+			for _, rec := range outstanding {
+				req := wire.GetRequest()
+				req.Op = rec.op
+				req.Table = rec.table
+				req.Key = rec.key
+				req.Value = rec.value
+				req.Version = rec.version
+				resp := wire.GetResponse()
+				flights = append(flights, flight{rec, req, resp, pool.DoAsync(req, resp)})
+			}
+			var failed []propRecord
+			for _, f := range flights {
+				if err := <-f.errc; err != nil {
+					failed = append(failed, f.rec)
+				}
+				wire.PutRequest(f.req)
+				wire.PutResponse(f.resp)
+			}
+			if len(failed) == 0 {
 				return
 			}
 			p.s.dropPeer(addr)
+			outstanding = failed
 		}
 		select {
 		case <-p.s.stopCh:
@@ -150,8 +193,8 @@ func (p *propagator) deliver(addr string, rec propRecord) {
 		case <-time.After(time.Duration(attempt+1) * 10 * time.Millisecond):
 		}
 	}
-	p.s.cfg.Logf("controlet %s: dropping propagation to %s (key %q v%d): slave unreachable",
-		p.s.cfg.NodeID, addr, rec.key, rec.version)
+	p.s.cfg.Logf("controlet %s: dropping %d propagation record(s) to %s (first key %q v%d): slave unreachable",
+		p.s.cfg.NodeID, len(outstanding), addr, outstanding[0].key, outstanding[0].version)
 }
 
 // drain blocks until every enqueued record has been delivered or given up

@@ -33,7 +33,7 @@ func (s *Server) chainWrite(m *topology.Map, shard topology.Shard, pos int, req 
 		resp.Err = err.Error()
 		return
 	}
-	if err := s.forwardChain(shard, 0, op, req, version); err != nil {
+	if err := s.startForwardChain(shard, 0, op, req, version).wait(s); err != nil {
 		// A broken chain fails the write; the coordinator repairs the
 		// chain and the client retries against the new topology.
 		resp.Status = wire.StatusUnavailable
@@ -44,35 +44,76 @@ func (s *Server) chainWrite(m *topology.Map, shard topology.Shard, pos int, req 
 	resp.Version = version
 }
 
-// forwardChain sends the write to the successor of position pos and waits
-// for the ack that means every node through the tail has applied it.
-func (s *Server) forwardChain(shard topology.Shard, pos int, op wire.Op, req *wire.Request, version uint64) error {
+// chainAck is an in-flight downstream forward. Its request/response pair
+// comes from the wire message pools and is recycled by wait.
+type chainAck struct {
+	addr  string
+	fwd   *wire.Request
+	presp *wire.Response
+	errc  <-chan error
+	err   error // setup failure; set instead of errc
+}
+
+// startForwardChain launches the write toward the successor of position pos
+// on a pipelined peer connection and returns immediately; the caller
+// overlaps its local apply with the downstream network hop and then waits.
+// A nil ack (this node is the tail) waits as an immediate success.
+func (s *Server) startForwardChain(shard topology.Shard, pos int, op wire.Op, req *wire.Request, version uint64) *chainAck {
 	if pos+1 >= len(shard.Replicas) {
 		return nil // we are the tail
 	}
 	next := shard.Replicas[pos+1]
+	ack := &chainAck{addr: next.ControletAddr}
 	pool, err := s.peerPool(next.ControletAddr)
 	if err != nil {
-		return err
+		ack.err = err
+		return ack
 	}
-	fwd := wire.Request{
-		Op:      op,
-		Table:   req.Table,
-		Key:     req.Key,
-		Value:   req.Value,
-		Version: version,
-		Epoch:   epochOf(s.Map()),
-	}
-	var peerResp wire.Response
-	if err := pool.Do(&fwd, &peerResp); err != nil {
-		s.dropPeer(next.ControletAddr)
-		return err
-	}
-	return peerResp.ErrValue()
+	fwd := wire.GetRequest()
+	fwd.Op = op
+	fwd.Table = req.Table
+	fwd.Key = req.Key
+	fwd.Value = req.Value
+	fwd.Version = version
+	fwd.Epoch = epochOf(s.Map())
+	ack.fwd = fwd
+	ack.presp = wire.GetResponse()
+	ack.errc = pool.DoAsync(fwd, ack.presp)
+	return ack
 }
 
-// handleChain is the mid/tail side of chain replication: apply locally,
-// forward to the successor, ack upstream after the downstream ack.
+// wait blocks until the downstream ack (meaning every node through the tail
+// has applied the write) and recycles the pooled messages.
+func (a *chainAck) wait(s *Server) error {
+	if a == nil {
+		return nil
+	}
+	if a.err != nil {
+		return a.err
+	}
+	err := <-a.errc
+	if err != nil {
+		s.dropPeer(a.addr)
+	} else {
+		err = a.presp.ErrValue()
+	}
+	wire.PutRequest(a.fwd)
+	wire.PutResponse(a.presp)
+	return err
+}
+
+// forwardChain is the synchronous start+wait pair, kept for callers with no
+// work to overlap.
+func (s *Server) forwardChain(shard topology.Shard, pos int, op wire.Op, req *wire.Request, version uint64) error {
+	return s.startForwardChain(shard, pos, op, req, version).wait(s)
+}
+
+// handleChain is the mid/tail side of chain replication: launch the forward
+// to the successor, apply locally while it travels, ack upstream only after
+// both the local apply and the downstream ack. Overlapping the two halves
+// pipelines the chain — the per-hop latency is max(apply, hop) instead of
+// their sum — and is safe because the upstream ack (what the head's client
+// observes, and what tail reads serve) still implies every node applied.
 func (s *Server) handleChain(req *wire.Request, resp *wire.Response) {
 	s.observeVersion(req.Version)
 	m := s.Map()
@@ -86,17 +127,20 @@ func (s *Server) handleChain(req *wire.Request, resp *wire.Response) {
 	if req.Op == wire.OpChainDel {
 		localOp = wire.OpDel
 	}
+	var ack *chainAck
+	if m != nil {
+		ack = s.startForwardChain(shard, pos, req.Op, req, req.Version)
+	}
 	if err := s.applyLocal(localOp, req.Table, req.Key, req.Value, req.Version); err != nil {
+		_ = ack.wait(s) // drain; the write still fails upstream
 		resp.Status = wire.StatusErr
 		resp.Err = err.Error()
 		return
 	}
-	if m != nil {
-		if err := s.forwardChain(shard, pos, req.Op, req, req.Version); err != nil {
-			resp.Status = wire.StatusUnavailable
-			resp.Err = "chain: " + err.Error()
-			return
-		}
+	if err := ack.wait(s); err != nil {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "chain: " + err.Error()
+		return
 	}
 	resp.Status = wire.StatusOK
 	resp.Version = req.Version

@@ -83,6 +83,10 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// connBufSize sizes per-connection read/write buffers; matched to the
+// datalet client so one flush there fits in one read here.
+const connBufSize = 64 << 10
+
 // Server is a running controlet.
 type Server struct {
 	cfg Config
@@ -485,8 +489,9 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(conn transport.Conn) {
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	bcd, _ := s.cfg.Codec.(wire.BufferedCodec)
 	var req wire.Request
 	var resp wire.Response
 	for {
@@ -498,11 +503,21 @@ func (s *Server) serveConn(conn transport.Conn) {
 			return
 		}
 		resp.Reset()
-		resp.ID = req.ID
 		s.dispatch(&req, &resp)
+		// dispatch may have decoded nested peer/datalet responses into
+		// resp, overwriting its ID; stamp it after the fact so the reply
+		// always echoes the request it answers.
+		resp.ID = req.ID
 		// Tell lagging clients the current epoch so they refresh.
 		if m := s.Map(); m != nil && req.Epoch != 0 && req.Epoch < m.Epoch {
 			resp.Epoch = m.Epoch
+		}
+		// Coalesce response flushes while more pipelined requests wait.
+		if bcd != nil && br.Buffered() > 0 {
+			if err := bcd.EncodeResponse(bw, &resp); err != nil {
+				return
+			}
+			continue
 		}
 		if err := s.cfg.Codec.WriteResponse(bw, &resp); err != nil {
 			return

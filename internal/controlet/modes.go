@@ -47,8 +47,11 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response) {
 
 // localCall forwards a request verbatim to the local datalet.
 func (s *Server) localCall(req *wire.Request, resp *wire.Response) {
-	fwd := *req
-	if err := s.local.Do(&fwd, resp); err != nil {
+	fwd := wire.GetRequest()
+	*fwd = *req
+	err := s.local.Do(fwd, resp)
+	wire.PutRequest(fwd)
+	if err != nil {
 		resp.Reset()
 		resp.ID = req.ID
 		resp.Status = wire.StatusUnavailable
@@ -63,11 +66,18 @@ func (s *Server) localCall(req *wire.Request, resp *wire.Response) {
 // jumps past it and the write retries, so no acknowledged write is ever
 // silently shadowed by pre-transition history.
 func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte) (uint64, error) {
+	req := wire.GetRequest()
+	resp := wire.GetResponse()
+	defer wire.PutRequest(req)
+	defer wire.PutResponse(resp)
+	req.Op = op
+	req.Table = table
+	req.Key = key
+	req.Value = value
 	for attempt := 0; attempt < 8; attempt++ {
 		version := s.nextVersion()
-		req := wire.Request{Op: op, Table: table, Key: key, Value: value, Version: version}
-		var resp wire.Response
-		if err := s.local.Do(&req, &resp); err != nil {
+		req.Version = version
+		if err := s.local.Do(req, resp); err != nil {
 			return 0, err
 		}
 		if resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable {
@@ -83,9 +93,16 @@ func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte)
 
 // applyLocal writes to the local datalet with an explicit version.
 func (s *Server) applyLocal(op wire.Op, table string, key, value []byte, version uint64) error {
-	req := wire.Request{Op: op, Table: table, Key: key, Value: value, Version: version}
-	var resp wire.Response
-	if err := s.local.Do(&req, &resp); err != nil {
+	req := wire.GetRequest()
+	resp := wire.GetResponse()
+	defer wire.PutRequest(req)
+	defer wire.PutResponse(resp)
+	req.Op = op
+	req.Table = table
+	req.Key = key
+	req.Value = value
+	req.Version = version
+	if err := s.local.Do(req, resp); err != nil {
 		return err
 	}
 	if resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable {
@@ -259,9 +276,13 @@ func (s *Server) handleTableOp(req *wire.Request, resp *wire.Response) {
 			resp.Err = err.Error()
 			return
 		}
-		fwd := *req
-		var peerResp wire.Response
-		if err := pool.Do(&fwd, &peerResp); err != nil {
+		fwd := wire.GetRequest()
+		*fwd = *req
+		peerResp := wire.GetResponse()
+		err = pool.Do(fwd, peerResp)
+		wire.PutRequest(fwd)
+		wire.PutResponse(peerResp)
+		if err != nil {
 			s.dropDataletPeer(n.DataletAddr)
 			resp.Status = wire.StatusUnavailable
 			resp.Err = err.Error()
@@ -272,12 +293,16 @@ func (s *Server) handleTableOp(req *wire.Request, resp *wire.Response) {
 }
 
 func (s *Server) ddlLocal(req *wire.Request) error {
-	fwd := *req
-	var resp wire.Response
-	if err := s.local.Do(&fwd, &resp); err != nil {
-		return err
+	fwd := wire.GetRequest()
+	*fwd = *req
+	resp := wire.GetResponse()
+	err := s.local.Do(fwd, resp)
+	wire.PutRequest(fwd)
+	if err == nil {
+		err = resp.ErrValue()
 	}
-	return resp.ErrValue()
+	wire.PutResponse(resp)
+	return err
 }
 
 // handleRepl applies an asynchronous replication record from a peer.

@@ -1,27 +1,100 @@
+// Asynchronous data-path client: the communication substrate the paper's
+// controlet performance rests on (§IV, Fig. 9). A single connection carries
+// many requests in flight — callers enqueue, a writer goroutine encodes the
+// accumulated batch back-to-back and flushes once (write coalescing: one
+// syscall covers a burst), and a reader goroutine matches responses to
+// waiters in FIFO order, which every server in this repo guarantees per
+// connection (see the comment on datalet.(*Server).serveConn; the text
+// protocol depends on it by design).
 package datalet
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
 )
 
-// Client is a synchronous connection to one datalet (or to any server that
-// speaks the wire protocol — controlets reuse it for peer forwarding). One
-// request is outstanding at a time per Client; holders needing concurrency
-// open several clients.
+const (
+	// connBufSize sizes the per-connection read/write buffers. Large
+	// enough to hold a deep burst of small KV requests per flush.
+	connBufSize = 64 << 10
+	// maxInflight bounds requests awaiting responses per connection;
+	// senders beyond it block (backpressure) rather than queue unbounded.
+	maxInflight = 1024
+)
+
+// ErrClientClosed is returned after the connection has failed or closed.
+var ErrClientClosed = errors.New("datalet: client closed")
+
+// call is one in-flight request/response exchange.
+type call struct {
+	req  *wire.Request
+	resp *wire.Response
+	// stream, when non-nil, consumes successive responses (Export): it
+	// reports done=true to complete the call with err. A streamAbort err
+	// additionally fails the connection (required when the consumer bails
+	// mid-stream — the remaining frames can no longer be parsed away).
+	stream func(resp *wire.Response) (done bool, err error)
+	errc   chan error // buffered(1); delivers exactly one completion
+}
+
+// streamAbort marks a stream callback error as connection-fatal.
+type streamAbort struct{ err error }
+
+func (a streamAbort) Error() string { return a.err.Error() }
+
+// Client is a pipelined, multiplexed connection to one datalet (or to any
+// server speaking the wire protocol — controlets reuse it for peer
+// forwarding). Any number of goroutines may issue requests concurrently;
+// they share the connection with many requests in flight. The blocking Do
+// keeps the old lock-step signature; DoAsync exposes the pipeline to
+// fan-out callers.
 type Client struct {
-	mu    sync.Mutex
 	conn  transport.Conn
-	br    *bufio.Reader
-	bw    *bufio.Writer
 	codec wire.Codec
-	seq   uint64
-	err   error // sticky transport error
+	bcd   wire.BufferedCodec // nil if codec cannot defer flushes
+	br    *bufio.Reader      // owned by the reader goroutine
+	bw    *bufio.Writer      // owned by the writer goroutine
+	seq   uint64             // request ID source (writer only)
+
+	// mu guards the two queues and the sticky error. Callers append to
+	// sendQ; the writer moves calls to respQ as it encodes them; the
+	// reader pops respQ as responses arrive. Critical sections are tiny —
+	// encoding, flushing and decoding all happen outside the lock.
+	mu        sync.Mutex
+	sendQ     []*call
+	respQ     []*call
+	free      []*call // recycled calls (and their completion channels)
+	err       error   // sticky transport error
+	// Connection-ownership flags for the idle fast path: a lone Do on an
+	// otherwise-idle connection runs lock-step inline (the caller encodes,
+	// flushes, and decodes itself — no goroutine handoffs), which matters
+	// because a connection with exactly one caller gets pipelining's
+	// overhead but none of its overlap. Each flag marks a goroutine that
+	// may touch bw/br outside mu.
+	inlineActive bool // a fast-path Do owns both bw and br
+	writerBusy   bool // writeLoop is encoding/flushing a batch (owns bw)
+	readerBusy   bool // readLoop is decoding a popped batch (owns br)
+	// lastBatch is the size of the writer's most recent batch — the
+	// hysteresis for the fast path. Under concurrency the queues drain to
+	// empty between rounds, so "idle right now" alone would route the
+	// first caller of every round inline and serialize the rest behind
+	// it; "and the last round was a lone caller" keeps a busy connection
+	// pipelined. Lone-caller traffic drives it back to 1 within one op.
+	lastBatch int
+	sendReady sync.Cond // sendQ went non-empty, or failure (writer waits)
+	respReady sync.Cond // respQ went non-empty, or failure (reader waits)
+	sendSpace sync.Cond // sendQ below maxInflight, or failure (callers wait)
+	respSpace sync.Cond // respQ below maxInflight, or failure (writer waits)
+
+	load atomic.Int64 // queued + in-flight calls (pool load balancing)
+	wg   sync.WaitGroup
 }
 
 // Dial connects a client to addr over the given network and codec.
@@ -30,76 +103,437 @@ func Dial(network transport.Network, addr string, codec wire.Codec) (*Client, er
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		conn:  conn,
-		br:    bufio.NewReader(conn),
-		bw:    bufio.NewWriter(conn),
 		codec: codec,
-	}, nil
+		br:    bufio.NewReaderSize(conn, connBufSize),
+		bw:    bufio.NewWriterSize(conn, connBufSize),
+	}
+	c.bcd, _ = codec.(wire.BufferedCodec)
+	c.sendReady.L = &c.mu
+	c.respReady.L = &c.mu
+	c.sendSpace.L = &c.mu
+	c.respSpace.L = &c.mu
+	c.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
 }
 
-// ErrClientClosed is returned after the connection has failed or closed.
-var ErrClientClosed = errors.New("datalet: client closed")
-
-// Do sends req and decodes the reply into resp. It assigns req.ID.
+// Do sends req and decodes the reply into resp. The writer assigns req.ID;
+// Do blocks until the response arrives or the connection fails. Safe for
+// concurrent use; concurrent callers pipeline onto the shared connection.
 func (c *Client) Do(req *wire.Request, resp *wire.Response) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return c.err
+	if c.err == nil && c.lastBatch <= 1 && !c.inlineActive && !c.writerBusy &&
+		!c.readerBusy && len(c.sendQ) == 0 && len(c.respQ) == 0 {
+		// The connection is completely idle: take exclusive ownership
+		// of both buffers and run the round trip lock-step, exactly as
+		// the old synchronous client did. A lone caller gets none of
+		// pipelining's overlap, so it shouldn't pay for its goroutine
+		// handoffs either; under concurrency the queues are non-empty
+		// and everyone takes the pipelined path below.
+		c.inlineActive = true
+		c.seq++
+		req.ID = c.seq
+		c.mu.Unlock()
+		return c.doInline(req, resp)
 	}
-	c.seq++
-	req.ID = c.seq
-	if err := c.codec.WriteRequest(c.bw, req); err != nil {
-		c.fail(err)
+	c.mu.Unlock()
+	cl, err := c.submit(nil, req, resp)
+	if err != nil {
 		return err
 	}
-	resp.Reset()
-	if err := c.codec.ReadResponse(c.br, resp); err != nil {
+	err = <-cl.errc
+	// The receive above drained the completion channel, so the call can
+	// be recycled for a future Do.
+	c.mu.Lock()
+	cl.req, cl.resp, cl.stream = nil, nil, nil
+	c.free = append(c.free, cl)
+	c.mu.Unlock()
+	return err
+}
+
+// doInline completes a fast-path Do that owns the connection's buffers.
+func (c *Client) doInline(req *wire.Request, resp *wire.Response) error {
+	c.load.Add(1)
+	defer c.load.Add(-1)
+	err := c.codec.WriteRequest(c.bw, req)
+	if err == nil {
+		resp.Reset()
+		err = c.codec.ReadResponse(c.br, resp)
+	}
+	if err == nil && resp.ID != 0 && resp.ID != req.ID {
+		err = fmt.Errorf("datalet: pipeline desync: response ID %d for request %d", resp.ID, req.ID)
+	}
+	if err != nil {
 		c.fail(err)
-		return err
+		c.mu.Lock()
+		c.inlineActive = false
+		c.mu.Unlock()
+		return c.Err()
+	}
+	resp.ID = req.ID
+	c.mu.Lock()
+	c.inlineActive = false
+	kick := len(c.sendQ) > 0
+	c.mu.Unlock()
+	if kick {
+		// Pipelined submissions queued up behind us; hand the writer
+		// the connection.
+		c.sendReady.Signal()
 	}
 	return nil
 }
 
-// Export streams the table's pairs, calling fn for each.
-func (c *Client) Export(table string, fn func(kv wire.KV) error) error {
+// DoAsync enqueues req and returns a channel that delivers the completion
+// error (nil on success, after which resp holds the reply). Neither req nor
+// resp may be touched until the channel delivers. Used by fan-out paths —
+// chain forwarding, asynchronous propagation, quorum replication — to keep
+// many peer ops in flight on one connection.
+func (c *Client) DoAsync(req *wire.Request, resp *wire.Response) <-chan error {
+	cl := &call{req: req, resp: resp, errc: make(chan error, 1)}
+	if _, err := c.submit(cl, req, resp); err != nil {
+		cl.errc <- err
+	}
+	return cl.errc
+}
+
+// submit enqueues a call for the writer. Passing cl == nil draws one from
+// the freelist (the Do path, whose receive provably drains the completion
+// channel before recycling); DoAsync and Export pass their own, since they
+// hand the channel to the caller. A nil error means the pipeline owns the
+// call and will complete errc exactly once; otherwise nothing was sent.
+func (c *Client) submit(cl *call, req *wire.Request, resp *wire.Response) (*call, error) {
+	c.mu.Lock()
+	for c.err == nil && len(c.sendQ) >= maxInflight {
+		c.sendSpace.Wait()
+	}
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if cl == nil {
+		if n := len(c.free); n > 0 {
+			cl = c.free[n-1]
+			c.free[n-1] = nil
+			c.free = c.free[:n-1]
+		} else {
+			cl = &call{errc: make(chan error, 1)}
+		}
+		cl.req = req
+		cl.resp = resp
+	}
+	c.sendQ = append(c.sendQ, cl)
+	if len(c.sendQ) == 1 {
+		c.sendReady.Signal()
+	}
+	c.mu.Unlock()
+	c.load.Add(1)
+	return cl, nil
+}
+
+// writeLoop drains the submission queue in batches: everything that
+// accumulated while the previous batch was being encoded and flushed forms
+// the next batch, so coalescing deepens exactly as fast as the connection
+// falls behind its callers — one flush (one syscall) per batch, one per
+// request only when the pipe is idle anyway.
+func (c *Client) writeLoop() {
+	defer c.wg.Done()
+	var batch []*call
+	for {
+		c.mu.Lock()
+		c.writerBusy = false // previous batch fully flushed
+		for c.err == nil && (c.inlineActive || len(c.sendQ) == 0 || len(c.respQ) >= maxInflight) {
+			if c.inlineActive || len(c.sendQ) == 0 {
+				// Also parks while a fast-path Do owns the buffers;
+				// its completion signals sendReady.
+				c.sendReady.Wait()
+			} else {
+				// The reader will drain respQ; all previous frames
+				// are flushed (every iteration ends in a flush), so
+				// responses are on their way.
+				c.respSpace.Wait()
+			}
+		}
+		if c.err != nil {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		// The first submitter of a completion burst wakes us into the
+		// scheduler's preferential (runnext) slot, ahead of its sibling
+		// callers — grabbing the queue now would yield a batch of one,
+		// every time. Yield once: the rest of the burst runs, submits,
+		// and the batch forms. Costs one scheduler pass when the pipe
+		// really is idle.
+		runtime.Gosched()
+		c.mu.Lock()
+		if c.err != nil || len(c.sendQ) == 0 {
+			c.mu.Unlock()
+			if c.err != nil {
+				return
+			}
+			continue
+		}
+		// Take as much of sendQ as in-flight capacity allows. From here
+		// until the flush lands, the writer owns bw.
+		c.writerBusy = true
+		n := maxInflight - len(c.respQ)
+		if n > len(c.sendQ) {
+			n = len(c.sendQ)
+		}
+		c.lastBatch = n
+		batch = append(batch[:0], c.sendQ[:n]...)
+		rest := copy(c.sendQ, c.sendQ[n:])
+		for i := rest; i < len(c.sendQ); i++ {
+			c.sendQ[i] = nil
+		}
+		c.sendQ = c.sendQ[:rest]
+		c.sendSpace.Broadcast()
+		c.mu.Unlock()
+
+		for _, cl := range batch {
+			c.seq++
+			cl.req.ID = c.seq
+			if err := c.encode(cl.req); err != nil {
+				// A partially encoded frame corrupts the stream for
+				// everyone behind it; the connection cannot be saved.
+				// fail() completes every queued call, including the
+				// unencoded tail of this batch (fail drains the
+				// queues, so first hand the whole batch to respQ).
+				c.mu.Lock()
+				c.respQ = append(c.respQ, batch...)
+				c.mu.Unlock()
+				c.fail(err)
+				return
+			}
+		}
+		// Expose the batch to the reader before flushing so it is
+		// listening by the time the server can possibly answer.
+		c.mu.Lock()
+		if c.err != nil {
+			c.respQ = append(c.respQ, batch...)
+			c.mu.Unlock()
+			c.fail(c.Err()) // re-enter to complete the batch
+			return
+		}
+		wasEmpty := len(c.respQ) == 0
+		c.respQ = append(c.respQ, batch...)
+		if wasEmpty {
+			c.respReady.Signal()
+		}
+		c.mu.Unlock()
+		if err := c.bw.Flush(); err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+// encode writes req into the send buffer, deferring the flush when the
+// codec supports it.
+func (c *Client) encode(req *wire.Request) error {
+	if c.bcd != nil {
+		return c.bcd.EncodeRequest(c.bw, req)
+	}
+	return c.codec.WriteRequest(c.bw, req)
+}
+
+// readLoop decodes responses and hands them to waiters in FIFO order. It
+// drains the in-flight queue a batch at a time and withholds completions
+// until the whole batch has decoded: releasing the callers in one burst
+// makes their next submissions arrive together, which is what lets the
+// writer form deep batches (and flush once) instead of finding one request
+// at a time. Holding decoded completions while blocking on the next frame
+// is safe — every call in respQ is behind an already-issued flush, so its
+// response is on the way.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	var batch, doneOK []*call
+	for {
+		c.mu.Lock()
+		c.readerBusy = false // previous batch fully decoded
+		for len(c.respQ) == 0 {
+			if c.err != nil {
+				c.mu.Unlock()
+				return
+			}
+			c.respReady.Wait()
+		}
+		// Swap out the whole in-flight queue in one critical section.
+		// From here until the batch is decoded, the reader owns br.
+		c.readerBusy = true
+		batch, c.respQ = c.respQ, batch[:0]
+		c.respSpace.Broadcast()
+		c.mu.Unlock()
+
+		doneOK = doneOK[:0]
+		for i, cl := range batch {
+			if cl.stream != nil {
+				// A stream can run long; release finished callers
+				// before servicing it.
+				doneOK = c.completeOK(doneOK)
+				if !c.readStream(cl) {
+					c.completeSticky(batch[i+1:])
+					return
+				}
+				continue
+			}
+			cl.resp.Reset()
+			if err := c.codec.ReadResponse(c.br, cl.resp); err != nil {
+				c.fail(err)
+				c.completeOK(doneOK)
+				c.complete(cl, c.Err())
+				c.completeSticky(batch[i+1:])
+				return
+			}
+			if err := c.checkID(cl); err != nil {
+				c.fail(err)
+				c.completeOK(doneOK)
+				c.complete(cl, err)
+				c.completeSticky(batch[i+1:])
+				return
+			}
+			doneOK = append(doneOK, cl)
+		}
+		doneOK = c.completeOK(doneOK)
+	}
+}
+
+// completeOK releases calls whose responses decoded successfully and
+// returns the emptied (reusable) slice.
+func (c *Client) completeOK(calls []*call) []*call {
+	for i, cl := range calls {
+		calls[i] = nil
+		c.complete(cl, nil)
+	}
+	return calls[:0]
+}
+
+// completeSticky fails calls the reader had already claimed from respQ when
+// the connection died; fail() cannot see them, so the reader must.
+func (c *Client) completeSticky(calls []*call) {
+	err := c.Err()
+	for _, cl := range calls {
+		c.complete(cl, err)
+	}
+}
+
+// readStream consumes responses for a streaming call (Export) until the
+// callback reports completion. It reports whether the reader should
+// continue with the next call.
+func (c *Client) readStream(cl *call) bool {
+	for {
+		cl.resp.Reset()
+		if err := c.codec.ReadResponse(c.br, cl.resp); err != nil {
+			c.fail(err)
+			c.complete(cl, c.Err())
+			return false
+		}
+		if err := c.checkID(cl); err != nil {
+			c.fail(err)
+			c.complete(cl, err)
+			return false
+		}
+		done, err := cl.stream(cl.resp)
+		if abort, ok := err.(streamAbort); ok {
+			// The consumer bailed mid-stream; the tail of the stream
+			// would desynchronize every caller behind it.
+			c.fail(abort.err)
+			c.complete(cl, abort.err)
+			return false
+		}
+		if done {
+			c.complete(cl, err)
+			return true
+		}
+	}
+}
+
+// checkID verifies FIFO integrity: a binary-codec response must echo the
+// request ID it is being matched to. The text codec carries no IDs (it
+// decodes resp.ID as 0) and relies on FIFO alone, as Redis pipelining does.
+func (c *Client) checkID(cl *call) error {
+	if cl.resp.ID != 0 && cl.resp.ID != cl.req.ID {
+		return fmt.Errorf("datalet: pipeline desync: response ID %d for request %d", cl.resp.ID, cl.req.ID)
+	}
+	cl.resp.ID = cl.req.ID
+	return nil
+}
+
+func (c *Client) complete(cl *call, err error) {
+	c.load.Add(-1)
+	cl.errc <- err
+}
+
+// fail marks the connection dead with a sticky error, closes it, and
+// completes every call still queued or awaiting a response. Idempotent;
+// the first error wins.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		_ = c.conn.Close()
+	}
+	failed := append(c.respQ, c.sendQ...)
+	c.respQ = nil
+	c.sendQ = nil
+	c.mu.Unlock()
+	c.sendReady.Broadcast()
+	c.respReady.Broadcast()
+	c.sendSpace.Broadcast()
+	c.respSpace.Broadcast()
+	stickyErr := c.Err()
+	for _, cl := range failed {
+		c.complete(cl, stickyErr)
+	}
+}
+
+// Err returns the sticky transport error, or nil while the connection is
+// healthy.
+func (c *Client) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.err != nil {
-		return c.err
+	return c.err
+}
+
+// Load reports the number of requests queued or in flight, the signal
+// Pool.Get balances on.
+func (c *Client) Load() int { return int(c.load.Load()) }
+
+// Export streams the table's pairs, calling fn for each. The stream shares
+// the pipelined connection: responses for requests submitted after the
+// export simply queue behind the stream's frames.
+func (c *Client) Export(table string, fn func(kv wire.KV) error) error {
+	var scratch wire.Response
+	cl := &call{
+		req:  &wire.Request{Op: wire.OpExport, Table: table},
+		resp: &scratch,
+		errc: make(chan error, 1),
 	}
-	c.seq++
-	req := wire.Request{ID: c.seq, Op: wire.OpExport, Table: table}
-	if err := c.codec.WriteRequest(c.bw, &req); err != nil {
-		c.fail(err)
-		return err
-	}
-	var resp wire.Response
-	for {
-		resp.Reset()
-		if err := c.codec.ReadResponse(c.br, &resp); err != nil {
-			c.fail(err)
-			return err
-		}
+	cl.stream = func(resp *wire.Response) (bool, error) {
 		if resp.Status != wire.StatusOK {
 			if err := resp.ErrValue(); err != nil {
-				return err
+				return true, err
 			}
-			return fmt.Errorf("datalet: export %q: %s %s", table, resp.Status, resp.Err)
+			return true, fmt.Errorf("datalet: export %q: %s %s", table, resp.Status, resp.Err)
 		}
 		if len(resp.Pairs) == 0 {
-			return nil // sentinel
+			return true, nil // sentinel
 		}
 		for i := range resp.Pairs {
 			if err := fn(resp.Pairs[i]); err != nil {
-				// The stream must still be drained to keep the
-				// connection usable; fail it instead.
-				c.fail(err)
-				return err
+				return true, streamAbort{err}
 			}
 		}
+		return false, nil
 	}
+	if _, err := c.submit(cl, cl.req, cl.resp); err != nil {
+		return err
+	}
+	return <-cl.errc
 }
 
 // Ping round-trips an OpNop.
@@ -111,30 +545,20 @@ func (c *Client) Ping() error {
 	return resp.ErrValue()
 }
 
-func (c *Client) fail(err error) {
-	if c.err == nil {
-		c.err = err
-		_ = c.conn.Close()
-	}
-}
-
-// Close tears down the connection.
+// Close tears down the connection; in-flight calls fail with
+// ErrClientClosed.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err == nil {
-		c.err = ErrClientClosed
-	}
-	return c.conn.Close()
+	c.fail(ErrClientClosed)
+	c.wg.Wait()
+	return nil
 }
 
-// Pool is a fixed-size set of clients to one address, handed out
-// round-robin so callers get connection-level parallelism with FIFO
-// ordering preserved per connection.
+// Pool is a fixed-size set of pipelined clients to one address. Get hands
+// out the least-loaded connection, so a long stream (Export) or a burst on
+// one connection steers new work to the others while idle pools still
+// funnel everything onto one pipe, where coalescing is best.
 type Pool struct {
 	clients []*Client
-	mu      sync.Mutex
-	next    int
 }
 
 // DialPool opens size connections to addr.
@@ -154,18 +578,29 @@ func DialPool(network transport.Network, addr string, codec wire.Codec, size int
 	return p, nil
 }
 
-// Get returns the next client round-robin.
+// Get returns the pooled client with the fewest requests in flight.
 func (p *Pool) Get() *Client {
-	p.mu.Lock()
-	c := p.clients[p.next%len(p.clients)]
-	p.next++
-	p.mu.Unlock()
-	return c
+	best := p.clients[0]
+	if len(p.clients) > 1 {
+		bestLoad := best.Load()
+		for _, c := range p.clients[1:] {
+			if l := c.Load(); l < bestLoad {
+				best, bestLoad = c, l
+			}
+		}
+	}
+	return best
 }
 
-// Do dispatches one request on the next pooled connection.
+// Do dispatches one request on the least-loaded pooled connection.
 func (p *Pool) Do(req *wire.Request, resp *wire.Response) error {
 	return p.Get().Do(req, resp)
+}
+
+// DoAsync dispatches one request asynchronously on the least-loaded pooled
+// connection.
+func (p *Pool) DoAsync(req *wire.Request, resp *wire.Response) <-chan error {
+	return p.Get().DoAsync(req, resp)
 }
 
 // Close closes every pooled connection.

@@ -143,10 +143,13 @@ func (s *Server) acceptLoop() {
 
 // serveConn processes one connection's requests sequentially, which
 // preserves FIFO response ordering (required by the text protocol and
-// relied on by all clients).
+// relied on by all clients). Responses are flush-coalesced: while more
+// pipelined requests sit in the read buffer, responses are only encoded,
+// and one flush covers the whole burst once the buffer drains.
 func (s *Server) serveConn(conn transport.Conn) {
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	bcd, _ := s.cfg.Codec.(wire.BufferedCodec)
 	var req wire.Request
 	var resp wire.Response
 	for {
@@ -166,6 +169,12 @@ func (s *Server) serveConn(conn transport.Conn) {
 		resp.Reset()
 		resp.ID = req.ID
 		s.handle(&req, &resp)
+		if bcd != nil && br.Buffered() > 0 {
+			if err := bcd.EncodeResponse(bw, &resp); err != nil {
+				return
+			}
+			continue
+		}
 		if err := s.cfg.Codec.WriteResponse(bw, &resp); err != nil {
 			return
 		}
@@ -317,6 +326,13 @@ func (s *Server) streamExport(bw *bufio.Writer, req *wire.Request) error {
 		resp := wire.Response{ID: req.ID, Status: wire.StatusNotFound, Err: "no such table: " + req.Table}
 		return s.cfg.Codec.WriteResponse(bw, &resp)
 	}
+	// Batches are encoded without per-frame flushes when the codec allows
+	// it; bufio flushes as its buffer fills and the sentinel flush below
+	// pushes out the tail.
+	writeBatch := s.cfg.Codec.WriteResponse
+	if bcd, ok := s.cfg.Codec.(wire.BufferedCodec); ok {
+		writeBatch = bcd.EncodeResponse
+	}
 	var batch wire.Response
 	batch.ID = req.ID
 	total := uint64(0)
@@ -328,21 +344,19 @@ func (s *Server) streamExport(bw *bufio.Writer, req *wire.Request) error {
 		})
 		total++
 		if len(batch.Pairs) >= exportBatch {
-			if err := s.cfg.Codec.WriteResponse(bw, &batch); err != nil {
+			if err := writeBatch(bw, &batch); err != nil {
 				return err
 			}
 			batch.Pairs = batch.Pairs[:0]
 		}
 		return nil
 	})
+	if err == nil && len(batch.Pairs) > 0 {
+		err = writeBatch(bw, &batch)
+	}
 	if err != nil {
 		resp := wire.Response{ID: req.ID, Status: wire.StatusErr, Err: err.Error()}
 		return s.cfg.Codec.WriteResponse(bw, &resp)
-	}
-	if len(batch.Pairs) > 0 {
-		if err := s.cfg.Codec.WriteResponse(bw, &batch); err != nil {
-			return err
-		}
 	}
 	final := wire.Response{ID: req.ID, Status: wire.StatusOK, Version: total}
 	return s.cfg.Codec.WriteResponse(bw, &final)

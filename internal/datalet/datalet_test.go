@@ -238,7 +238,7 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
-func TestPoolRoundRobin(t *testing.T) {
+func TestPoolLeastLoaded(t *testing.T) {
 	srv, _ := newServer(t, "binary", nil)
 	net, _ := transport.Lookup("inproc")
 	codec, _ := wire.LookupCodec("binary")
@@ -248,17 +248,18 @@ func TestPoolRoundRobin(t *testing.T) {
 	}
 	defer pool.Close()
 	var resp wire.Response
-	for i := 0; i < 20; i++ {
-		if err := pool.Do(&wire.Request{Op: wire.OpNop}, &resp); err != nil {
-			t.Fatal(err)
-		}
+	if err := pool.Do(&wire.Request{Op: wire.OpNop}, &resp); err != nil {
+		t.Fatal(err)
 	}
-	seen := map[*Client]bool{}
+	// With all connections idle, Get must pick an idle one; artificially
+	// loading a client must steer Get away from it.
+	busy := pool.Get()
+	busy.load.Add(1)
+	defer busy.load.Add(-1)
 	for i := 0; i < 8; i++ {
-		seen[pool.Get()] = true
-	}
-	if len(seen) != 4 {
-		t.Fatalf("round robin visited %d clients, want 4", len(seen))
+		if got := pool.Get(); got == busy {
+			t.Fatalf("Get returned the loaded client over %d idle ones", len(pool.clients)-1)
+		}
 	}
 }
 

@@ -293,16 +293,17 @@ func DialClient(network transport.Network, addr, owner string) (*Client, error) 
 }
 
 // Lock acquires key in the given mode, waiting up to wait; it returns the
-// fencing token.
+// fencing token. The RPC deadline stretches past wait, since the server
+// legitimately holds the call open that long.
 func (c *Client) Lock(key string, mode Mode, ttl, wait time.Duration) (uint64, error) {
 	var reply LockReply
-	err := c.c.Call("Lock", LockArgs{
+	err := c.c.CallTimeoutEx("Lock", LockArgs{
 		Key:    key,
 		Owner:  c.owner,
 		Mode:   mode,
 		TTLMs:  int(ttl / time.Millisecond),
 		WaitMs: int(wait / time.Millisecond),
-	}, &reply)
+	}, &reply, wait+rpc.DefaultCallTimeout)
 	if err != nil {
 		return 0, err
 	}

@@ -16,11 +16,22 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"bespokv/internal/transport"
 )
 
 const maxFrame = 16 << 20
+
+// DefaultCallTimeout bounds Client.Call when Client.CallTimeout is unset.
+// A response that never comes (server wedged, frame lost to a half-open
+// connection) must fail the call, not hang it forever. The longest
+// legitimate waits in-tree are the ~2s watch long-polls and DLM lock waits,
+// so 10s is comfortably above any honest response time.
+const DefaultCallTimeout = 10 * time.Second
+
+// ErrCallTimeout is returned when a call's response did not arrive in time.
+var ErrCallTimeout = errors.New("rpc: call timed out")
 
 type reqMsg struct {
 	ID     uint64          `json:"id"`
@@ -165,8 +176,13 @@ func (s *Server) serveConn(conn transport.Conn) {
 		h, ok := s.handlers[req.Method]
 		s.mu.RUnlock()
 		// Dispatch concurrently so slow handlers (watch long-polls)
-		// don't block the connection.
+		// don't block the connection. Each dispatched handler holds a
+		// WaitGroup slot so Close waits for it instead of racing its
+		// teardown. (serveConn itself holds a slot, so this Add can
+		// never race conns.Wait observing zero.)
+		s.conns.Add(1)
 		go func() {
+			defer s.conns.Done()
 			var resp respMsg
 			resp.ID = req.ID
 			if !ok {
@@ -217,19 +233,27 @@ type Client struct {
 	conn    transport.Conn
 	writeMu sync.Mutex
 
+	// CallTimeout bounds each Call's wait for its response; zero or
+	// negative disables the bound. Set before the first Call.
+	CallTimeout time.Duration
+
 	mu      sync.Mutex
 	pending map[uint64]chan respMsg
 	nextID  uint64
 	err     error
 }
 
-// DialClient connects to an rpc.Server.
+// DialClient connects to an rpc.Server with the default call timeout.
 func DialClient(network transport.Network, addr string) (*Client, error) {
 	conn, err := network.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, pending: map[uint64]chan respMsg{}}
+	c := &Client{
+		conn:        conn,
+		CallTimeout: DefaultCallTimeout,
+		pending:     map[uint64]chan respMsg{},
+	}
 	go c.readLoop()
 	return c, nil
 }
@@ -269,8 +293,16 @@ func (c *Client) failAll(err error) {
 }
 
 // Call invokes method with args, unmarshaling the result into reply
-// (which may be nil to discard it).
+// (which may be nil to discard it). It waits at most c.CallTimeout.
 func (c *Client) Call(method string, args any, reply any) error {
+	return c.CallTimeoutEx(method, args, reply, c.CallTimeout)
+}
+
+// CallTimeoutEx is Call with an explicit response deadline, for the few
+// long-poll-style methods (e.g. DLM lock waits) whose honest response time
+// a caller knows can exceed the connection's default. timeout <= 0 waits
+// forever.
+func (c *Client) CallTimeoutEx(method string, args, reply any, timeout time.Duration) error {
 	var rawArgs json.RawMessage
 	if args != nil {
 		b, err := json.Marshal(args)
@@ -304,7 +336,24 @@ func (c *Client) Call(method string, args any, reply any) error {
 		c.mu.Unlock()
 		return err
 	}
-	resp := <-ch
+	var resp respMsg
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case resp = <-ch:
+		case <-timer.C:
+			// Forget the call so a late response is discarded; the
+			// pending channel is buffered, so even a response racing
+			// this delete cannot block the read loop.
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s after %v", ErrCallTimeout, method, timeout)
+		}
+	} else {
+		resp = <-ch
+	}
 	if resp.Err != "" {
 		return errors.New(resp.Err)
 	}

@@ -194,3 +194,54 @@ func TestDuplicateHandlerPanics(t *testing.T) {
 	}()
 	s.Handle("M", func(json.RawMessage) (any, error) { return nil, nil })
 }
+
+func TestCallTimeout(t *testing.T) {
+	_, c := newPair(t)
+	c.CallTimeout = 50 * time.Millisecond
+	var out int
+	start := time.Now()
+	err := c.Call("Slow", 5_000, &out)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("want ErrCallTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The connection survives a timed-out call; later calls still work,
+	// and the abandoned call's late response is discarded silently.
+	c.CallTimeout = DefaultCallTimeout
+	if err := c.Call("Add", addArgs{A: 2, B: 3}, &out); err != nil || out != 5 {
+		t.Fatalf("call after timeout: %v out=%d", err, out)
+	}
+}
+
+func TestCallTimeoutEx(t *testing.T) {
+	_, c := newPair(t)
+	c.CallTimeout = 50 * time.Millisecond
+	var out int
+	// An explicit longer deadline overrides the connection default.
+	if err := c.CallTimeoutEx("Slow", 200, &out, 5*time.Second); err != nil || out != 200 {
+		t.Fatalf("CallTimeoutEx: %v out=%d", err, out)
+	}
+}
+
+// TestCloseWaitsForHandlers drives Close concurrently with slow in-flight
+// handlers; under -race this fails if Close races dispatched handler
+// goroutines instead of waiting for them.
+func TestCloseWaitsForHandlers(t *testing.T) {
+	s, c := newPair(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out int
+			_ = c.Call("Slow", 50, &out)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

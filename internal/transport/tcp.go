@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"net"
+	"time"
 )
 
 // TCP is the kernel socket network. It disables Nagle's algorithm on every
@@ -11,6 +12,16 @@ type TCP struct{}
 
 // Name reports "tcp".
 func (TCP) Name() string { return "tcp" }
+
+const (
+	// DialTimeout bounds connection establishment: an unreachable peer
+	// must fail fast so the caller can drop it and repair the topology,
+	// not sit in the kernel's SYN retry schedule for minutes.
+	DialTimeout = 5 * time.Second
+	// KeepAlivePeriod turns on TCP keep-alive probes so half-open
+	// connections to crashed peers are detected even when idle.
+	KeepAlivePeriod = 30 * time.Second
+)
 
 // Listen binds a TCP listener on addr ("host:port"; port 0 picks a free one).
 func (TCP) Listen(addr string) (Listener, error) {
@@ -21,9 +32,11 @@ func (TCP) Listen(addr string) (Listener, error) {
 	return &tcpListener{l: l}, nil
 }
 
-// Dial connects to a TCP address.
+// Dial connects to a TCP address, bounded by DialTimeout and with
+// keep-alive probes enabled.
 func (TCP) Dial(addr string) (Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	d := net.Dialer{Timeout: DialTimeout, KeepAlive: KeepAlivePeriod}
+	c, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -47,6 +60,8 @@ func (t *tcpListener) Accept() (Conn, error) {
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(KeepAlivePeriod)
 	}
 	return tcpConn{c}, nil
 }

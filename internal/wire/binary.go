@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // BinaryCodec is the default, compact encoding: every message is a uvarint
@@ -16,11 +17,32 @@ type BinaryCodec struct{}
 // Name reports the codec's registry name.
 func (BinaryCodec) Name() string { return "binary" }
 
+// maxPooledBuf caps how large a scratch buffer the codec pools will retain;
+// an occasional huge scan result should not pin megabytes per pool slot.
+const maxPooledBuf = 1 << 20
+
+// scratchPool recycles the encode/decode frame buffers so steady-state
+// operation allocates nothing per message.
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getScratch() *[]byte { return scratchPool.Get().(*[]byte) }
+
+func putScratch(p *[]byte) {
+	if cap(*p) > maxPooledBuf {
+		return
+	}
+	scratchPool.Put(p)
+}
+
 type frameWriter struct {
 	buf []byte
 }
 
 func (f *frameWriter) uvarint(v uint64) {
+	if v < 0x80 {
+		f.buf = append(f.buf, byte(v))
+		return
+	}
 	f.buf = binary.AppendUvarint(f.buf, v)
 }
 
@@ -34,7 +56,8 @@ func (f *frameWriter) string(s string) {
 	f.buf = append(f.buf, s...)
 }
 
-func (f *frameWriter) flush(w *bufio.Writer) error {
+// emit frames the buffered payload into w without flushing it.
+func (f *frameWriter) emit(w *bufio.Writer) error {
 	if len(f.buf) > MaxFrame {
 		return ErrFrameTooLarge
 	}
@@ -43,10 +66,20 @@ func (f *frameWriter) flush(w *bufio.Writer) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write(f.buf); err != nil {
-		return err
+	_, err := w.Write(f.buf)
+	return err
+}
+
+// emitInPlace finishes a frame whose buffer began as w.AvailableBuffer()
+// with 4 bytes reserved for the header. If the fields outgrew the buffer,
+// append has already moved f.buf to fresh memory and Write simply copies it.
+func (f *frameWriter) emitInPlace(w *bufio.Writer) error {
+	if len(f.buf)-4 > MaxFrame {
+		return ErrFrameTooLarge
 	}
-	return w.Flush()
+	binary.LittleEndian.PutUint32(f.buf[:4], uint32(len(f.buf)-4))
+	_, err := w.Write(f.buf)
+	return err
 }
 
 type frameReader struct {
@@ -73,6 +106,14 @@ func (f *frameReader) fill(r *bufio.Reader) error {
 }
 
 func (f *frameReader) uvarint() (uint64, error) {
+	// Single-byte fast path: nearly every field in a KV message — op,
+	// status, lengths, small versions — fits in one varint byte.
+	if f.pos < len(f.buf) {
+		if b := f.buf[f.pos]; b < 0x80 {
+			f.pos++
+			return uint64(b), nil
+		}
+	}
 	v, n := binary.Uvarint(f.buf[f.pos:])
 	if n <= 0 {
 		return 0, fmt.Errorf("wire: truncated uvarint at offset %d", f.pos)
@@ -107,10 +148,8 @@ func (f *frameReader) string() (string, error) {
 	return s, nil
 }
 
-// WriteRequest encodes req into w.
-func (BinaryCodec) WriteRequest(w *bufio.Writer, req *Request) error {
-	var f frameWriter
-	f.buf = make([]byte, 0, 64+len(req.Key)+len(req.Value)+len(req.EndKey))
+// encodeRequestFields appends req's field stream to f.
+func encodeRequestFields(f *frameWriter, req *Request) {
 	f.uvarint(req.ID)
 	f.uvarint(uint64(req.Op))
 	f.string(req.Table)
@@ -121,15 +160,98 @@ func (BinaryCodec) WriteRequest(w *bufio.Writer, req *Request) error {
 	f.uvarint(req.Version)
 	f.uvarint(uint64(req.Level))
 	f.uvarint(req.Epoch)
-	return f.flush(w)
+}
+
+// EncodeRequest serializes req into w without flushing (BufferedCodec).
+func (BinaryCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
+	est := 64 + len(req.Table) + len(req.Key) + len(req.Value) + len(req.EndKey)
+	if buf := w.AvailableBuffer(); cap(buf) >= 4+est {
+		// Frame straight into the writer's own buffer: reserve the
+		// 4-byte length header, append the fields behind it, patch the
+		// header, and hand the slice back — Write's copy degenerates to
+		// a self-copy, so the whole encode touches each byte once and
+		// allocates nothing.
+		f := frameWriter{buf: buf[:4]}
+		encodeRequestFields(&f, req)
+		return f.emitInPlace(w)
+	}
+	p := getScratch()
+	f := frameWriter{buf: (*p)[:0]}
+	encodeRequestFields(&f, req)
+	err := f.emit(w)
+	*p = f.buf
+	putScratch(p)
+	return err
+}
+
+// WriteRequest encodes req into w and flushes.
+func (c BinaryCodec) WriteRequest(w *bufio.Writer, req *Request) error {
+	if err := c.EncodeRequest(w, req); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// fillFrame positions a frameReader over the next frame. When the whole
+// frame already fits the reader's buffer it parses in place from Peek'd
+// bytes — no copy, no scratch — and the caller must Discard 4+len(buf)
+// when done. Larger frames fall back to copying through a pooled scratch
+// buffer, returned as p for the caller to recycle.
+func fillFrame(r *bufio.Reader) (f frameReader, p *[]byte, err error) {
+	hdr, err := r.Peek(4)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return frameReader{}, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return frameReader{}, nil, ErrFrameTooLarge
+	}
+	if int(4+n) <= r.Size() {
+		win, err := r.Peek(int(4 + n))
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return frameReader{}, nil, err
+		}
+		return frameReader{buf: win[4:]}, nil, nil
+	}
+	p = getScratch()
+	f = frameReader{buf: *p}
+	if err := f.fill(r); err != nil {
+		*p = f.buf
+		putScratch(p)
+		return frameReader{}, nil, err
+	}
+	return f, p, nil
+}
+
+// doneFrame releases whatever fillFrame acquired: the scratch buffer, or
+// the Peek'd window (by consuming it from the reader).
+func doneFrame(r *bufio.Reader, f *frameReader, p *[]byte) {
+	if p != nil {
+		*p = f.buf
+		putScratch(p)
+		return
+	}
+	_, _ = r.Discard(4 + len(f.buf))
 }
 
 // ReadRequest decodes the next request from r into req, reusing its buffers.
 func (BinaryCodec) ReadRequest(r *bufio.Reader, req *Request) error {
-	var f frameReader
-	if err := f.fill(r); err != nil {
+	f, p, err := fillFrame(r)
+	if err != nil {
 		return err
 	}
+	err = parseRequestFields(&f, req)
+	doneFrame(r, &f, p)
+	return err
+}
+
+func parseRequestFields(f *frameReader, req *Request) error {
 	var err error
 	if req.ID, err = f.uvarint(); err != nil {
 		return err
@@ -179,14 +301,8 @@ func (BinaryCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 	return nil
 }
 
-// WriteResponse encodes resp into w.
-func (BinaryCodec) WriteResponse(w *bufio.Writer, resp *Response) error {
-	var f frameWriter
-	n := 64 + len(resp.Value) + len(resp.Err)
-	for i := range resp.Pairs {
-		n += 20 + len(resp.Pairs[i].Key) + len(resp.Pairs[i].Value)
-	}
-	f.buf = make([]byte, 0, n)
+// encodeResponseFields appends resp's field stream to f.
+func encodeResponseFields(f *frameWriter, resp *Response) {
 	f.uvarint(resp.ID)
 	f.uvarint(uint64(resp.Status))
 	f.bytes(resp.Value)
@@ -199,15 +315,48 @@ func (BinaryCodec) WriteResponse(w *bufio.Writer, resp *Response) error {
 	f.uvarint(resp.Version)
 	f.uvarint(resp.Epoch)
 	f.string(resp.Err)
-	return f.flush(w)
+}
+
+// EncodeResponse serializes resp into w without flushing (BufferedCodec).
+func (BinaryCodec) EncodeResponse(w *bufio.Writer, resp *Response) error {
+	est := 64 + len(resp.Value) + len(resp.Err)
+	for i := range resp.Pairs {
+		est += 24 + len(resp.Pairs[i].Key) + len(resp.Pairs[i].Value)
+	}
+	if buf := w.AvailableBuffer(); cap(buf) >= 4+est {
+		f := frameWriter{buf: buf[:4]}
+		encodeResponseFields(&f, resp)
+		return f.emitInPlace(w)
+	}
+	p := getScratch()
+	f := frameWriter{buf: (*p)[:0]}
+	encodeResponseFields(&f, resp)
+	err := f.emit(w)
+	*p = f.buf
+	putScratch(p)
+	return err
+}
+
+// WriteResponse encodes resp into w and flushes.
+func (c BinaryCodec) WriteResponse(w *bufio.Writer, resp *Response) error {
+	if err := c.EncodeResponse(w, resp); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // ReadResponse decodes the next response from r into resp.
 func (BinaryCodec) ReadResponse(r *bufio.Reader, resp *Response) error {
-	var f frameReader
-	if err := f.fill(r); err != nil {
+	f, p, err := fillFrame(r)
+	if err != nil {
 		return err
 	}
+	err = parseResponseFields(&f, resp)
+	doneFrame(r, &f, p)
+	return err
+}
+
+func parseResponseFields(f *frameReader, resp *Response) error {
 	var err error
 	if resp.ID, err = f.uvarint(); err != nil {
 		return err

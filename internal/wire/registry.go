@@ -18,6 +18,18 @@ type Codec interface {
 	ReadResponse(r *bufio.Reader, resp *Response) error
 }
 
+// BufferedCodec is an optional Codec extension for write coalescing: the
+// Encode methods serialize a message into w WITHOUT flushing, so a pipelined
+// sender can pack many messages into one syscall and flush once when its
+// send queue goes idle (or a batch threshold hits). WriteRequest/WriteResponse
+// remain "encode then flush" for lock-step callers. Both in-tree codecs
+// implement it; callers type-assert and fall back to the flushing methods.
+type BufferedCodec interface {
+	Codec
+	EncodeRequest(w *bufio.Writer, req *Request) error
+	EncodeResponse(w *bufio.Writer, resp *Response) error
+}
+
 var (
 	codecMu sync.RWMutex
 	codecs  = map[string]Codec{}

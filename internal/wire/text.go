@@ -99,8 +99,8 @@ func readBulk(r *bufio.Reader, dst []byte) ([]byte, error) {
 	if _, err := readFull(r, dst); err != nil {
 		return nil, err
 	}
-	tail := make([]byte, 2)
-	if _, err := readFull(r, tail); err != nil {
+	var tail [2]byte
+	if _, err := readFull(r, tail[:]); err != nil {
 		return nil, err
 	}
 	if tail[0] != '\r' || tail[1] != '\n' {
@@ -137,8 +137,8 @@ var opByVerb = func() map[string]Op {
 	return m
 }()
 
-// WriteRequest encodes req into w.
-func (TextCodec) WriteRequest(w *bufio.Writer, req *Request) error {
+// EncodeRequest serializes req into w without flushing (BufferedCodec).
+func (TextCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
 	if err := writeArrayHeader(w, 9); err != nil {
 		return err
 	}
@@ -166,7 +166,12 @@ func (TextCodec) WriteRequest(w *bufio.Writer, req *Request) error {
 	if err := writeBulkUint(w, uint64(req.Level)); err != nil {
 		return err
 	}
-	if err := writeBulkUint(w, req.Epoch); err != nil {
+	return writeBulkUint(w, req.Epoch)
+}
+
+// WriteRequest encodes req into w and flushes.
+func (c TextCodec) WriteRequest(w *bufio.Writer, req *Request) error {
+	if err := c.EncodeRequest(w, req); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -224,8 +229,8 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 	return nil
 }
 
-// WriteResponse encodes resp into w.
-func (TextCodec) WriteResponse(w *bufio.Writer, resp *Response) error {
+// EncodeResponse serializes resp into w without flushing (BufferedCodec).
+func (TextCodec) EncodeResponse(w *bufio.Writer, resp *Response) error {
 	if err := writeArrayHeader(w, 6+3*len(resp.Pairs)); err != nil {
 		return err
 	}
@@ -257,6 +262,14 @@ func (TextCodec) WriteResponse(w *bufio.Writer, resp *Response) error {
 		if err := writeBulkUint(w, resp.Pairs[i].Version); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// WriteResponse encodes resp into w and flushes.
+func (c TextCodec) WriteResponse(w *bufio.Writer, resp *Response) error {
+	if err := c.EncodeResponse(w, resp); err != nil {
+		return err
 	}
 	return w.Flush()
 }

@@ -10,6 +10,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Op identifies a request operation. Client-visible operations come first;
@@ -247,3 +248,55 @@ const MaxFrame = 64 << 20
 
 // ErrFrameTooLarge is returned when a length prefix exceeds MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Message pools. Hot paths that fan requests out (chain forwarding, async
+// propagation, quorum replication) allocate a Request/Response per in-flight
+// peer op; recycling them keeps the per-op allocation count flat as the
+// pipeline depth grows.
+
+var requestPool = sync.Pool{New: func() any { return new(Request) }}
+
+// GetRequest returns a zeroed Request from the pool.
+func GetRequest() *Request {
+	r := requestPool.Get().(*Request)
+	r.Reset()
+	return r
+}
+
+// PutRequest recycles req. The byte-slice fields are dropped rather than
+// retained: pooled requests routinely alias buffers owned by a server
+// connection's scratch request (fwd.Key = req.Key), and keeping those
+// arrays would let the next pool user append into memory someone else is
+// still reading.
+func PutRequest(req *Request) {
+	req.Key = nil
+	req.Value = nil
+	req.EndKey = nil
+	req.Reset()
+	requestPool.Put(req)
+}
+
+var responsePool = sync.Pool{New: func() any { return new(Response) }}
+
+// GetResponse returns a zeroed Response from the pool. Unlike requests,
+// pooled responses keep their backing arrays across uses: they are filled
+// by codec decoding, which copies into the buffers (append(dst[:0], ...)),
+// so the arrays are owned by the response and safe to reuse.
+func GetResponse() *Response {
+	r := responsePool.Get().(*Response)
+	r.Reset()
+	return r
+}
+
+// PutResponse recycles resp. The caller must not touch resp (or slices into
+// it) afterwards.
+func PutResponse(resp *Response) {
+	if cap(resp.Value) > maxPooledBuf {
+		resp.Value = nil
+	}
+	if cap(resp.Pairs) > 1024 {
+		resp.Pairs = nil
+	}
+	resp.Reset()
+	responsePool.Put(resp)
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full pre-merge check: vet, build, test, then race-test the concurrent
+# packages (pipelined datalet client, rpc, transports, controlet, client
+# router). Mirrors `make check` for environments without make.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race \
+	./internal/datalet/... \
+	./internal/rpc/... \
+	./internal/transport/... \
+	./internal/controlet/... \
+	./internal/client/...
