@@ -5,11 +5,24 @@ GO ?= go
 # replication paths, and the client router.
 RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... ./internal/controlet/... ./internal/client/...
 
-.PHONY: all check vet build test race bench bench-pipeline clean
+# Observability packages: the metrics registry, trace recorder, and the
+# HTTP introspection endpoints (including the end-to-end cluster test).
+OBS_PKGS = ./internal/metrics/... ./internal/trace/... ./internal/obs/...
+
+.PHONY: all check vet build test race obs bench bench-pipeline clean
 
 all: check
 
-check: vet build test race
+check: vet build test race obs
+
+# obs race-tests the observability stack and guards the hot-path contract:
+# Counter.Add and Histogram.Observe must stay allocation-free (the zero
+# allocs/op assertion lives in TestHotPathZeroAlloc; the -benchmem run
+# makes regressions visible in review output too).
+obs:
+	$(GO) test -race $(OBS_PKGS)
+	$(GO) test -run TestHotPathZeroAlloc ./internal/metrics/
+	$(GO) test -run NONE -bench 'CounterAdd|HistogramObserve' -benchmem ./internal/metrics/
 
 vet:
 	$(GO) vet ./...

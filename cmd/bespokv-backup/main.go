@@ -14,6 +14,7 @@ import (
 
 	"bespokv/internal/backup"
 	"bespokv/internal/client"
+	"bespokv/internal/obs"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
 )
@@ -22,8 +23,14 @@ func main() {
 	var (
 		coordAddr = flag.String("coordinator", "127.0.0.1:7000", "coordinator address")
 		network   = flag.String("network", "tcp", "transport (tcp or inproc)")
+		obsAddr   = flag.String("obs-addr", "", "HTTP observability address (/metrics, /statusz, /tracez, pprof); empty disables")
 	)
 	flag.Parse()
+	if o, err := obs.Start(*obsAddr, nil); err != nil {
+		log.Fatal(err)
+	} else if o != nil {
+		defer o.Close()
+	}
 	args := flag.Args()
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bespokv-backup [flags] dump|restore <file>")

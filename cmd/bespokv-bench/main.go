@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"bespokv/internal/bench"
+	"bespokv/internal/obs"
 )
 
 var experiments = map[string]struct {
@@ -53,8 +54,19 @@ func main() {
 		preload = flag.Int("preload", -1, "keys preloaded before measuring")
 		nodes   = flag.String("nodes", "", "comma-separated node-count sweep, e.g. 3,6,12,24")
 		network = flag.String("network", "", "transport: inproc (default) or tcp")
+		obsAddr = flag.String("obs-addr", "", "HTTP observability address (/metrics, /statusz, /tracez, pprof); empty disables")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		o, err := obs.Start(*obsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability on http://%s/\n", o.Addr())
+		defer o.Close()
+	}
 
 	if *exp == "" || *exp == "list" {
 		names := make([]string, 0, len(experiments))

@@ -20,6 +20,7 @@ import (
 
 	"bespokv/internal/client"
 	"bespokv/internal/coordinator"
+	"bespokv/internal/obs"
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
@@ -31,8 +32,14 @@ func main() {
 		network   = flag.String("network", "tcp", "transport (tcp or inproc)")
 		table     = flag.String("table", "", "table name (default table when empty)")
 		level     = flag.String("level", "default", "read consistency: default, strong, eventual")
+		obsAddr   = flag.String("obs-addr", "", "HTTP observability address (/metrics, /statusz, /tracez, pprof); empty disables")
 	)
 	flag.Parse()
+	if o, err := obs.Start(*obsAddr, nil); err != nil {
+		log.Fatal(err)
+	} else if o != nil {
+		defer o.Close()
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()

@@ -32,6 +32,7 @@ import (
 	"syscall"
 
 	"bespokv/internal/controlet"
+	"bespokv/internal/obs"
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
@@ -55,6 +56,7 @@ type fileConfig struct {
 
 func main() {
 	configPath := flag.String("config", "", "JSON configuration file (required)")
+	obsAddr := flag.String("obs-addr", "", "HTTP observability address (/metrics, /statusz, /tracez, pprof); empty disables")
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
@@ -112,6 +114,14 @@ func main() {
 	}
 	fmt.Printf("bespokv-controlet %s (%s, shard %s): data=%s ctl=%s datalet=%s\n",
 		fc.NodeID, mode, fc.ShardID, s.DataAddr(), s.CtlAddr(), fc.Datalet)
+	o, err := obs.Start(*obsAddr, s.Status)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if o != nil {
+		fmt.Printf("observability on http://%s/\n", o.Addr())
+		defer o.Close()
+	}
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
 	<-ch

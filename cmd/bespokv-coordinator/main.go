@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"bespokv/internal/coordinator"
+	"bespokv/internal/obs"
 	"bespokv/internal/transport"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		network = flag.String("network", "tcp", "transport (tcp or inproc)")
 		hbTO    = flag.Duration("heartbeat-timeout", 5*time.Second, "declare a node dead after this silence")
 		noFail  = flag.Bool("disable-failover", false, "turn the failure detector off")
+		obsAddr = flag.String("obs-addr", "", "HTTP observability address (/metrics, /statusz, /tracez, pprof); empty disables")
 	)
 	flag.Parse()
 	net, err := transport.Lookup(*network)
@@ -44,6 +46,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("bespokv-coordinator listening on %s (%s), heartbeat timeout %v\n", s.Addr(), *network, *hbTO)
+	o, err := obs.Start(*obsAddr, s.Status)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if o != nil {
+		fmt.Printf("observability on http://%s/\n", o.Addr())
+		defer o.Close()
+	}
 	waitForSignal()
 	_ = s.Close()
 }

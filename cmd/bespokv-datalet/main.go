@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"bespokv/internal/datalet"
+	"bespokv/internal/obs"
 	"bespokv/internal/store"
 	"bespokv/internal/store/applog"
 	"bespokv/internal/store/btree"
@@ -33,6 +34,7 @@ func main() {
 		dir     = flag.String("dir", "", "data directory for persistent engines")
 		codec   = flag.String("codec", "binary", "wire protocol: binary or text")
 		name    = flag.String("name", "datalet", "instance name for logs")
+		obsAddr = flag.String("obs-addr", "", "HTTP observability address (/metrics, /statusz, /tracez, pprof); empty disables")
 	)
 	flag.Parse()
 	net, err := transport.Lookup(*network)
@@ -59,6 +61,14 @@ func main() {
 	}
 	fmt.Printf("bespokv-datalet %q listening on %s (%s), engine=%s codec=%s\n",
 		*name, s.Addr(), *network, *engine, *codec)
+	o, err := obs.Start(*obsAddr, s.Status)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if o != nil {
+		fmt.Printf("observability on http://%s/\n", o.Addr())
+		defer o.Close()
+	}
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
 	<-ch

@@ -206,6 +206,9 @@ func RunLoad(kvs []KV, gens []*workload.Generator, d time.Duration) Result {
 	)
 	timer := time.AfterFunc(d, func() { close(stopCh) })
 	defer timer.Stop()
+	// Expose the live load histogram on /metrics so a scrape during a run
+	// sees the same data the final report prints.
+	metrics.Default.SetHistogram("bespokv_bench_op_seconds", &hist)
 	start := time.Now()
 	for i := range gens {
 		wg.Add(1)

@@ -18,7 +18,9 @@ import (
 
 	"bespokv/internal/coordinator"
 	"bespokv/internal/datalet"
+	"bespokv/internal/metrics"
 	"bespokv/internal/topology"
+	"bespokv/internal/trace"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
 )
@@ -327,7 +329,37 @@ func (e errOut) Unwrap() error { return e.last }
 // execute retries an operation across redirects, stale epochs, transitions
 // and failovers. route picks the target from the current map; it is
 // re-evaluated after every refresh.
-func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (string, uint64, error)) error {
+func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (string, uint64, error)) (err error) {
+	// Head-based sampling starts here: a sampled request carries its trace
+	// ID through every hop it touches (controlets, replicas, datalets, DLM,
+	// shared log), and the client span brackets the whole operation
+	// including retries.
+	if req.TraceID == 0 {
+		req.TraceID = trace.Sample()
+	}
+	timed := req.TraceID != 0 || metrics.SampleLatency()
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	defer func() {
+		if err != nil {
+			clientErrors.Inc()
+		}
+		if !timed {
+			countClientOp(req.Op)
+			return
+		}
+		dur := time.Since(start)
+		recordClientOp(req.Op, dur)
+		if req.TraceID != 0 {
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			trace.Record(req.TraceID, "client", "client."+req.Op.String(), start, dur, errStr)
+		}
+	}()
 	var lastErr error
 	backoff := c.cfg.RetryBackoff
 	redirect := ""
@@ -352,6 +384,7 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 				}
 				return nil
 			case wire.StatusRedirect:
+				clientRedirects.Inc()
 				redirect = resp.Err
 				lastErr = fmt.Errorf("redirected to %s", resp.Err)
 				continue // immediate, no backoff
@@ -366,6 +399,7 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 		if attempt == c.cfg.Retries-1 {
 			break // out of budget: fail now, don't pay refresh+backoff
 		}
+		clientRetries.Inc()
 		c.refreshMap()
 		select {
 		case <-c.stopCh:

@@ -1,0 +1,42 @@
+package client
+
+import (
+	"time"
+
+	"bespokv/internal/metrics"
+	"bespokv/internal/wire"
+)
+
+// Client-side op metrics, pre-resolved per op so execute's hot path never
+// takes a registry lookup (see the contract in internal/metrics).
+var (
+	clientOpCount [wire.OpHandoff + 1]*metrics.Counter
+	clientOpLat   [wire.OpHandoff + 1]*metrics.Histogram
+
+	clientRetries   = metrics.Default.Counter("bespokv_client_retries_total")
+	clientRedirects = metrics.Default.Counter("bespokv_client_redirects_total")
+	clientErrors    = metrics.Default.Counter("bespokv_client_errors_total")
+)
+
+func init() {
+	for op := wire.OpNop; op <= wire.OpHandoff; op++ {
+		clientOpCount[op] = metrics.Default.Counter("bespokv_client_ops_total", "op", op.String())
+		clientOpLat[op] = metrics.Default.Histogram("bespokv_client_op_seconds", "op", op.String())
+	}
+}
+
+func clampClientOp(op wire.Op) wire.Op {
+	if op > wire.OpHandoff {
+		return wire.OpNop
+	}
+	return op
+}
+
+// countClientOp is the unsampled path: op accounting without the clock.
+func countClientOp(op wire.Op) { clientOpCount[clampClientOp(op)].Inc() }
+
+func recordClientOp(op wire.Op, d time.Duration) {
+	op = clampClientOp(op)
+	clientOpCount[op].Inc()
+	clientOpLat[op].Observe(d)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bespokv/internal/sharedlog"
+	"bespokv/internal/trace"
 	"bespokv/internal/wire"
 )
 
@@ -182,6 +183,7 @@ func (a *logApplier) applyLoop(reader *sharedlog.Client) {
 		}
 		next = n
 		a.applied.Store(next)
+		ctlAAECApplied.Set(int64(next))
 		if len(entries) > 0 {
 			// Pace the long-poll so sustained appends coalesce into
 			// batched reads instead of one wake per entry (the paper's
@@ -214,7 +216,9 @@ func (a *logApplier) applyEntry(e sharedlog.Entry) {
 	if rec.del {
 		op = wire.OpDel
 	}
-	if err := a.s.applyLocal(op, rec.table, rec.key, rec.value, version); err != nil {
+	// Log records carry no trace ID: the sampled writer's own apply is
+	// traced synchronously at append time; replica applies are untraced.
+	if err := a.s.applyLocal(op, rec.table, rec.key, rec.value, version, 0); err != nil {
 		a.s.cfg.Logf("controlet %s: apply log entry %d: %v", a.s.cfg.NodeID, e.Offset, err)
 	}
 }
@@ -246,7 +250,17 @@ func (s *Server) loggedWrite(req *wire.Request, resp *wire.Response) {
 		key:    req.Key,
 		value:  req.Value,
 	}
+	start := time.Now()
 	offset, err := s.aaec.append(rec.shard, encodeLogRecord(rec))
+	dur := time.Since(start)
+	ctlLogAppendLat.Observe(dur)
+	if req.TraceID != 0 {
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		trace.Record(req.TraceID, s.cfg.NodeID, "log.append", start, dur, errStr)
+	}
 	if err != nil {
 		resp.Status = wire.StatusUnavailable
 		resp.Err = "sharedlog: " + err.Error()
@@ -258,7 +272,7 @@ func (s *Server) loggedWrite(req *wire.Request, resp *wire.Response) {
 	if rec.del {
 		op = wire.OpDel
 	}
-	if err := s.applyLocal(op, req.Table, req.Key, req.Value, version); err != nil {
+	if err := s.applyLocal(op, req.Table, req.Key, req.Value, version, req.TraceID); err != nil {
 		resp.Status = wire.StatusErr
 		resp.Err = err.Error()
 		return

@@ -5,6 +5,7 @@ import (
 
 	"bespokv/internal/dlm"
 	"bespokv/internal/topology"
+	"bespokv/internal/trace"
 	"bespokv/internal/wire"
 )
 
@@ -24,13 +25,30 @@ func newLockClient(cfg Config) (*lockClient, error) {
 
 func (l *lockClient) close() { _ = l.c.Close() }
 
+// acquire wraps the DLM lock call with the lock-wait histogram and, for
+// sampled requests, a "dlm.wait" span.
+func (s *Server) acquire(tid uint64, key string, mode dlm.Mode) (uint64, error) {
+	start := time.Now()
+	token, err := s.locks.c.LockTraced(tid, key, mode, s.locks.ttl, s.locks.ttl)
+	dur := time.Since(start)
+	ctlLockWait.Observe(dur)
+	if tid != 0 {
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		trace.Record(tid, s.cfg.NodeID, "dlm.wait", start, dur, errStr)
+	}
+	return token, err
+}
+
 // lockedWrite implements the AA+SC put path (§C-B): acquire the per-key
 // write lease, apply to every replica's datalet, release, acknowledge. The
 // monotonically increasing fencing token doubles as the LWW version, so a
 // slow writer whose lease expired can never clobber a newer value.
 func (s *Server) lockedWrite(m *topology.Map, shard topology.Shard, req *wire.Request, resp *wire.Response) {
 	lockKey := req.Table + "\x00" + string(req.Key)
-	if _, err := s.locks.c.Lock(lockKey, dlm.Write, s.locks.ttl, s.locks.ttl); err != nil {
+	if _, err := s.acquire(req.TraceID, lockKey, dlm.Write); err != nil {
 		resp.Status = wire.StatusUnavailable
 		resp.Err = "dlm: " + err.Error()
 		return
@@ -50,7 +68,7 @@ func (s *Server) lockedWrite(m *topology.Map, shard topology.Shard, req *wire.Re
 	// exclusive lease delivers this version to every peer before the
 	// lease is released, so the next writer of this key (whoever it is)
 	// has observed it and will assign a strictly larger version.
-	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value)
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID)
 	if err != nil {
 		resp.Status = wire.StatusErr
 		resp.Err = err.Error()
@@ -99,7 +117,9 @@ func (s *Server) replicateAll(shard topology.Shard, op wire.Op, req *wire.Reques
 		fwd.Key = req.Key
 		fwd.Value = req.Value
 		fwd.Version = version
+		fwd.TraceID = req.TraceID
 		presp := wire.GetResponse()
+		ctlReplicateAll.Inc()
 		flights = append(flights, flight{n.ControletAddr, fwd, presp, pool.DoAsync(fwd, presp)})
 	}
 	for _, f := range flights {
@@ -123,7 +143,7 @@ func (s *Server) replicateAll(shard topology.Shard, op wire.Op, req *wire.Reques
 // writes hold the exclusive lease across all replicas.
 func (s *Server) lockedGet(req *wire.Request, resp *wire.Response) {
 	lockKey := req.Table + "\x00" + string(req.Key)
-	if _, err := s.locks.c.Lock(lockKey, dlm.Read, s.locks.ttl, s.locks.ttl); err != nil {
+	if _, err := s.acquire(req.TraceID, lockKey, dlm.Read); err != nil {
 		resp.Status = wire.StatusUnavailable
 		resp.Err = "dlm: " + err.Error()
 		return

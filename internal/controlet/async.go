@@ -2,6 +2,7 @@ package controlet
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bespokv/internal/topology"
@@ -27,7 +28,7 @@ func (s *Server) asyncWrite(m *topology.Map, shard topology.Shard, pos int, req 
 		localOp = wire.OpDel
 		replOp = wire.OpReplDel
 	}
-	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value)
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID)
 	if err != nil {
 		resp.Status = wire.StatusErr
 		resp.Err = err.Error()
@@ -40,6 +41,7 @@ func (s *Server) asyncWrite(m *topology.Map, shard topology.Shard, pos int, req 
 			key:     append([]byte(nil), req.Key...),
 			value:   append([]byte(nil), req.Value...),
 			version: version,
+			traceID: req.TraceID,
 		})
 	}
 	resp.Status = wire.StatusOK
@@ -53,6 +55,7 @@ type propRecord struct {
 	key     []byte
 	value   []byte
 	version uint64
+	traceID uint64
 }
 
 // propagator fans master writes out to slaves in the background. One
@@ -64,7 +67,10 @@ type propagator struct {
 	mu      sync.Mutex
 	queues  map[string]chan propRecord // slave controlet addr → queue
 	pending sync.WaitGroup
-	stopped bool
+	// pendingN mirrors the WaitGroup count for /statusz and the
+	// replication-lag gauge (WaitGroup has no readable counter).
+	pendingN atomic.Int64
+	stopped  bool
 }
 
 // propQueueDepth bounds each slave's backlog; a full queue applies
@@ -94,11 +100,16 @@ func (p *propagator) enqueue(shard topology.Shard, rec propRecord) {
 			go p.slaveLoop(n.ControletAddr, q)
 		}
 		p.pending.Add(1)
+		p.pendingN.Add(1)
+		ctlPropPending.Add(1)
 		p.mu.Unlock()
 		select {
 		case q <- rec:
+			ctlPropEnqueued.Inc()
 		case <-p.s.stopCh:
 			p.pending.Done()
+			p.pendingN.Add(-1)
+			ctlPropPending.Add(-1)
 			return
 		}
 	}
@@ -124,6 +135,8 @@ func (p *propagator) slaveLoop(addr string, q chan propRecord) {
 				select {
 				case <-q:
 					p.pending.Done()
+					p.pendingN.Add(-1)
+					ctlPropPending.Add(-1)
 				default:
 					return
 				}
@@ -143,6 +156,8 @@ func (p *propagator) slaveLoop(addr string, q chan propRecord) {
 			for range batch {
 				p.pending.Done()
 			}
+			p.pendingN.Add(-int64(len(batch)))
+			ctlPropPending.Add(-int64(len(batch)))
 		}
 	}
 }
@@ -170,6 +185,7 @@ func (p *propagator) deliverBatch(addr string, batch []propRecord) {
 				req.Key = rec.key
 				req.Value = rec.value
 				req.Version = rec.version
+				req.TraceID = rec.traceID
 				resp := wire.GetResponse()
 				flights = append(flights, flight{rec, req, resp, pool.DoAsync(req, resp)})
 			}
@@ -193,6 +209,7 @@ func (p *propagator) deliverBatch(addr string, batch []propRecord) {
 		case <-time.After(time.Duration(attempt+1) * 10 * time.Millisecond):
 		}
 	}
+	ctlPropDropped.Add(int64(len(outstanding)))
 	p.s.cfg.Logf("controlet %s: dropping %d propagation record(s) to %s (first key %q v%d): slave unreachable",
 		p.s.cfg.NodeID, len(outstanding), addr, outstanding[0].key, outstanding[0].version)
 }

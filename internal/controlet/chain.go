@@ -27,7 +27,7 @@ func (s *Server) chainWrite(m *topology.Map, shard topology.Shard, pos int, req 
 		op = wire.OpChainDel
 		localOp = wire.OpDel
 	}
-	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value)
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID)
 	if err != nil {
 		resp.Status = wire.StatusErr
 		resp.Err = err.Error()
@@ -76,7 +76,9 @@ func (s *Server) startForwardChain(shard topology.Shard, pos int, op wire.Op, re
 	fwd.Value = req.Value
 	fwd.Version = version
 	fwd.Epoch = epochOf(s.Map())
+	fwd.TraceID = req.TraceID
 	ack.fwd = fwd
+	ctlChainForwards.Inc()
 	ack.presp = wire.GetResponse()
 	ack.errc = pool.DoAsync(fwd, ack.presp)
 	return ack
@@ -131,7 +133,7 @@ func (s *Server) handleChain(req *wire.Request, resp *wire.Response) {
 	if m != nil {
 		ack = s.startForwardChain(shard, pos, req.Op, req, req.Version)
 	}
-	if err := s.applyLocal(localOp, req.Table, req.Key, req.Value, req.Version); err != nil {
+	if err := s.applyLocal(localOp, req.Table, req.Key, req.Value, req.Version, req.TraceID); err != nil {
 		_ = ack.wait(s) // drain; the write still fails upstream
 		resp.Status = wire.StatusErr
 		resp.Err = err.Error()

@@ -29,8 +29,10 @@ import (
 
 	"bespokv/internal/coordinator"
 	"bespokv/internal/datalet"
+	"bespokv/internal/metrics"
 	"bespokv/internal/rpc"
 	"bespokv/internal/topology"
+	"bespokv/internal/trace"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
 )
@@ -503,7 +505,21 @@ func (s *Server) serveConn(conn transport.Conn) {
 			return
 		}
 		resp.Reset()
+		timed := req.TraceID != 0 || metrics.SampleLatency()
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		s.dispatch(&req, &resp)
+		if timed {
+			dur := time.Since(start)
+			recordCtlOp(req.Op, dur)
+			if req.TraceID != 0 {
+				trace.Record(req.TraceID, s.cfg.NodeID, "controlet."+req.Op.String(), start, dur, resp.Err)
+			}
+		} else {
+			countCtlOp(req.Op)
+		}
 		// dispatch may have decoded nested peer/datalet responses into
 		// resp, overwriting its ID; stamp it after the fact so the reply
 		// always echoes the request it answers.
@@ -543,8 +559,10 @@ func (s *Server) heartbeatLoop() {
 			return
 		case <-ticker.C:
 			dataletOK := s.local.Get().Ping() == nil
+			ctlHeartbeats.Inc()
 			epoch, err := coordClient.Heartbeat(s.cfg.NodeID, dataletOK)
 			if err != nil {
+				ctlHeartbeatErrs.Inc()
 				continue
 			}
 			cur := s.Map()

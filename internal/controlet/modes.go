@@ -65,7 +65,7 @@ func (s *Server) localCall(req *wire.Request, resp *wire.Response) {
 // whose log-derived versions live above the Lamport range — the clock
 // jumps past it and the write retries, so no acknowledged write is ever
 // silently shadowed by pre-transition history.
-func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte) (uint64, error) {
+func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte, tid uint64) (uint64, error) {
 	req := wire.GetRequest()
 	resp := wire.GetResponse()
 	defer wire.PutRequest(req)
@@ -74,6 +74,7 @@ func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte)
 	req.Table = table
 	req.Key = key
 	req.Value = value
+	req.TraceID = tid
 	for attempt := 0; attempt < 8; attempt++ {
 		version := s.nextVersion()
 		req.Version = version
@@ -92,7 +93,7 @@ func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte)
 }
 
 // applyLocal writes to the local datalet with an explicit version.
-func (s *Server) applyLocal(op wire.Op, table string, key, value []byte, version uint64) error {
+func (s *Server) applyLocal(op wire.Op, table string, key, value []byte, version, tid uint64) error {
 	req := wire.GetRequest()
 	resp := wire.GetResponse()
 	defer wire.PutRequest(req)
@@ -102,6 +103,7 @@ func (s *Server) applyLocal(op wire.Op, table string, key, value []byte, version
 	req.Key = key
 	req.Value = value
 	req.Version = version
+	req.TraceID = tid
 	if err := s.local.Do(req, resp); err != nil {
 		return err
 	}
@@ -312,7 +314,7 @@ func (s *Server) handleRepl(req *wire.Request, resp *wire.Response) {
 	if req.Op == wire.OpReplDel {
 		op = wire.OpDel
 	}
-	if err := s.applyLocal(op, req.Table, req.Key, req.Value, req.Version); err != nil {
+	if err := s.applyLocal(op, req.Table, req.Key, req.Value, req.Version, req.TraceID); err != nil {
 		resp.Status = wire.StatusErr
 		resp.Err = err.Error()
 		return

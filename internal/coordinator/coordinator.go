@@ -116,6 +116,7 @@ func Serve(cfg Config) (*Server, error) {
 	s.dialCtl = func(addr string) (ctlConn, error) {
 		return rpc.DialClient(cfg.Network, addr)
 	}
+	s.rpc.Name = "coordinator"
 	rpc.HandleFunc(s.rpc, "GetMap", s.handleGetMap)
 	rpc.HandleFunc(s.rpc, "WatchMap", s.handleWatchMap)
 	rpc.HandleFunc(s.rpc, "SetMap", s.handleSetMap)
@@ -224,11 +225,13 @@ func (s *Server) handleSetMap(m *topology.Map) (HeartbeatReply, error) {
 
 // bumpLocked wakes watchers; caller holds mu and has already set cur.
 func (s *Server) bumpLocked() {
+	coordEpoch.Set(int64(s.cur.Epoch))
 	close(s.epochCh)
 	s.epochCh = make(chan struct{})
 }
 
 func (s *Server) handleHeartbeat(hb Heartbeat) (HeartbeatReply, error) {
+	coordHeartbeats.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !hb.DataletOK {

@@ -68,6 +68,7 @@ func (s *Server) sweep() {
 // and appends it as the new tail. Exposed for tests and the kill-based
 // failover experiments.
 func (s *Server) FailNode(nodeID string) error {
+	start := time.Now()
 	s.mu.Lock()
 	if s.cur == nil {
 		s.mu.Unlock()
@@ -114,18 +115,25 @@ func (s *Server) FailNode(nodeID string) error {
 	s.mu.Unlock()
 
 	s.pushMap()
+	coordFailovers.Inc()
+	coordFailoverLat.Observe(time.Since(start))
 	if standby == nil {
 		return nil
 	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		recStart := time.Now()
 		if err := s.recoverOnto(*standby, source, shardID); err != nil {
+			coordRecoveryFails.Inc()
 			s.cfg.Logf("coordinator: recovery of %s onto %s: %v", shardID, standby.ID, err)
 			s.mu.Lock()
 			s.standbys = append(s.standbys, *standby) // return to pool
 			s.mu.Unlock()
+			return
 		}
+		coordRecoveries.Inc()
+		coordRecoveryLat.Observe(time.Since(recStart))
 	}()
 	return nil
 }
@@ -270,6 +278,7 @@ func (s *Server) pushMap() {
 			}
 		}
 	}
+	coordMapPushes.Inc()
 	for addr := range targets {
 		addr := addr
 		s.wg.Add(1)

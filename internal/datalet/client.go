@@ -67,11 +67,11 @@ type Client struct {
 	// sendQ; the writer moves calls to respQ as it encodes them; the
 	// reader pops respQ as responses arrive. Critical sections are tiny —
 	// encoding, flushing and decoding all happen outside the lock.
-	mu        sync.Mutex
-	sendQ     []*call
-	respQ     []*call
-	free      []*call // recycled calls (and their completion channels)
-	err       error   // sticky transport error
+	mu    sync.Mutex
+	sendQ []*call
+	respQ []*call
+	free  []*call // recycled calls (and their completion channels)
+	err   error   // sticky transport error
 	// Connection-ownership flags for the idle fast path: a lone Do on an
 	// otherwise-idle connection runs lock-step inline (the caller encodes,
 	// flushes, and decodes itself — no goroutine handoffs), which matters
@@ -115,6 +115,7 @@ func Dial(network transport.Network, addr string, codec wire.Codec) (*Client, er
 	c.sendSpace.L = &c.mu
 	c.respSpace.L = &c.mu
 	c.wg.Add(2)
+	registerClient(c)
 	go c.writeLoop()
 	go c.readLoop()
 	return c, nil
@@ -157,6 +158,7 @@ func (c *Client) Do(req *wire.Request, resp *wire.Response) error {
 // doInline completes a fast-path Do that owns the connection's buffers.
 func (c *Client) doInline(req *wire.Request, resp *wire.Response) error {
 	c.load.Add(1)
+	cliInline.Inc()
 	defer c.load.Add(-1)
 	err := c.codec.WriteRequest(c.bw, req)
 	if err == nil {
@@ -285,6 +287,8 @@ func (c *Client) writeLoop() {
 			n = len(c.sendQ)
 		}
 		c.lastBatch = n
+		cliBatches.Inc()
+		cliBatchedReq.Add(int64(n))
 		batch = append(batch[:0], c.sendQ[:n]...)
 		rest := copy(c.sendQ, c.sendQ[n:])
 		for i := rest; i < len(c.sendQ); i++ {
@@ -473,7 +477,8 @@ func (c *Client) complete(cl *call, err error) {
 // the first error wins.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
-	if c.err == nil {
+	first := c.err == nil
+	if first {
 		c.err = err
 		_ = c.conn.Close()
 	}
@@ -481,6 +486,9 @@ func (c *Client) fail(err error) {
 	c.respQ = nil
 	c.sendQ = nil
 	c.mu.Unlock()
+	if first {
+		unregisterClient(c)
+	}
 	c.sendReady.Broadcast()
 	c.respReady.Broadcast()
 	c.sendSpace.Broadcast()
@@ -609,4 +617,14 @@ func (p *Pool) Close() error {
 		_ = c.Close()
 	}
 	return nil
+}
+
+// Stats reports the pool's connection count and summed outstanding load,
+// surfaced by /statusz.
+func (p *Pool) Stats() (conns, load int) {
+	for _, c := range p.clients {
+		conns++
+		load += c.Load()
+	}
+	return
 }

@@ -14,8 +14,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
+	"bespokv/internal/metrics"
 	"bespokv/internal/store"
+	"bespokv/internal/trace"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
 )
@@ -168,7 +171,21 @@ func (s *Server) serveConn(conn transport.Conn) {
 		}
 		resp.Reset()
 		resp.ID = req.ID
+		timed := req.TraceID != 0 || metrics.SampleLatency()
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		s.handle(&req, &resp)
+		if timed {
+			dur := time.Since(start)
+			recordServerOp(req.Op, dur)
+			if req.TraceID != 0 {
+				trace.Record(req.TraceID, s.cfg.Name, "datalet."+req.Op.String(), start, dur, resp.Err)
+			}
+		} else {
+			countServerOp(req.Op)
+		}
 		if bcd != nil && br.Buffered() > 0 {
 			if err := bcd.EncodeResponse(bw, &resp); err != nil {
 				return

@@ -1,0 +1,121 @@
+package datalet
+
+import (
+	"sync"
+	"time"
+
+	"bespokv/internal/metrics"
+	"bespokv/internal/wire"
+)
+
+// Per-op counters and latency histograms, resolved once at init so the
+// data path never touches the registry's keyed lookup: recording an op is
+// two atomic adds plus a histogram observe, all allocation-free.
+var (
+	srvOpCount [wire.OpHandoff + 1]*metrics.Counter
+	srvOpLat   [wire.OpHandoff + 1]*metrics.Histogram
+
+	// Pipelined-client metrics (see client.go): how requests reach the
+	// wire. Average coalesced batch size = batched_requests / batches.
+	cliBatches    = metrics.Default.Counter("bespokv_datalet_client_batches_total")
+	cliBatchedReq = metrics.Default.Counter("bespokv_datalet_client_batched_requests_total")
+	cliInline     = metrics.Default.Counter("bespokv_datalet_client_inline_total")
+)
+
+// Live-connection registry backing the pipeline gauges. Conn count,
+// in-flight requests and queue depth are computed at scrape time by
+// walking this set — per-request gauge atomics would charge every op for
+// numbers only a scrape reads.
+var (
+	cliMu  sync.Mutex
+	cliSet = map[*Client]struct{}{}
+)
+
+func registerClient(c *Client) {
+	cliMu.Lock()
+	cliSet[c] = struct{}{}
+	cliMu.Unlock()
+}
+
+// unregisterClient must not be called with c.mu held: the queue-depth
+// GaugeFunc takes cliMu then each client's mu, so the reverse order would
+// deadlock against a concurrent scrape.
+func unregisterClient(c *Client) {
+	cliMu.Lock()
+	delete(cliSet, c)
+	cliMu.Unlock()
+}
+
+func init() {
+	metrics.Default.GaugeFunc("bespokv_datalet_client_conns", func() float64 {
+		cliMu.Lock()
+		defer cliMu.Unlock()
+		return float64(len(cliSet))
+	})
+	metrics.Default.GaugeFunc("bespokv_datalet_client_inflight", func() float64 {
+		cliMu.Lock()
+		defer cliMu.Unlock()
+		var n int64
+		for c := range cliSet {
+			n += c.load.Load()
+		}
+		return float64(n)
+	})
+	metrics.Default.GaugeFunc("bespokv_datalet_client_queue_depth", func() float64 {
+		cliMu.Lock()
+		defer cliMu.Unlock()
+		var n int
+		for c := range cliSet {
+			c.mu.Lock()
+			n += len(c.sendQ)
+			c.mu.Unlock()
+		}
+		return float64(n)
+	})
+}
+
+func init() {
+	for op := wire.OpNop; op <= wire.OpHandoff; op++ {
+		srvOpCount[op] = metrics.Default.Counter("bespokv_datalet_ops_total", "op", op.String())
+		srvOpLat[op] = metrics.Default.Histogram("bespokv_datalet_op_seconds", "op", op.String())
+	}
+}
+
+func clampOp(op wire.Op) wire.Op {
+	if op > wire.OpHandoff {
+		return wire.OpNop
+	}
+	return op
+}
+
+// countServerOp is the unsampled path: op accounting without the clock.
+func countServerOp(op wire.Op) { srvOpCount[clampOp(op)].Inc() }
+
+func recordServerOp(op wire.Op, d time.Duration) {
+	op = clampOp(op)
+	srvOpCount[op].Inc()
+	srvOpLat[op].Observe(d)
+}
+
+// Status reports the datalet's identity and per-table sizes for /statusz.
+func (s *Server) Status() any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tables := make(map[string]int, len(s.tables))
+	for name, e := range s.tables {
+		tables[name] = e.Len()
+	}
+	var engineName string
+	if e, ok := s.tables[""]; ok {
+		engineName = e.Name()
+	}
+	return map[string]any{
+		"role":        "datalet",
+		"name":        s.cfg.Name,
+		"engine":      engineName,
+		"codec":       s.cfg.Codec.Name(),
+		"tables":      tables,
+		"connections": len(s.active),
+		"uptime_sec":  int64(metrics.ProcessUptime().Seconds()),
+	}
+}

@@ -105,6 +105,7 @@ func Serve(cfg Config) (*Server, error) {
 		locks:  map[string]*lockState{},
 		stopCh: make(chan struct{}),
 	}
+	s.rpc.Name = "dlm"
 	rpc.HandleFunc(s.rpc, "Lock", s.handleLock)
 	rpc.HandleFunc(s.rpc, "Unlock", s.handleUnlock)
 	addr, err := s.rpc.Serve(cfg.Network, cfg.Addr)
@@ -296,8 +297,14 @@ func DialClient(network transport.Network, addr, owner string) (*Client, error) 
 // fencing token. The RPC deadline stretches past wait, since the server
 // legitimately holds the call open that long.
 func (c *Client) Lock(key string, mode Mode, ttl, wait time.Duration) (uint64, error) {
+	return c.LockTraced(0, key, mode, ttl, wait)
+}
+
+// LockTraced is Lock carrying a trace ID, so the DLM hop shows up as a span
+// of the sampled request that needed the lease.
+func (c *Client) LockTraced(tid uint64, key string, mode Mode, ttl, wait time.Duration) (uint64, error) {
 	var reply LockReply
-	err := c.c.CallTimeoutEx("Lock", LockArgs{
+	err := c.c.CallTimeoutTraced(tid, "Lock", LockArgs{
 		Key:    key,
 		Owner:  c.owner,
 		Mode:   mode,

@@ -6,7 +6,7 @@ package metrics
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,7 +31,9 @@ func bucketOf(d time.Duration) int {
 	if us < 1 {
 		us = 1
 	}
-	exp := int(math.Log2(float64(us)))
+	// Integer log2: bits.Len64 is exact where math.Log2's float round-trip
+	// is fragile at exact powers of two (e.g. Log2(1<<29 - 1) rounding up).
+	exp := bits.Len64(uint64(us)) - 1
 	if exp > 24 {
 		exp = 24
 	}
@@ -79,11 +81,30 @@ func (h *Histogram) Mean() time.Duration {
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 
-// Quantile returns an approximate quantile (0 < q <= 1).
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// expCounts collapses the sub-bucketed histogram to one count per power of
+// two (25 entries, 2^0µs .. 2^24µs), the granularity used by the
+// Prometheus exposition in registry.go.
+func (h *Histogram) expCounts() [25]int64 {
+	var out [25]int64
+	for b := 0; b < bucketCount; b++ {
+		out[b/subBuckets] += h.buckets[b].Load()
+	}
+	return out
+}
+
+// Quantile returns an approximate quantile. q is clamped to (0, 1]: q <= 0
+// behaves like the smallest positive quantile (the first nonempty bucket)
+// and q >= 1 returns Max() exactly, without scanning the buckets.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
+	}
+	if q >= 1 {
+		return h.Max()
 	}
 	target := int64(q * float64(total))
 	if target < 1 {
@@ -125,8 +146,13 @@ func (t *Throughput) Add(n int) { t.ops.Add(int64(n)) }
 // Ops returns the total recorded.
 func (t *Throughput) Ops() int64 { return t.ops.Load() }
 
-// PerSecond returns ops/s since construction.
+// PerSecond returns ops/s since construction. A zero-value Throughput has
+// no start instant, so it reports 0 rather than dividing by the decades
+// elapsed since the zero time.
 func (t *Throughput) PerSecond() float64 {
+	if t.start.IsZero() {
+		return 0
+	}
 	el := time.Since(t.start).Seconds()
 	if el <= 0 {
 		return 0

@@ -145,3 +145,138 @@ func TestTimelineConcurrent(t *testing.T) {
 		t.Fatalf("timeline lost records: %f", total)
 	}
 }
+
+// TestBucketBoundaries table-drives bucketOf over every power-of-two
+// boundary (1µs .. 2^24µs, each ±1µs) against an integer reference,
+// guarding the bits.Len64 rewrite of the old float math.Log2 version.
+func TestBucketBoundaries(t *testing.T) {
+	ref := func(us int64) int {
+		if us < 1 {
+			us = 1
+		}
+		exp := 0
+		for int64(1)<<(exp+1) <= us && exp < 24 {
+			exp++
+		}
+		base := int64(1) << exp
+		sub := int((us - base) * subBuckets / base)
+		if sub >= subBuckets {
+			sub = subBuckets - 1
+		}
+		return exp*subBuckets + sub
+	}
+	var cases []int64
+	for exp := 0; exp <= 24; exp++ {
+		p := int64(1) << exp
+		cases = append(cases, p-1, p, p+1)
+	}
+	cases = append(cases, 0, 3, 5, 7, 100, 999, 123456, int64(1)<<30)
+	for _, us := range cases {
+		got := bucketOf(time.Duration(us) * time.Microsecond)
+		want := ref(us)
+		if got != want {
+			t.Errorf("bucketOf(%dµs)=%d, want %d", us, got, want)
+		}
+		if us >= 1 && us == int64(1)<<uint(bitsLenRef(us)-1) && us <= 1<<24 {
+			// Exact powers of two must land on the first sub-bucket of
+			// their exponent — the case float log2 used to get wrong.
+			if got%subBuckets != 0 {
+				t.Errorf("bucketOf(%dµs)=%d not at sub-bucket 0", us, got)
+			}
+		}
+	}
+	// Monotonic: bucket index never decreases as the value grows.
+	prev := -1
+	for us := int64(1); us <= 1<<20; us = us*7/4 + 1 {
+		b := bucketOf(time.Duration(us) * time.Microsecond)
+		if b < prev {
+			t.Fatalf("bucketOf not monotonic at %dµs: %d < %d", us, b, prev)
+		}
+		prev = b
+	}
+}
+
+func bitsLenRef(v int64) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func TestQuantileClamping(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	// q >= 1 returns the exact max, not a bucket midpoint.
+	if got := h.Quantile(1.0); got != h.Max() {
+		t.Fatalf("Quantile(1.0)=%v, want Max()=%v", got, h.Max())
+	}
+	if got := h.Quantile(2.5); got != h.Max() {
+		t.Fatalf("Quantile(2.5)=%v, want Max()=%v", got, h.Max())
+	}
+	// q <= 0 clamps to the smallest positive quantile.
+	lo := h.Quantile(0)
+	neg := h.Quantile(-1)
+	if lo != neg {
+		t.Fatalf("Quantile(0)=%v vs Quantile(-1)=%v", lo, neg)
+	}
+	if lo <= 0 || lo > 2*time.Microsecond {
+		t.Fatalf("Quantile(0)=%v, want first bucket mid", lo)
+	}
+	// Empty histogram stays zero for any q.
+	var empty Histogram
+	if empty.Quantile(1.0) != 0 || empty.Quantile(-1) != 0 {
+		t.Fatal("empty histogram quantiles must be 0")
+	}
+}
+
+func TestThroughputZeroValue(t *testing.T) {
+	var tp Throughput
+	tp.Add(1000)
+	if got := tp.PerSecond(); got != 0 {
+		t.Fatalf("zero-value Throughput PerSecond()=%f, want 0", got)
+	}
+	if got := tp.KQPS(); got != 0 {
+		t.Fatalf("zero-value Throughput KQPS()=%f, want 0", got)
+	}
+	if tp.Ops() != 1000 {
+		t.Fatalf("ops=%d", tp.Ops())
+	}
+	// A properly constructed one still measures.
+	live := NewThroughput()
+	live.Add(100)
+	time.Sleep(5 * time.Millisecond)
+	if live.PerSecond() <= 0 {
+		t.Fatal("live throughput must be positive")
+	}
+}
+
+func TestLatencySampling(t *testing.T) {
+	prev := SetLatencySampleEvery(4)
+	defer SetLatencySampleEvery(prev)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if SampleLatency() {
+			hits++
+		}
+	}
+	// Deterministic round-robin: exactly 1 in 4, regardless of where the
+	// shared tick counter started.
+	if hits != 100 {
+		t.Fatalf("SampleLatency hit %d of 400 with period 4, want 100", hits)
+	}
+	SetLatencySampleEvery(1)
+	for i := 0; i < 10; i++ {
+		if !SampleLatency() {
+			t.Fatal("period 1 must time every request")
+		}
+	}
+	// n < 1 clamps to 1 rather than dividing by zero.
+	SetLatencySampleEvery(0)
+	if !SampleLatency() {
+		t.Fatal("period 0 must behave like 1")
+	}
+}

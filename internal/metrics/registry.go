@@ -1,0 +1,302 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a concurrent, process-wide collection of named metrics.
+// Lookups (Counter, Gauge, Histogram, ...) are get-or-create and intended
+// for initialization or control-path code: they build a label-qualified key
+// string and take a lock. Hot paths should resolve their metric pointers
+// once up front — Counter.Add, Gauge.Set and Histogram.Observe are all
+// lock-free atomics with zero allocations.
+//
+// Labels are passed as alternating key/value pairs and become part of the
+// metric identity, Prometheus-style: Counter("ops_total", "op", "PUT") is a
+// different series from Counter("ops_total", "op", "GET").
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry // key = name + rendered label set
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type entry struct {
+	name   string // bare metric name, for # TYPE grouping
+	series string // name{k="v",...} or bare name
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// Default is the process-wide registry that instrumentation across the
+// code base records into and /metrics serves from.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; Add and Inc are single atomic adds.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// seriesKey renders name{k1="v1",k2="v2"} with labels sorted by key, so the
+// same label set always maps to the same series regardless of call order.
+func seriesKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic("metrics: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) lookup(name string, kind metricKind, labels []string) *entry {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	e := r.entries[key]
+	r.mu.RUnlock()
+	if e != nil {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s already registered with a different type", key))
+		}
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.entries[key]; e != nil {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s already registered with a different type", key))
+		}
+		return e
+	}
+	e = &entry{name: name, series: key, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = &Histogram{}
+	}
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter registered under name and labels, creating
+// it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.lookup(name, kindCounter, labels).c
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.lookup(name, kindGauge, labels).g
+}
+
+// Histogram returns the latency histogram registered under name and
+// labels, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.lookup(name, kindHistogram, labels).h
+}
+
+// GaugeFunc registers fn to be evaluated at scrape time under name and
+// labels. Re-registering the same series replaces the function, so
+// restartable components (tests, the in-process cluster harness) always
+// expose their latest instance.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[key]; e != nil && e.kind != kindGaugeFunc {
+		panic(fmt.Sprintf("metrics: %s already registered with a different type", key))
+	}
+	r.entries[key] = &entry{name: name, series: key, kind: kindGaugeFunc, fn: fn}
+}
+
+// SetHistogram installs (or replaces) an externally constructed histogram
+// under name and labels. The bench harness uses this to export the very
+// histogram it prints figures from, so live metrics and bench output can
+// never disagree.
+func (r *Registry) SetHistogram(name string, h *Histogram, labels ...string) {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[key]; e != nil && e.kind != kindHistogram {
+		panic(fmt.Sprintf("metrics: %s already registered with a different type", key))
+	}
+	r.entries[key] = &entry{name: name, series: key, kind: kindHistogram, h: h}
+}
+
+// Unregister removes the series identified by name and labels, if present.
+func (r *Registry) Unregister(name string, labels ...string) {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	delete(r.entries, key)
+	r.mu.Unlock()
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Histograms are emitted with one cumulative le bucket per
+// power of two (25 bounds, 2µs .. 2^25µs, in seconds) plus +Inf, _sum and
+// _count. Series are sorted, so output is deterministic for tests.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].series < entries[j].series
+	})
+	var lastTyped string
+	for _, e := range entries {
+		if e.name != lastTyped {
+			lastTyped = e.name
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, promType(e.kind)); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.series, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.series, e.g.Value())
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %g\n", e.series, e.fn())
+		case kindHistogram:
+			err = writePromHistogram(w, e)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// writePromHistogram emits name_bucket{...,le="..."} lines with cumulative
+// counts, then name_sum (seconds) and name_count.
+func writePromHistogram(w io.Writer, e *entry) error {
+	counts := e.h.expCounts()
+	var cum int64
+	for exp, n := range counts {
+		cum += n
+		// Upper bound of exponent bucket exp is 2^(exp+1) µs.
+		le := float64(int64(1)<<(exp+1)) / 1e6
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucketSeries(e.name, e.series, fmt.Sprintf("%g", le)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", bucketSeries(e.name, e.series, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %g\n", suffixSeries(e.name, e.series, "_sum"), e.h.Sum().Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixSeries(e.name, e.series, "_count"), e.h.Count())
+	return err
+}
+
+// bucketSeries splices an le label into a series: name{a="b"} + le=x ->
+// name_bucket{a="b",le="x"}.
+func bucketSeries(name, series, le string) string {
+	labels := strings.TrimPrefix(series, name)
+	if labels == "" {
+		return name + `_bucket{le="` + le + `"}`
+	}
+	// labels is "{...}"; insert before the closing brace.
+	return name + "_bucket" + labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func suffixSeries(name, series, suffix string) string {
+	return name + suffix + strings.TrimPrefix(series, name)
+}
+
+// Uptime tracks process start for /statusz; set once at registry creation.
+var processStart = time.Now()
+
+// ProcessUptime returns how long the process has been running.
+func ProcessUptime() time.Duration { return time.Since(processStart) }

@@ -1,0 +1,170 @@
+// Package obs serves a node's introspection endpoints over HTTP: /metrics
+// in Prometheus text exposition format, /statusz as a JSON role/topology
+// snapshot, /tracez with recent and slowest sampled request traces, and the
+// standard net/http/pprof profiles. Every bespokv binary mounts it behind
+// -obs-addr; it shares nothing with the data path beyond reading the
+// process-wide metrics registry and trace recorder.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"bespokv/internal/metrics"
+	"bespokv/internal/trace"
+)
+
+// Options configures an observability server. Zero values fall back to the
+// process-wide defaults, which is what every binary wants.
+type Options struct {
+	// Registry backs /metrics; nil uses metrics.Default.
+	Registry *metrics.Registry
+	// Recorder backs /tracez; nil uses trace.Default.
+	Recorder *trace.Recorder
+	// Status, if set, supplies the role-specific half of /statusz (for
+	// example controlet.Server.Status). It must be safe for concurrent
+	// calls and return something json.Marshal accepts.
+	Status func() any
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	reg      *metrics.Registry
+	rec      *trace.Recorder
+	status   func() any
+	listener net.Listener
+	httpSrv  *http.Server
+}
+
+// Serve starts the HTTP server on addr ("host:0" picks a free port) and
+// returns once it is listening.
+func Serve(addr string, opt Options) (*Server, error) {
+	s := &Server{
+		reg:    opt.Registry,
+		rec:    opt.Recorder,
+		status: opt.Status,
+	}
+	if s.reg == nil {
+		s.reg = metrics.Default
+	}
+	if s.rec == nil {
+		s.rec = trace.Default
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.handleIndex)
+	s.listener = l
+	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.httpSrv.Serve(l) }()
+	return s, nil
+}
+
+// Start is the one-line -obs-addr wiring for the binaries: empty addr
+// means disabled and returns (nil, nil); Close on the returned server is
+// the caller's job when it is non-nil.
+func Start(addr string, status func() any) (*Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	return Serve(addr, Options{Status: status})
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the HTTP server.
+func (s *Server) Close() error { return s.httpSrv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<html><body><h1>bespokv</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/statusz">/statusz</a> — role and topology snapshot</li>
+<li><a href="/tracez">/tracez</a> — recent and slowest request traces</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiles</li>
+</ul></body></html>`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteProm(w)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	st := map[string]any{
+		"uptime_sec":   int64(metrics.ProcessUptime().Seconds()),
+		"sample_every": trace.SampleEvery(),
+		"traces_seen":  s.rec.Total(),
+	}
+	if s.status != nil {
+		if role := s.status(); role != nil {
+			// The role-specific map wins on key collisions: it knows the
+			// node better than the generic shell does.
+			if m, ok := role.(map[string]any); ok {
+				for k, v := range m {
+					st[k] = v
+				}
+			} else {
+				st["role_detail"] = role
+			}
+		}
+	}
+	writeJSON(w, st)
+}
+
+// tracezPayload is the /tracez response shape.
+type tracezPayload struct {
+	SampleEvery uint64        `json:"sample_every"`
+	Total       uint64        `json:"spans_recorded"`
+	Recent      []trace.Trace `json:"recent"`
+	Slowest     []trace.Span  `json:"slowest"`
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	max := 32
+	if q := r.URL.Query().Get("max"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &max); err != nil || max <= 0 {
+			max = 32
+		}
+	}
+	p := tracezPayload{
+		SampleEvery: trace.SampleEvery(),
+		Total:       s.rec.Total(),
+		Recent:      s.rec.Traces(max),
+		Slowest:     s.rec.Slowest(max),
+	}
+	// Deterministic span ordering inside each trace simplifies both eyeballs
+	// and tests (Traces already sorts by start; keep it explicit here).
+	for i := range p.Recent {
+		spans := p.Recent[i].Spans
+		sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
+	}
+	writeJSON(w, p)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

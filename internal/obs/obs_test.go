@@ -1,0 +1,231 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bespokv/internal/cluster"
+	"bespokv/internal/obs"
+	"bespokv/internal/trace"
+)
+
+// promLine matches one Prometheus text-exposition sample:
+// name{labels} value — with the label block optional.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$`)
+
+func httpGet(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// promValue extracts the value of the series line starting with prefix.
+func promValue(t *testing.T, body, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("no series with prefix %q in /metrics", prefix)
+	return 0
+}
+
+// TestEndToEndObservability boots a replicated MS+SC cluster, serves the
+// observability endpoints off the head controlet, pushes sampled traffic
+// through, and checks /metrics, /statusz and /tracez end to end — including
+// that one trace covers every hop of a replicated PUT.
+func TestEndToEndObservability(t *testing.T) {
+	prev := trace.SampleEvery()
+	trace.SetSampleEvery(1) // sample everything for the assertion below
+	defer trace.SetSampleEvery(prev)
+
+	c, err := cluster.Start(cluster.Options{}) // MS+SC, 1 shard, 3 replicas
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	head := c.Pair(0, 0)
+
+	o, err := obs.Serve("127.0.0.1:0", obs.Options{Status: head.Controlet.Status})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const n = 32
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%02d", i))
+		if err := cli.Put("", key, []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cli.Get("", key); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- /metrics: well-formed Prometheus text with live op counters ---
+	body := httpGet(t, o.Addr(), "/metrics")
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	// Every replica's datalet applied each PUT, so the process-wide counter
+	// is at least 3n; GETs serve once.
+	if v := promValue(t, body, `bespokv_datalet_ops_total{op="PUT"}`); v < 3*n {
+		t.Errorf("datalet PUT count = %v, want >= %d", v, 3*n)
+	}
+	if v := promValue(t, body, `bespokv_datalet_ops_total{op="GET"}`); v < n {
+		t.Errorf("datalet GET count = %v, want >= %d", v, n)
+	}
+	if v := promValue(t, body, `bespokv_client_op_seconds_count{op="PUT"}`); v < n {
+		t.Errorf("client PUT latency count = %v, want >= %d", v, n)
+	}
+	bucketRe := regexp.MustCompile(`bespokv_client_op_seconds_bucket\{[^}]*le="[^"]+"\}`)
+	if !bucketRe.MatchString(body) {
+		t.Error("no latency histogram buckets in /metrics")
+	}
+	if v := promValue(t, body, "bespokv_controlet_chain_forwards_total"); v < 2*n {
+		t.Errorf("chain forwards = %v, want >= %d (two hops per PUT)", v, 2*n)
+	}
+
+	// --- /statusz: role and shard-map version of the head controlet ---
+	var st map[string]any
+	if err := json.Unmarshal([]byte(httpGet(t, o.Addr(), "/statusz")), &st); err != nil {
+		t.Fatalf("statusz: %v", err)
+	}
+	if st["role"] != "head" {
+		t.Errorf("statusz role = %v, want head", st["role"])
+	}
+	wantEpoch := float64(head.Controlet.Map().Epoch)
+	if st["epoch"] != wantEpoch {
+		t.Errorf("statusz epoch = %v, want %v", st["epoch"], wantEpoch)
+	}
+	if st["mode"] != "ms+strong" && st["mode"] != head.Controlet.Map().Mode.String() {
+		t.Errorf("statusz mode = %v", st["mode"])
+	}
+
+	// --- /tracez: one PUT trace covering every hop ---
+	type tracez struct {
+		SampleEvery uint64        `json:"sample_every"`
+		Total       uint64        `json:"spans_recorded"`
+		Recent      []trace.Trace `json:"recent"`
+		Slowest     []trace.Span  `json:"slowest"`
+	}
+	shard := c.Shards[0]
+	want := map[string]bool{
+		"client/client.PUT":                       false,
+		shard[0].Node.ID + "/controlet.PUT":       false,
+		shard[1].Node.ID + "/controlet.CHAINPUT":  false,
+		shard[2].Node.ID + "/controlet.CHAINPUT":  false,
+		shard[0].Node.ID + "-datalet/datalet.PUT": false,
+		shard[1].Node.ID + "-datalet/datalet.PUT": false,
+		shard[2].Node.ID + "-datalet/datalet.PUT": false,
+	}
+	// Spans are all recorded before the client call returns (each hop
+	// records before acking), but give the HTTP round a moment anyway.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var tz tracez
+		if err := json.Unmarshal([]byte(httpGet(t, o.Addr(), "/tracez?max=128")), &tz); err != nil {
+			t.Fatalf("tracez: %v", err)
+		}
+		if tz.SampleEvery != 1 {
+			t.Fatalf("tracez sample_every = %d, want 1", tz.SampleEvery)
+		}
+		for _, tr := range tz.Recent {
+			got := map[string]bool{}
+			for _, sp := range tr.Spans {
+				got[sp.Node+"/"+sp.Stage] = true
+			}
+			full := true
+			for k := range want {
+				if !got[k] {
+					full = false
+					break
+				}
+			}
+			if full {
+				if tr.ID == 0 {
+					t.Error("trace has zero ID")
+				}
+				if tr.Dur <= 0 {
+					t.Error("trace has non-positive duration")
+				}
+				return // every hop of one replicated PUT is covered
+			}
+		}
+		if time.Now().After(deadline) {
+			for _, tr := range tz.Recent {
+				t.Logf("trace %x: %d spans", tr.ID, len(tr.Spans))
+				for _, sp := range tr.Spans {
+					t.Logf("  %s/%s %v", sp.Node, sp.Stage, sp.Dur)
+				}
+			}
+			t.Fatal("no trace covering every hop of a replicated PUT")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStartDisabled checks the empty-addr convenience contract mains rely on.
+func TestStartDisabled(t *testing.T) {
+	s, err := obs.Start("", nil)
+	if err != nil || s != nil {
+		t.Fatalf("Start(\"\") = %v, %v; want nil, nil", s, err)
+	}
+}
+
+// TestStatuszWithoutStatus serves /statusz with no role callback (bench,
+// cli, backup) and checks the generic shell still renders.
+func TestStatuszWithoutStatus(t *testing.T) {
+	o, err := obs.Serve("127.0.0.1:0", obs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	var st map[string]any
+	if err := json.Unmarshal([]byte(httpGet(t, o.Addr(), "/statusz")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st["uptime_sec"]; !ok {
+		t.Error("statusz missing uptime_sec")
+	}
+	if _, ok := st["sample_every"]; !ok {
+		t.Error("statusz missing sample_every")
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"time"
 
+	"bespokv/internal/metrics"
+	"bespokv/internal/trace"
 	"bespokv/internal/transport"
 )
 
@@ -37,6 +39,10 @@ type reqMsg struct {
 	ID     uint64          `json:"id"`
 	Method string          `json:"m"`
 	Args   json.RawMessage `json:"a,omitempty"`
+	// T is the trace ID of a sampled request, 0 when untraced. Old peers
+	// ignore the unknown field; its absence unmarshals as 0 — compatible
+	// in both directions.
+	T uint64 `json:"t,omitempty"`
 }
 
 type respMsg struct {
@@ -80,12 +86,23 @@ type Handler func(args json.RawMessage) (any, error)
 
 // Server dispatches calls to registered handlers.
 type Server struct {
+	// Name identifies this server in trace spans (e.g. "coordinator",
+	// "dlm"); set it before Serve. Empty renders as "rpc".
+	Name string
+
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	listener transport.Listener
 	conns    sync.WaitGroup
 	active   map[transport.Conn]struct{}
 	closed   bool
+}
+
+func (s *Server) traceName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "rpc"
 }
 
 // NewServer returns a server with no handlers bound.
@@ -183,6 +200,13 @@ func (s *Server) serveConn(conn transport.Conn) {
 		s.conns.Add(1)
 		go func() {
 			defer s.conns.Done()
+			var start time.Time
+			if req.T != 0 {
+				start = time.Now()
+				defer func() {
+					trace.Record(req.T, s.traceName(), "rpc."+req.Method, start, time.Since(start), "")
+				}()
+			}
 			var resp respMsg
 			resp.ID = req.ID
 			if !ok {
@@ -292,10 +316,24 @@ func (c *Client) failAll(err error) {
 	}
 }
 
+// Call metrics: control-path RPCs are low-rate, so the per-call labeled
+// registry lookup (one small allocation) is acceptable here, unlike on the
+// wire data path.
+var (
+	rpcCallSeconds = metrics.Default.Histogram("bespokv_rpc_call_seconds")
+	rpcTimeouts    = metrics.Default.Counter("bespokv_rpc_call_timeouts_total")
+)
+
 // Call invokes method with args, unmarshaling the result into reply
 // (which may be nil to discard it). It waits at most c.CallTimeout.
 func (c *Client) Call(method string, args any, reply any) error {
-	return c.CallTimeoutEx(method, args, reply, c.CallTimeout)
+	return c.call(0, method, args, reply, c.CallTimeout)
+}
+
+// CallTraced is Call carrying the trace ID of a sampled request; the
+// server records an "rpc.<method>" span for it.
+func (c *Client) CallTraced(tid uint64, method string, args, reply any) error {
+	return c.call(tid, method, args, reply, c.CallTimeout)
 }
 
 // CallTimeoutEx is Call with an explicit response deadline, for the few
@@ -303,6 +341,26 @@ func (c *Client) Call(method string, args any, reply any) error {
 // a caller knows can exceed the connection's default. timeout <= 0 waits
 // forever.
 func (c *Client) CallTimeoutEx(method string, args, reply any, timeout time.Duration) error {
+	return c.call(0, method, args, reply, timeout)
+}
+
+// CallTimeoutTraced is CallTimeoutEx carrying a trace ID.
+func (c *Client) CallTimeoutTraced(tid uint64, method string, args, reply any, timeout time.Duration) error {
+	return c.call(tid, method, args, reply, timeout)
+}
+
+func (c *Client) call(tid uint64, method string, args, reply any, timeout time.Duration) (err error) {
+	start := time.Now()
+	defer func() {
+		rpcCallSeconds.Observe(time.Since(start))
+		metrics.Default.Counter("bespokv_rpc_calls_total", "method", method).Inc()
+		if err != nil {
+			metrics.Default.Counter("bespokv_rpc_call_errors_total", "method", method).Inc()
+			if errors.Is(err, ErrCallTimeout) {
+				rpcTimeouts.Inc()
+			}
+		}
+	}()
 	var rawArgs json.RawMessage
 	if args != nil {
 		b, err := json.Marshal(args)
@@ -323,7 +381,7 @@ func (c *Client) CallTimeoutEx(method string, args, reply any, timeout time.Dura
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	payload, err := json.Marshal(reqMsg{ID: id, Method: method, Args: rawArgs})
+	payload, err := json.Marshal(reqMsg{ID: id, Method: method, Args: rawArgs, T: tid})
 	if err != nil {
 		return err
 	}

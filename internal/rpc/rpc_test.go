@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"bespokv/internal/trace"
 	"bespokv/internal/transport"
 )
 
@@ -244,4 +245,50 @@ func TestCloseWaitsForHandlers(t *testing.T) {
 		t.Fatal(err)
 	}
 	wg.Wait()
+}
+
+func TestCallTracedRecordsServerSpan(t *testing.T) {
+	s, c := newPair(t)
+	s.Name = "testsvc"
+	rec := trace.Default
+	before := rec.Total()
+	var sum int
+	if err := c.CallTraced(0xabc123, "Add", addArgs{A: 2, B: 3}, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 5 {
+		t.Fatalf("sum=%d", sum)
+	}
+	// The server records its span after writing the response, so poll.
+	deadline := time.Now().Add(2 * time.Second)
+	for rec.Total() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("no span recorded for traced call")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var found bool
+	for _, tr := range rec.Traces(0) {
+		if tr.ID != 0xabc123 {
+			continue
+		}
+		for _, sp := range tr.Spans {
+			if sp.Node == "testsvc" && sp.Stage == "rpc.Add" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("span for rpc.Add on node testsvc not found")
+	}
+
+	// Untraced calls must record nothing.
+	mid := rec.Total()
+	if err := c.Call("Add", addArgs{A: 1, B: 1}, &sum); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if rec.Total() != mid {
+		t.Fatal("untraced call recorded a span")
+	}
 }

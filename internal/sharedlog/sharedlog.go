@@ -15,8 +15,19 @@ import (
 	"sync"
 	"time"
 
+	"bespokv/internal/metrics"
 	"bespokv/internal/rpc"
 	"bespokv/internal/transport"
+)
+
+// Append/read traffic counters; the tail gauge lets dashboards derive
+// replication lag as tail minus each controlet's applied offset.
+var (
+	logAppends       = metrics.Default.Counter("bespokv_sharedlog_appends_total")
+	logEntriesTotal  = metrics.Default.Counter("bespokv_sharedlog_entries_total")
+	logReads         = metrics.Default.Counter("bespokv_sharedlog_reads_total")
+	logEntriesServed = metrics.Default.Counter("bespokv_sharedlog_entries_served_total")
+	logTail          = metrics.Default.Gauge("bespokv_sharedlog_tail")
 )
 
 // Entry is one ordered log record.
@@ -122,6 +133,7 @@ func Serve(cfg Config) (*Server, error) {
 		streams: map[string]*logState{},
 		stopCh:  make(chan struct{}),
 	}
+	s.rpc.Name = "sharedlog"
 	rpc.HandleFunc(s.rpc, "Append", s.handleAppend)
 	rpc.HandleFunc(s.rpc, "Read", s.handleRead)
 	rpc.HandleFunc(s.rpc, "Trim", s.handleTrim)
@@ -178,6 +190,9 @@ func (s *Server) handleAppend(args AppendArgs) (AppendReply, error) {
 	}
 	close(st.tailCh)
 	st.tailCh = make(chan struct{})
+	logAppends.Inc()
+	logEntriesTotal.Add(int64(len(args.Entries)))
+	logTail.Set(int64(st.next))
 	return AppendReply{First: first, Next: st.next}, nil
 }
 
@@ -222,6 +237,8 @@ func (s *Server) handleRead(args ReadArgs) (ReadReply, error) {
 			}
 			reply.Next = args.From + uint64(len(reply.Entries))
 			s.mu.Unlock()
+			logReads.Inc()
+			logEntriesServed.Add(int64(len(reply.Entries)))
 			return reply, nil
 		}
 		ch := st.tailCh

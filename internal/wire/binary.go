@@ -160,6 +160,12 @@ func encodeRequestFields(f *frameWriter, req *Request) {
 	f.uvarint(req.Version)
 	f.uvarint(uint64(req.Level))
 	f.uvarint(req.Epoch)
+	// TraceID is an optional trailing field, emitted only for sampled
+	// requests: pre-trace decoders discard unread frame bytes, and its
+	// absence decodes as 0 below, so both directions stay compatible.
+	if req.TraceID != 0 {
+		f.uvarint(req.TraceID)
+	}
 }
 
 // EncodeRequest serializes req into w without flushing (BufferedCodec).
@@ -297,6 +303,12 @@ func parseRequestFields(f *frameReader, req *Request) error {
 	req.Level = Level(lvl)
 	if req.Epoch, err = f.uvarint(); err != nil {
 		return err
+	}
+	req.TraceID = 0
+	if f.pos < len(f.buf) {
+		if req.TraceID, err = f.uvarint(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

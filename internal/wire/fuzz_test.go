@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -85,6 +86,110 @@ func FuzzTextReadRequest(f *testing.F) {
 		var again Request
 		if err := (TextCodec{}).ReadRequest(bufio.NewReader(&out), &again); err != nil {
 			t.Fatalf("re-encoded text request failed to decode: %v", err)
+		}
+	})
+}
+
+// legacyEncodeRequest reproduces the pre-trace binary request encoding
+// (field stream without the optional trailing TraceID) so the compat fuzz
+// below can feed the current decoder genuine old-format frames.
+func legacyEncodeRequest(req *Request) []byte {
+	var body []byte
+	put := func(v uint64) {
+		body = binary.AppendUvarint(body, v)
+	}
+	putBytes := func(b []byte) {
+		put(uint64(len(b)))
+		body = append(body, b...)
+	}
+	put(req.ID)
+	put(uint64(req.Op))
+	putBytes([]byte(req.Table))
+	putBytes(req.Key)
+	putBytes(req.Value)
+	putBytes(req.EndKey)
+	put(uint64(req.Limit))
+	put(req.Version)
+	put(uint64(req.Level))
+	put(req.Epoch)
+	frame := make([]byte, 4, 4+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	return append(frame, body...)
+}
+
+// FuzzTraceHeader round-trips the optional trailing trace field in both
+// directions: new-encoder frames must decode to the same TraceID, and
+// legacy (pre-trace) frames must decode with TraceID 0 and all other
+// fields intact — backward/forward wire compatibility.
+func FuzzTraceHeader(f *testing.F) {
+	f.Add(uint64(1), uint64(0xdeadbeef), uint8(OpPut), []byte("k"), []byte("v"), uint64(3))
+	f.Add(uint64(2), uint64(0), uint8(OpGet), []byte("key"), []byte(nil), uint64(0))
+	f.Add(uint64(0), uint64(1)<<63, uint8(OpChainPut), []byte(""), []byte("x"), uint64(9))
+
+	f.Fuzz(func(t *testing.T, id, tid uint64, opByte uint8, key, value []byte, epoch uint64) {
+		op := Op(opByte)
+		if op > OpHandoff {
+			op = OpPut
+		}
+		req := Request{ID: id, Op: op, Table: "t", Key: key, Value: value, Epoch: epoch, TraceID: tid}
+
+		// New encoder → new decoder: TraceID survives.
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := (BinaryCodec{}).WriteRequest(bw, &req); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var got Request
+		if err := (BinaryCodec{}).ReadRequest(bufio.NewReader(&buf), &got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.TraceID != tid {
+			t.Fatalf("TraceID %x -> %x", tid, got.TraceID)
+		}
+		if got.ID != id || got.Op != op || string(got.Key) != string(key) ||
+			string(got.Value) != string(value) || got.Epoch != epoch {
+			t.Fatalf("field mismatch: %+v vs %+v", req, got)
+		}
+
+		// Legacy encoder → new decoder: absent field reads as 0, frames
+		// must decode byte-for-byte like before the trace field existed.
+		legacy := legacyEncodeRequest(&req)
+		var old Request
+		old.TraceID = 0xfeed // stale value must be overwritten
+		if err := (BinaryCodec{}).ReadRequest(bufio.NewReader(bytes.NewReader(legacy)), &old); err != nil {
+			t.Fatalf("legacy decode: %v", err)
+		}
+		if old.TraceID != 0 {
+			t.Fatalf("legacy frame decoded TraceID %x, want 0", old.TraceID)
+		}
+		if old.ID != id || old.Op != op || string(old.Key) != string(key) ||
+			string(old.Value) != string(value) || old.Epoch != epoch {
+			t.Fatalf("legacy field mismatch: %+v vs %+v", req, old)
+		}
+
+		// New decoder output re-encoded must be stable (idempotence).
+		var again bytes.Buffer
+		bw2 := bufio.NewWriter(&again)
+		if err := (BinaryCodec{}).WriteRequest(bw2, &got); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+
+		// Text codec: optional tenth element round-trips too.
+		var tbuf bytes.Buffer
+		tw := bufio.NewWriter(&tbuf)
+		treq := req
+		if treq.Op == OpNop {
+			treq.Op = OpPut
+		}
+		if err := (TextCodec{}).WriteRequest(tw, &treq); err != nil {
+			t.Fatalf("text encode: %v", err)
+		}
+		var tgot Request
+		if err := (TextCodec{}).ReadRequest(bufio.NewReader(&tbuf), &tgot); err != nil {
+			t.Fatalf("text decode: %v", err)
+		}
+		if tgot.TraceID != tid {
+			t.Fatalf("text TraceID %x -> %x", tid, tgot.TraceID)
 		}
 	})
 }

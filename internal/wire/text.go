@@ -16,6 +16,10 @@ import (
 //
 //	[verb, table, key, value, endkey, limit, version, level, epoch]
 //
+// optionally followed by a tenth element, the trace ID of a sampled
+// request (readers accept 9 or 10 elements, so old and new peers
+// interoperate),
+//
 // and a response is the (6+3n)-element array
 //
 //	[status, value, version, epoch, err, npairs, k1, v1, ver1, ...]
@@ -139,7 +143,11 @@ var opByVerb = func() map[string]Op {
 
 // EncodeRequest serializes req into w without flushing (BufferedCodec).
 func (TextCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
-	if err := writeArrayHeader(w, 9); err != nil {
+	elems := 9
+	if req.TraceID != 0 {
+		elems = 10
+	}
+	if err := writeArrayHeader(w, elems); err != nil {
 		return err
 	}
 	if err := writeBulkString(w, req.Op.String()); err != nil {
@@ -166,7 +174,13 @@ func (TextCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
 	if err := writeBulkUint(w, uint64(req.Level)); err != nil {
 		return err
 	}
-	return writeBulkUint(w, req.Epoch)
+	if err := writeBulkUint(w, req.Epoch); err != nil {
+		return err
+	}
+	if req.TraceID != 0 {
+		return writeBulkUint(w, req.TraceID)
+	}
+	return nil
 }
 
 // WriteRequest encodes req into w and flushes.
@@ -183,8 +197,8 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 	if err != nil {
 		return err
 	}
-	if n != 9 {
-		return fmt.Errorf("wire: text request has %d elements, want 9", n)
+	if n != 9 && n != 10 {
+		return fmt.Errorf("wire: text request has %d elements, want 9 or 10", n)
 	}
 	verb, err := readBulk(r, nil)
 	if err != nil {
@@ -224,6 +238,12 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 	req.Level = Level(lvl)
 	if req.Epoch, err = readBulkUint(r); err != nil {
 		return err
+	}
+	req.TraceID = 0
+	if n == 10 {
+		if req.TraceID, err = readBulkUint(r); err != nil {
+			return err
+		}
 	}
 	req.ID = 0
 	return nil

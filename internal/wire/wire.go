@@ -183,6 +183,10 @@ type Request struct {
 	Level Level
 	// Epoch is the shard-map epoch the sender believes is current.
 	Epoch uint64
+	// TraceID identifies a sampled request for cross-hop tracing; 0 means
+	// untraced. On the wire it is an optional trailing field: old decoders
+	// ignore it and old frames decode with TraceID 0.
+	TraceID uint64
 }
 
 // Response is the single message type sent back toward clients.
@@ -216,6 +220,7 @@ func (r *Request) Reset() {
 	r.Version = 0
 	r.Level = LevelDefault
 	r.Epoch = 0
+	r.TraceID = 0
 }
 
 // Reset clears a Response for reuse without freeing its backing arrays.

@@ -15,3 +15,9 @@ go test -race \
 	./internal/transport/... \
 	./internal/controlet/... \
 	./internal/client/...
+
+# Observability stack: race the registry/tracer/HTTP endpoints, enforce the
+# zero-alloc hot-path contract, and surface per-op allocation numbers.
+go test -race ./internal/metrics/... ./internal/trace/... ./internal/obs/...
+go test -run TestHotPathZeroAlloc ./internal/metrics/
+go test -run NONE -bench 'CounterAdd|HistogramObserve' -benchmem ./internal/metrics/
