@@ -9,11 +9,18 @@ RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... .
 # HTTP introspection endpoints (including the end-to-end cluster test).
 OBS_PKGS = ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 
-.PHONY: all check vet build test race obs bench bench-pipeline clean
+.PHONY: all check vet build test race obs migrate bench bench-pipeline clean
 
 all: check
 
-check: vet build test race obs
+check: vet build test race obs migrate
+
+# migrate race-tests the online-resize path end to end: the migrate
+# package's planner/mover units plus the cluster join/drain/AA+EC-floor
+# scenarios under client load.
+migrate:
+	$(GO) test -race ./internal/migrate/...
+	$(GO) test -race -run 'TestJoinNodeUnderLoad|TestDrainNodeUnderLoad|TestJoinNodeAAEC' ./internal/cluster/
 
 # obs race-tests the observability stack and guards the hot-path contract:
 # Counter.Add and Histogram.Observe must stay allocation-free (the zero

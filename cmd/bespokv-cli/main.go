@@ -50,7 +50,7 @@ func main() {
 	}
 
 	switch args[0] {
-	case "map", "setmap", "transition":
+	case "map", "setmap", "transition", "join", "drain", "rebalance", "migration":
 		admin, err := coordinator.DialCoordinator(net, *coordAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -191,6 +191,62 @@ func runAdmin(admin *coordinator.Client, args []string) {
 			log.Fatal(err)
 		}
 		fmt.Printf("transition to %s started at epoch %d\n", to, epoch)
+	case "join":
+		// The operator boots the new shard's controlet–datalet pairs out
+		// of band, then hands their addresses here as a shard JSON.
+		need(args, 2)
+		raw, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		var shard topology.Shard
+		if err := json.Unmarshal(raw, &shard); err != nil {
+			log.Fatal(err)
+		}
+		start, err := admin.JoinNode(shard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("migration %s started: sources=%v moved≈%.1f%%\n",
+			start.ID, start.Sources, start.MovedFraction*100)
+	case "drain":
+		need(args, 2)
+		start, err := admin.DrainNode(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("migration %s started: sources=%v moved≈%.1f%%\n",
+			start.ID, start.Sources, start.MovedFraction*100)
+	case "rebalance":
+		need(args, 2)
+		raw, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		var shards []topology.Shard
+		if err := json.Unmarshal(raw, &shards); err != nil {
+			log.Fatal(err)
+		}
+		start, err := admin.Rebalance(shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("migration %s started: sources=%v moved≈%.1f%%\n",
+			start.ID, start.Sources, start.MovedFraction*100)
+	case "migration":
+		st, err := admin.MigrationStatus()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Run == nil {
+			fmt.Println("(no migration has run)")
+			return
+		}
+		out, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
 	}
 }
 
@@ -212,6 +268,10 @@ commands:
   rmtable <name>           drop a table
   map                      print the cluster map
   setmap <file.json>       install a cluster map
-  transition <topo> <cons> start a mode transition in place`)
+  transition <topo> <cons> start a mode transition in place
+  join <shard.json>        add a shard; migrate its ring share in online
+  drain <shard-id>         remove a shard; migrate its keyspace out online
+  rebalance <shards.json>  migrate to an arbitrary target shard set
+  migration                print the active (or last) migration run`)
 	os.Exit(2)
 }

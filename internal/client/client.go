@@ -40,7 +40,7 @@ type Config struct {
 	// Retries bounds attempts per operation (default 8).
 	Retries int
 	// RetryBackoff is the base backoff between attempts (default 2ms,
-	// doubling, capped at 100ms).
+	// doubling with jitter, capped at maxRetryBackoff).
 	RetryBackoff time.Duration
 	// WatchMap keeps a background long-poll for map changes (default on
 	// when CoordinatorAddr is set).
@@ -314,6 +314,9 @@ func (c *Client) do(addr string, req *wire.Request, resp *wire.Response) error {
 	return nil
 }
 
+// maxRetryBackoff caps the doubling retry backoff.
+const maxRetryBackoff = 100 * time.Millisecond
+
 // errOut is returned when the retry budget is exhausted.
 type errOut struct {
 	op   wire.Op
@@ -401,12 +404,18 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 		}
 		clientRetries.Inc()
 		c.refreshMap()
+		// Jittered sleep in [backoff/2, backoff): a fleet of clients all
+		// kicked by the same epoch bump (cutover, failover) would
+		// otherwise retry in lockstep against the coordinator and the new
+		// owner. The doubling still bounds how hot a flapping epoch can
+		// spin any single client.
+		sleep := backoff/2 + time.Duration(c.randInt(int(backoff/2)+1))
 		select {
 		case <-c.stopCh:
 			return errOut{op: req.Op, last: lastErr}
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
-		if backoff < 100*time.Millisecond {
+		if backoff < maxRetryBackoff {
 			backoff *= 2
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
@@ -147,6 +148,43 @@ func TestClientRetriesUnavailableThenFails(t *testing.T) {
 	}
 	if calls.Load() != 3 {
 		t.Fatalf("server called %d times, want the retry budget of 3", calls.Load())
+	}
+}
+
+// TestFlappingEpochBackoff pins the stale-epoch retry loop's backoff: a
+// server that always answers WrongEpoch (an epoch flapping faster than the
+// client can refresh, e.g. mid-migration) must not be retried hot. With
+// Retries=5 and RetryBackoff=8ms the four inter-attempt sleeps draw from
+// [4,8) + [8,16) + [16,32) + [32,64) ms, so even the jitter floor sums to
+// 60ms — a busy-spin regression finishes orders of magnitude faster.
+func TestFlappingEpochBackoff(t *testing.T) {
+	var calls atomic.Int64
+	addr := fakeServer(t, func(req *wire.Request, resp *wire.Response) {
+		calls.Add(1)
+		resp.Status = wire.StatusWrongEpoch
+		resp.Epoch = req.Epoch + 1 // always "just moved"
+	})
+	net, _ := transport.Lookup("inproc")
+	codec, _ := wire.LookupCodec("binary")
+	c, err := New(Config{
+		Network: net, Codec: codec, StaticMap: staticMapTo(addr),
+		Retries: 5, RetryBackoff: 8 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Put("", []byte("k"), []byte("v"))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("put against a flapping epoch must eventually fail")
+	}
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("server called %d times, want the retry budget of 5", got)
+	}
+	if elapsed < 55*time.Millisecond {
+		t.Fatalf("5 attempts finished in %v: retry loop is busy-spinning", elapsed)
 	}
 }
 

@@ -498,6 +498,119 @@ func (c *Cluster) Transition(to topology.Mode) error {
 	return nil
 }
 
+// JoinNode boots a fresh shard (replicas controlet–datalet pairs) and asks
+// the coordinator to migrate its ring share in online. It blocks until the
+// migration completes and the expanded map is installed.
+func (c *Cluster) JoinNode(replicas int) error {
+	if replicas <= 0 {
+		replicas = c.Opts.Replicas
+	}
+	admin, err := c.Admin()
+	if err != nil {
+		return err
+	}
+	defer admin.Close()
+	cur, err := admin.GetMap()
+	if err != nil {
+		return err
+	}
+	dataletCodec, err := wire.LookupCodec(c.Opts.DataletCodecName)
+	if err != nil {
+		return err
+	}
+	gen := c.nameSeq.Add(1)
+	shard := topology.Shard{ID: fmt.Sprintf("shard-j%d", gen)}
+	var pairs []*Pair
+	for ri := 0; ri < replicas; ri++ {
+		nodeID := fmt.Sprintf("%s-r%d", shard.ID, ri)
+		pair, err := c.startPair(nodeID, shard.ID, c.Opts.Engine, dataletCodec, c.Opts.Mode)
+		if err != nil {
+			return err
+		}
+		// The joining controlets need the current map before any migrated
+		// traffic arrives; the expanded map reaches them via push later.
+		pair.Controlet.SetMap(cur)
+		pairs = append(pairs, pair)
+		shard.Replicas = append(shard.Replicas, pair.Node)
+	}
+	start, err := admin.JoinNode(shard)
+	if err != nil {
+		for _, p := range pairs {
+			p.Kill()
+		}
+		return err
+	}
+	if err := c.awaitMigration(admin, start.ID, cur.Epoch); err != nil {
+		return err
+	}
+	c.Shards = append(c.Shards, pairs)
+	return nil
+}
+
+// DrainNode migrates the keyspace of the shard at index si onto the other
+// shards and removes it from the map, then retires its pairs. Blocks until
+// the migration completes.
+func (c *Cluster) DrainNode(si int) error {
+	admin, err := c.Admin()
+	if err != nil {
+		return err
+	}
+	defer admin.Close()
+	cur, err := admin.GetMap()
+	if err != nil {
+		return err
+	}
+	if si < 0 || si >= len(cur.Shards) || si >= len(c.Shards) {
+		return fmt.Errorf("cluster: no shard at index %d", si)
+	}
+	start, err := admin.DrainNode(cur.Shards[si].ID)
+	if err != nil {
+		return err
+	}
+	if err := c.awaitMigration(admin, start.ID, cur.Epoch); err != nil {
+		return err
+	}
+	for _, p := range c.Shards[si] {
+		c.oldPairs = append(c.oldPairs, p)
+		if !p.Killed() {
+			_ = p.Controlet.Close()
+			_ = p.Datalet.Close()
+		}
+	}
+	c.Shards = append(c.Shards[:si:si], c.Shards[si+1:]...)
+	return nil
+}
+
+// awaitMigration polls the coordinator until run id finishes and the
+// post-migration map (epoch > baseEpoch) is installed.
+func (c *Cluster) awaitMigration(admin *coordinator.Client, id string, baseEpoch uint64) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := admin.MigrationStatus()
+		if err != nil {
+			return err
+		}
+		if st.Run != nil && st.Run.ID == id && !st.Active {
+			if st.Run.Err != "" {
+				return fmt.Errorf("cluster: migration %s failed: %s", id, st.Run.Err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			return errors.New("cluster: migration did not complete")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m, err := admin.GetMap()
+	if err != nil {
+		return err
+	}
+	if m.Epoch <= baseEpoch {
+		return fmt.Errorf("cluster: migration %s finished without an epoch bump", id)
+	}
+	return nil
+}
+
 // codecNameOf returns the datalet codec name for a node.
 func codecNameOf(n topology.Node, opts Options) string {
 	if n.DataletCodec != "" {

@@ -32,6 +32,7 @@ type logApplier struct {
 	client  *sharedlog.Client
 	reader  *sharedlog.Client
 	applied atomic.Uint64 // next offset to apply
+	adj     atomic.Uint64 // version-floor adjustment (see floor records)
 	appends chan appendReq
 	stopCh  chan struct{}
 }
@@ -164,10 +165,13 @@ func (a *logApplier) applyLoop(reader *sharedlog.Client) {
 		default:
 		}
 		// A standby promoted into a shard starts following that shard's
-		// stream from the beginning (idempotent under LWW versions).
+		// stream from the beginning (idempotent under LWW versions). The
+		// floor adjustment replays with it: floor records are part of the
+		// stream, so adj follows the same trajectory on every replay.
 		if cur := a.s.shardID(); cur != stream {
 			stream = cur
 			next = 0
+			a.adj.Store(0)
 		}
 		entries, n, err := reader.Stream(stream).Read(next, 4096, 500*time.Millisecond)
 		if err != nil {
@@ -199,15 +203,24 @@ func (a *logApplier) applyLoop(reader *sharedlog.Client) {
 }
 
 func (a *logApplier) applyEntry(e sharedlog.Entry) {
+	if len(e.Data) > 0 && e.Data[0] == recFloor {
+		a.applyFloor(e)
+		return
+	}
 	rec, err := decodeLogRecord(e.Data)
 	if err != nil {
 		a.s.cfg.Logf("controlet %s: corrupt log entry at %d: %v", a.s.cfg.NodeID, e.Offset, err)
 		return
 	}
-	version := aaecVersionBase + e.Offset + 1
+	adj := a.adj.Load()
+	version := aaecVersionBase + adj + e.Offset + 1
 	a.s.observeVersion(version)
-	if rec.origin == a.s.cfg.NodeID {
-		return // already applied synchronously at append time
+	if rec.origin == a.s.cfg.NodeID && rec.adj == adj {
+		// Already applied synchronously at append time with this exact
+		// version. If the adjustments differ, the origin acked with a stale
+		// floor and we fall through to reapply at the deterministic version
+		// — idempotent under LWW (same value, version >= the stale one).
+		return
 	}
 	if rec.shard != "" && rec.shard != a.s.shardID() {
 		return // another shard's stream
@@ -221,6 +234,51 @@ func (a *logApplier) applyEntry(e sharedlog.Entry) {
 	if err := a.s.applyLocal(op, rec.table, rec.key, rec.value, version, 0); err != nil {
 		a.s.cfg.Logf("controlet %s: apply log entry %d: %v", a.s.cfg.NodeID, e.Offset, err)
 	}
+}
+
+// applyFloor raises the stream's version-floor adjustment so that every
+// subsequent offset-derived version lands strictly above the floor. A
+// migration that moves keys into this shard carries versions minted on the
+// SOURCE's stream, which can sit far above this stream's current offsets;
+// without the floor, post-cutover writes here would silently lose the LWW
+// race to migrated history. The record lives in the log itself, so every
+// replica (and every future replay from offset 0) computes the identical
+// adjustment at the identical point in the sequence.
+func (a *logApplier) applyFloor(e sharedlog.Entry) {
+	shard, floor, err := decodeFloorRecord(e.Data)
+	if err != nil {
+		a.s.cfg.Logf("controlet %s: corrupt floor record at %d: %v", a.s.cfg.NodeID, e.Offset, err)
+		return
+	}
+	if shard != "" && shard != a.s.shardID() {
+		return
+	}
+	base := aaecVersionBase + e.Offset + 1
+	if floor <= base {
+		return
+	}
+	if cand := floor - base; cand > a.adj.Load() {
+		a.adj.Store(cand) // only the applyLoop goroutine writes adj
+	}
+	a.s.observeVersion(floor)
+}
+
+// appendFloor sequences a version-floor record through the shard's stream
+// and waits until the local applier has consumed it, so writes acked by
+// this node after appendFloor returns carry post-floor versions.
+func (a *logApplier) appendFloor(floor uint64) error {
+	off, err := a.append(a.s.shardID(), encodeFloorRecord(a.s.shardID(), floor))
+	if err != nil {
+		return err
+	}
+	for a.applied.Load() <= off {
+		select {
+		case <-a.stopCh:
+			return errStopped
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return nil
 }
 
 // drain blocks until the applier has consumed everything appended before
@@ -242,9 +300,11 @@ func (a *logApplier) drain() {
 // loggedWrite implements the AA+EC client write path: sequence through the
 // shared log, apply locally with the offset-derived version, acknowledge.
 func (s *Server) loggedWrite(req *wire.Request, resp *wire.Response) {
+	adj := s.aaec.adj.Load()
 	rec := logRecord{
 		origin: s.cfg.NodeID,
 		shard:  s.shardID(),
+		adj:    adj,
 		del:    req.Op == wire.OpDel,
 		table:  req.Table,
 		key:    req.Key,
@@ -266,7 +326,7 @@ func (s *Server) loggedWrite(req *wire.Request, resp *wire.Response) {
 		resp.Err = "sharedlog: " + err.Error()
 		return
 	}
-	version := aaecVersionBase + offset + 1
+	version := aaecVersionBase + adj + offset + 1
 	s.observeVersion(version)
 	op := wire.OpPut
 	if rec.del {
@@ -277,6 +337,7 @@ func (s *Server) loggedWrite(req *wire.Request, resp *wire.Response) {
 		resp.Err = err.Error()
 		return
 	}
+	s.mirrorWrite(rec.del, req.Table, req.Key, req.Value, version)
 	resp.Status = wire.StatusOK
 	resp.Version = version
 }
@@ -288,14 +349,19 @@ func (s *Server) loggedWrite(req *wire.Request, resp *wire.Response) {
 type logRecord struct {
 	origin string
 	shard  string
+	adj    uint64 // floor adjustment the origin used for its synchronous apply
 	del    bool
 	table  string
 	key    []byte
 	value  []byte
 }
 
+// recFloor tags a version-floor record (see applyFloor); 0/1 tag ordinary
+// put/del records.
+const recFloor = 2
+
 func encodeLogRecord(r logRecord) []byte {
-	out := make([]byte, 0, 20+len(r.origin)+len(r.shard)+len(r.table)+len(r.key)+len(r.value))
+	out := make([]byte, 0, 30+len(r.origin)+len(r.shard)+len(r.table)+len(r.key)+len(r.value))
 	if r.del {
 		out = append(out, 1)
 	} else {
@@ -303,6 +369,7 @@ func encodeLogRecord(r logRecord) []byte {
 	}
 	out = appendBytes(out, []byte(r.origin))
 	out = appendBytes(out, []byte(r.shard))
+	out = binary.AppendUvarint(out, r.adj)
 	out = appendBytes(out, []byte(r.table))
 	out = appendBytes(out, r.key)
 	out = appendBytes(out, r.value)
@@ -326,6 +393,12 @@ func decodeLogRecord(b []byte) (logRecord, error) {
 		return r, err
 	}
 	r.shard = string(f)
+	adj, w := binary.Uvarint(b)
+	if w <= 0 {
+		return r, fmt.Errorf("corrupt field")
+	}
+	r.adj = adj
+	b = b[w:]
 	if f, b, err = takeBytes(b); err != nil {
 		return r, err
 	}
@@ -337,6 +410,29 @@ func decodeLogRecord(b []byte) (logRecord, error) {
 		return r, err
 	}
 	return r, nil
+}
+
+func encodeFloorRecord(shard string, floor uint64) []byte {
+	out := make([]byte, 0, 12+len(shard))
+	out = append(out, recFloor)
+	out = appendBytes(out, []byte(shard))
+	out = binary.AppendUvarint(out, floor)
+	return out
+}
+
+func decodeFloorRecord(b []byte) (shard string, floor uint64, err error) {
+	if len(b) < 1 || b[0] != recFloor {
+		return "", 0, fmt.Errorf("not a floor record")
+	}
+	f, rest, err := takeBytes(b[1:])
+	if err != nil {
+		return "", 0, err
+	}
+	floor, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return "", 0, fmt.Errorf("corrupt floor")
+	}
+	return string(f), floor, nil
 }
 
 func appendBytes(dst, b []byte) []byte {

@@ -83,6 +83,7 @@ func (s *Server) lockedWrite(m *topology.Map, shard topology.Shard, req *wire.Re
 			return
 		}
 	}
+	s.mirrorWrite(localOp == wire.OpDel, req.Table, req.Key, req.Value, version)
 	resp.Status = wire.StatusOK
 	resp.Version = version
 }

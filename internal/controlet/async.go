@@ -44,6 +44,7 @@ func (s *Server) asyncWrite(m *topology.Map, shard topology.Shard, pos int, req 
 			traceID: req.TraceID,
 		})
 	}
+	s.mirrorWrite(localOp == wire.OpDel, req.Table, req.Key, req.Value, version)
 	resp.Status = wire.StatusOK
 	resp.Version = version
 }

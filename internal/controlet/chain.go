@@ -40,6 +40,7 @@ func (s *Server) chainWrite(m *topology.Map, shard topology.Shard, pos int, req 
 		resp.Err = "chain: " + err.Error()
 		return
 	}
+	s.mirrorWrite(localOp == wire.OpDel, req.Table, req.Key, req.Value, version)
 	resp.Status = wire.StatusOK
 	resp.Version = version
 }

@@ -30,6 +30,7 @@ import (
 	"bespokv/internal/coordinator"
 	"bespokv/internal/datalet"
 	"bespokv/internal/metrics"
+	"bespokv/internal/migrate"
 	"bespokv/internal/rpc"
 	"bespokv/internal/topology"
 	"bespokv/internal/trace"
@@ -124,6 +125,9 @@ type Server struct {
 	// are forwarded to the new-mode controlet.
 	draining atomic.Bool
 
+	// mig is the active shard migration, nil when idle (see migrate.go).
+	mig atomic.Pointer[migrationState]
+
 	// inflight tracks executing client writes: handlers hold the read
 	// side; Quiesce takes the write side to wait for all of them — the
 	// barrier the coordinator needs between installing a new chain and
@@ -210,6 +214,13 @@ func Serve(cfg Config) (*Server, error) {
 	rpc.HandleFunc(s.ctl, "Quiesce", s.handleQuiesce)
 	rpc.HandleFunc(s.ctl, "Reconcile", s.handleReconcile)
 	rpc.HandleFunc(s.ctl, "Stats", s.handleStats)
+	rpc.HandleFunc(s.ctl, "MigrateOut", s.handleMigrateOut)
+	rpc.HandleFunc(s.ctl, "MigrateStream", s.handleMigrateStream)
+	rpc.HandleFunc(s.ctl, "MigrateCutover", s.handleMigrateCutover)
+	rpc.HandleFunc(s.ctl, "MigrateFloor", s.handleMigrateFloor)
+	rpc.HandleFunc(s.ctl, "MigrateGC", s.handleMigrateGC)
+	rpc.HandleFunc(s.ctl, "MigrateAbort", s.handleMigrateAbort)
+	rpc.HandleFunc(s.ctl, "MigrateStatus", s.handleMigrateStatus)
 	ctlAddr, err := s.ctl.Serve(cfg.Network, cfg.CtlAddr)
 	if err != nil {
 		s.Close()
@@ -283,6 +294,9 @@ func (s *Server) Close() error {
 	}
 	if s.locks != nil {
 		s.locks.close()
+	}
+	if ms := s.mig.Load(); ms != nil {
+		ms.mover.Stop()
 	}
 	s.wg.Wait()
 	s.peersMu.Lock()
@@ -641,6 +655,8 @@ type StatsReply struct {
 	Epoch   uint64 `json:"epoch"`
 	Role    string `json:"role"`
 	Clock   uint64 `json:"clock"`
+	// Migration is the active mover's progress, nil when idle.
+	Migration *migrate.Status `json:"migration,omitempty"`
 }
 
 func (s *Server) handleStats(struct{}) (StatsReply, error) {
@@ -655,6 +671,10 @@ func (s *Server) handleStats(struct{}) (StatsReply, error) {
 		reply.Epoch = m.Epoch
 		_, pos := s.myShard(m)
 		reply.Role = s.roleName(m, pos)
+	}
+	if ms := s.mig.Load(); ms != nil {
+		st := ms.mover.Status()
+		reply.Migration = &st
 	}
 	return reply, nil
 }

@@ -158,6 +158,16 @@ func (s *Server) handleWrite(req *wire.Request, resp *wire.Response) {
 		return
 	}
 
+	// Migration cutover barrier: once the mover's barrier is up, writes to
+	// keys that are moving away must not be acknowledged here — the delta
+	// queue is draining and the epoch bump is imminent. The client backs
+	// off, refreshes its map and lands on the new owner.
+	if ms := s.migration(); ms != nil && ms.mover.Blocks(req.Key) {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: shard migration cutover in progress"
+		return
+	}
+
 	switch {
 	case s.cfg.Mode.Topology == topology.MS && s.cfg.Mode.Consistency == topology.Strong:
 		s.chainWrite(m, shard, pos, req, resp)
@@ -217,6 +227,15 @@ func (s *Server) handleGet(req *wire.Request, resp *wire.Response) {
 	// exactly as §V-A describes.
 	if m.Transition != nil {
 		s.localCall(req, resp)
+		return
+	}
+
+	// A node failed out of the map (or drained away) must not serve even
+	// eventual reads: its state stops being repaired, so its answers can
+	// be arbitrarily stale rather than merely eventually consistent.
+	if pos < 0 {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: node not in current map"
 		return
 	}
 

@@ -14,8 +14,8 @@ import (
 // bookkeeping cost. Control-path metrics (heartbeats, failover,
 // propagation give-ups) may use labeled lookups freely.
 var (
-	ctlOpCount [wire.OpHandoff + 1]*metrics.Counter
-	ctlOpLat   [wire.OpHandoff + 1]*metrics.Histogram
+	ctlOpCount [wire.OpMax + 1]*metrics.Counter
+	ctlOpLat   [wire.OpMax + 1]*metrics.Histogram
 
 	// Replication fan-out, by mechanism: chain forwards launched (MS+SC),
 	// async records enqueued/dropped (MS+EC), write-all peer applies
@@ -37,14 +37,14 @@ var (
 )
 
 func init() {
-	for op := wire.OpNop; op <= wire.OpHandoff; op++ {
+	for op := wire.OpNop; op <= wire.OpMax; op++ {
 		ctlOpCount[op] = metrics.Default.Counter("bespokv_controlet_ops_total", "op", op.String())
 		ctlOpLat[op] = metrics.Default.Histogram("bespokv_controlet_op_seconds", "op", op.String())
 	}
 }
 
 func clampCtlOp(op wire.Op) wire.Op {
-	if op > wire.OpHandoff {
+	if op > wire.OpMax {
 		return wire.OpNop
 	}
 	return op
@@ -111,6 +111,9 @@ func (s *Server) Status() any {
 	}
 	if s.prop != nil {
 		st["prop_pending"] = s.prop.pendingN.Load()
+	}
+	if ms := s.mig.Load(); ms != nil {
+		st["migration"] = ms.mover.Status()
 	}
 	if s.aaec != nil {
 		st["aaec_applied_offset"] = s.aaec.applied.Load()

@@ -91,5 +91,36 @@ func (c *Client) CompleteTransition() (uint64, error) {
 	return reply.Epoch, nil
 }
 
+// JoinNode starts an online rebalance that adds shard to the ring; its
+// share of the keyspace migrates in with zero downtime. Poll
+// MigrationStatus for completion.
+func (c *Client) JoinNode(shard topology.Shard) (MigrationStartReply, error) {
+	var reply MigrationStartReply
+	err := c.c.Call("JoinNode", JoinArgs{Shard: shard}, &reply)
+	return reply, err
+}
+
+// DrainNode starts an online rebalance that removes the shard, spreading
+// its keyspace over the survivors.
+func (c *Client) DrainNode(shardID string) (MigrationStartReply, error) {
+	var reply MigrationStartReply
+	err := c.c.Call("DrainNode", DrainArgs{ShardID: shardID}, &reply)
+	return reply, err
+}
+
+// Rebalance starts an online migration to an arbitrary target shard set.
+func (c *Client) Rebalance(shards []topology.Shard) (MigrationStartReply, error) {
+	var reply MigrationStartReply
+	err := c.c.Call("Rebalance", RebalanceArgs{Shards: shards}, &reply)
+	return reply, err
+}
+
+// MigrationStatus reports the active (or most recent) rebalance run.
+func (c *Client) MigrationStatus() (MigrationStatusReply, error) {
+	var reply MigrationStatusReply
+	err := c.c.Call("MigrationStatus", struct{}{}, &reply)
+	return reply, err
+}
+
 // Close tears down the connection.
 func (c *Client) Close() error { return c.c.Close() }

@@ -49,6 +49,9 @@ type Server struct {
 	suspended map[string]bool // nodes already failed over
 	standbys  []topology.Node
 	epochCh   chan struct{} // closed and replaced on every epoch bump
+	migrating *migrationRun // active rebalance, nil when idle (see rebalance.go)
+	lastRun   *migrationRun // most recent finished rebalance, for status
+	migSeq    uint64
 	stopCh    chan struct{}
 	stopped   bool
 	wg        sync.WaitGroup
@@ -125,6 +128,10 @@ func Serve(cfg Config) (*Server, error) {
 	rpc.HandleFunc(s.rpc, "LeaderElect", s.handleLeaderElect)
 	rpc.HandleFunc(s.rpc, "BeginTransition", s.handleBeginTransition)
 	rpc.HandleFunc(s.rpc, "CompleteTransition", s.handleCompleteTransition)
+	rpc.HandleFunc(s.rpc, "JoinNode", s.handleJoinNode)
+	rpc.HandleFunc(s.rpc, "DrainNode", s.handleDrainNode)
+	rpc.HandleFunc(s.rpc, "Rebalance", s.handleRebalance)
+	rpc.HandleFunc(s.rpc, "MigrationStatus", s.handleMigrationStatus)
 	addr, err := s.rpc.Serve(cfg.Network, cfg.Addr)
 	if err != nil {
 		return nil, err

@@ -30,12 +30,13 @@ func (s *Server) sweep() {
 		s.mu.Unlock()
 		return
 	}
-	if s.cur.Transition != nil {
-		// Failover and transition machinery must not interleave: a node
-		// removed from the old shards mid-switch would leave the new
-		// shards referencing it. Defer detection until the transition
-		// completes (its drain runs in seconds); truly dead nodes stay
-		// silent and are swept on the next pass.
+	if s.cur.Transition != nil || s.migrating != nil {
+		// Failover, transition and migration machinery must not
+		// interleave: a node removed from the old shards mid-switch would
+		// leave the new shards referencing it, and a mid-migration
+		// failover would invalidate the plan's replica sets. Defer
+		// detection until the operation completes (both run in seconds);
+		// truly dead nodes stay silent and are swept on the next pass.
 		s.mu.Unlock()
 		return
 	}
@@ -77,6 +78,10 @@ func (s *Server) FailNode(nodeID string) error {
 	if s.cur.Transition != nil {
 		s.mu.Unlock()
 		return errors.New("coordinator: transition in flight; failover deferred")
+	}
+	if s.migrating != nil {
+		s.mu.Unlock()
+		return errors.New("coordinator: migration in flight; failover deferred")
 	}
 	m := s.cur.Clone()
 	shardIdx := -1
@@ -310,6 +315,10 @@ func (s *Server) handleBeginTransition(args TransitionArgs) (HeartbeatReply, err
 	if s.cur.Transition != nil {
 		s.mu.Unlock()
 		return HeartbeatReply{}, errors.New("coordinator: transition already in flight")
+	}
+	if s.migrating != nil {
+		s.mu.Unlock()
+		return HeartbeatReply{}, errors.New("coordinator: migration in flight; transition deferred")
 	}
 	if len(args.NewShards) != len(s.cur.Shards) {
 		s.mu.Unlock()

@@ -19,6 +19,11 @@ var (
 	coordRecoveryLat   = metrics.Default.Histogram("bespokv_coordinator_recovery_seconds")
 	coordMapPushes     = metrics.Default.Counter("bespokv_coordinator_map_pushes_total")
 	coordEpoch         = metrics.Default.Gauge("bespokv_coordinator_epoch")
+	// Elastic membership: rebalance runs (join/drain/rebalance) and their
+	// end-to-end latency from plan to GC.
+	coordRebalances     = metrics.Default.Counter("bespokv_coordinator_rebalances_total")
+	coordRebalanceFails = metrics.Default.Counter("bespokv_coordinator_rebalance_failures_total")
+	coordRebalanceLat   = metrics.Default.Histogram("bespokv_coordinator_rebalance_seconds")
 )
 
 // Status reports the coordinator's cluster view for /statusz.
@@ -45,6 +50,11 @@ func (s *Server) Status() any {
 		}
 		st["nodes"] = nodes
 		st["transition"] = s.cur.Transition != nil
+	}
+	if s.migrating != nil {
+		st["migration"] = *s.migrating
+	} else if s.lastRun != nil {
+		st["last_migration"] = *s.lastRun
 	}
 	return st
 }

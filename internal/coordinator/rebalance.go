@@ -1,0 +1,410 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bespokv/internal/migrate"
+	"bespokv/internal/topology"
+)
+
+// migrationRun is the coordinator-side record of one rebalance: the plan,
+// the source replica set frozen at plan time, and progress for the
+// MigrationStatus RPC. Exactly one run may be active; a finished run stays
+// around (lastRun) so status is queryable after completion.
+type migrationRun struct {
+	ID            string              `json:"id"`
+	Kind          string              `json:"kind"` // "join" | "drain" | "rebalance"
+	Phase         string              `json:"phase"`
+	Sources       []string            `json:"sources"`
+	Transfers     []topology.Transfer `json:"transfers"`
+	MovedFraction float64             `json:"moved_fraction"`
+	KeysMoved     uint64              `json:"keys_moved"`
+	BytesMoved    uint64              `json:"bytes_moved"`
+	KeysGCed      uint64              `json:"keys_gced"`
+	Err           string              `json:"err,omitempty"`
+
+	plan      *migrate.Plan
+	srcShards []topology.Shard // source shards with their replica lists, from the base map
+}
+
+// JoinArgs adds one fully-specified shard (replicas with all addresses).
+type JoinArgs struct {
+	Shard topology.Shard `json:"shard"`
+}
+
+// DrainArgs removes one shard, spreading its keyspace over the survivors.
+type DrainArgs struct {
+	ShardID string `json:"shard"`
+}
+
+// RebalanceArgs installs an arbitrary target shard set.
+type RebalanceArgs struct {
+	Shards []topology.Shard `json:"shards"`
+}
+
+// MigrationStartReply acknowledges a started rebalance; the caller polls
+// MigrationStatus until the run reports done or failed.
+type MigrationStartReply struct {
+	ID            string   `json:"id"`
+	Sources       []string `json:"sources"`
+	MovedFraction float64  `json:"moved_fraction"`
+}
+
+// MigrationStatusReply reports the active (or most recent) run.
+type MigrationStatusReply struct {
+	Active bool          `json:"active"`
+	Run    *migrationRun `json:"run,omitempty"`
+}
+
+func (s *Server) handleJoinNode(args JoinArgs) (MigrationStartReply, error) {
+	return s.startMigration("join", func(cur *topology.Map) (*migrate.Plan, error) {
+		return migrate.PlanJoin(cur, args.Shard)
+	})
+}
+
+func (s *Server) handleDrainNode(args DrainArgs) (MigrationStartReply, error) {
+	return s.startMigration("drain", func(cur *topology.Map) (*migrate.Plan, error) {
+		return migrate.PlanDrain(cur, args.ShardID)
+	})
+}
+
+func (s *Server) handleRebalance(args RebalanceArgs) (MigrationStartReply, error) {
+	return s.startMigration("rebalance", func(cur *topology.Map) (*migrate.Plan, error) {
+		return migrate.PlanRebalance(cur, args.Shards)
+	})
+}
+
+func (s *Server) handleMigrationStatus(struct{}) (MigrationStatusReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.migrating != nil {
+		run := *s.migrating
+		return MigrationStatusReply{Active: true, Run: &run}, nil
+	}
+	if s.lastRun != nil {
+		run := *s.lastRun
+		return MigrationStatusReply{Active: false, Run: &run}, nil
+	}
+	return MigrationStatusReply{}, nil
+}
+
+// startMigration plans under the lock, claims the single migration slot,
+// and launches the orchestrator in the background.
+func (s *Server) startMigration(kind string, planFn func(*topology.Map) (*migrate.Plan, error)) (MigrationStartReply, error) {
+	s.mu.Lock()
+	if s.cur == nil {
+		s.mu.Unlock()
+		return MigrationStartReply{}, errors.New("coordinator: no map installed")
+	}
+	if s.cur.Transition != nil {
+		s.mu.Unlock()
+		return MigrationStartReply{}, errors.New("coordinator: mode transition in flight")
+	}
+	if s.migrating != nil {
+		s.mu.Unlock()
+		return MigrationStartReply{}, fmt.Errorf("coordinator: migration %s already in flight", s.migrating.ID)
+	}
+	plan, err := planFn(s.cur)
+	if err != nil {
+		s.mu.Unlock()
+		return MigrationStartReply{}, err
+	}
+	s.migSeq++
+	run := &migrationRun{
+		ID:            fmt.Sprintf("mig-%d-%d", plan.BaseEpoch, s.migSeq),
+		Kind:          kind,
+		Phase:         "dual-write",
+		Sources:       plan.Sources,
+		Transfers:     plan.Transfers,
+		MovedFraction: plan.MovedFraction,
+		plan:          plan,
+	}
+	for _, id := range plan.Sources {
+		for _, shard := range s.cur.Shards {
+			if shard.ID == id {
+				run.srcShards = append(run.srcShards, shard)
+			}
+		}
+	}
+	s.migrating = run
+	s.mu.Unlock()
+
+	coordRebalances.Inc()
+	s.cfg.Logf("coordinator: %s %s started: sources=%v moved≈%.1f%%",
+		kind, run.ID, plan.Sources, plan.MovedFraction*100)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		start := time.Now()
+		if err := s.runMigration(run); err != nil {
+			coordRebalanceFails.Inc()
+			s.cfg.Logf("coordinator: %s %s failed: %v", kind, run.ID, err)
+			s.abortMigration(run, err)
+		} else {
+			coordRebalanceLat.Observe(time.Since(start))
+			s.cfg.Logf("coordinator: %s %s complete in %v", kind, run.ID, time.Since(start))
+		}
+		s.mu.Lock()
+		run.plan = nil // drop the map references; keep the summary
+		s.lastRun = run
+		s.migrating = nil
+		s.mu.Unlock()
+	}()
+	return MigrationStartReply{ID: run.ID, Sources: plan.Sources, MovedFraction: plan.MovedFraction}, nil
+}
+
+// callCtl dials addr and runs one control RPC.
+func (s *Server) callCtl(addr, method string, args, reply any) error {
+	ctl, err := s.dialCtl(addr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer ctl.Close()
+	if err := ctl.Call(method, args, reply); err != nil {
+		return fmt.Errorf("%s at %s: %w", method, addr, err)
+	}
+	return nil
+}
+
+// runMigration drives the handoff protocol end to end:
+//
+//  1. arm the dual-write window on EVERY replica of every source shard
+//  2. stream the snapshot from one replica per source shard, in parallel
+//  3. cut over: every source replica blocks writes to moving keys and
+//     drains its delta queue to zero (the cutover invariant)
+//  4. floor the destination shards' version domains above everything
+//     migrated, so post-cutover writes always win LWW races
+//  5. install the target map with an epoch bump (clients redirect)
+//  6. garbage-collect the moved ranges at the sources
+func (s *Server) runMigration(run *migrationRun) error {
+	plan := run.plan
+
+	// Phase 1: arm dual-writes everywhere.
+	s.setRunPhase(run, "dual-write")
+	for _, shard := range run.srcShards {
+		spec := migrate.Spec{ID: run.ID, SourceShard: shard.ID, Target: plan.Target}
+		for _, n := range shard.Replicas {
+			if n.ControlAddr == "" {
+				return fmt.Errorf("source node %s has no control address", n.ID)
+			}
+			if err := s.callCtl(n.ControlAddr, "MigrateOut", spec, nil); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 2: snapshot, one elected replica per source shard, in parallel.
+	s.setRunPhase(run, "snapshot")
+	type streamRes struct {
+		reply streamReply
+		err   error
+	}
+	resCh := make(chan streamRes, len(run.srcShards))
+	for _, shard := range run.srcShards {
+		head := shard.Replicas[0]
+		go func(addr string) {
+			var reply streamReply
+			err := s.callCtl(addr, "MigrateStream", migRef{ID: run.ID}, &reply)
+			resCh <- streamRes{reply: reply, err: err}
+		}(head.ControlAddr)
+	}
+	var maxVersion uint64
+	var streamErr error
+	for range run.srcShards {
+		res := <-resCh
+		if res.err != nil && streamErr == nil {
+			streamErr = res.err
+		}
+		s.mu.Lock()
+		run.KeysMoved += res.reply.Keys
+		run.BytesMoved += res.reply.Bytes
+		s.mu.Unlock()
+		if res.reply.MaxVersion > maxVersion {
+			maxVersion = res.reply.MaxVersion
+		}
+	}
+	if streamErr != nil {
+		return streamErr
+	}
+
+	// Phase 3: cutover barrier on every source replica, in parallel —
+	// writes to moving keys are refused from the first barrier until the
+	// new map reaches the clients, so this window must stay well inside
+	// the client retry budget (sum of serial drains would not).
+	s.setRunPhase(run, "cutover")
+	cutStart := time.Now()
+	type cutRes struct {
+		maxVersion uint64
+		err        error
+	}
+	var nCut int
+	cutCh := make(chan cutRes, 16)
+	for _, shard := range run.srcShards {
+		for _, n := range shard.Replicas {
+			nCut++
+			go func(addr string) {
+				var reply struct {
+					MaxVersion uint64 `json:"max_version"`
+				}
+				err := s.callCtl(addr, "MigrateCutover", migRef{ID: run.ID}, &reply)
+				cutCh <- cutRes{maxVersion: reply.MaxVersion, err: err}
+			}(n.ControlAddr)
+		}
+	}
+	var cutErr error
+	for i := 0; i < nCut; i++ {
+		res := <-cutCh
+		if res.err != nil && cutErr == nil {
+			cutErr = res.err
+		}
+		if res.maxVersion > maxVersion {
+			maxVersion = res.maxVersion
+		}
+	}
+	if cutErr != nil {
+		return cutErr
+	}
+
+	// Phase 4: floor the destination version domains. Destinations are the
+	// shards that receive keyspace per the plan's transfers.
+	if maxVersion > 0 {
+		destIDs := map[string]bool{}
+		for _, tr := range run.Transfers {
+			destIDs[tr.To] = true
+		}
+		var floorErr error
+		var floorWG sync.WaitGroup
+		var floorMu sync.Mutex
+		for _, shard := range plan.Target.Shards {
+			if !destIDs[shard.ID] {
+				continue
+			}
+			for _, n := range shard.Replicas {
+				if n.ControlAddr == "" {
+					continue
+				}
+				floorWG.Add(1)
+				go func(addr string) {
+					defer floorWG.Done()
+					args := struct {
+						Floor uint64 `json:"floor"`
+					}{Floor: maxVersion}
+					if err := s.callCtl(addr, "MigrateFloor", args, nil); err != nil {
+						floorMu.Lock()
+						if floorErr == nil {
+							floorErr = err
+						}
+						floorMu.Unlock()
+					}
+				}(n.ControlAddr)
+			}
+		}
+		floorWG.Wait()
+		if floorErr != nil {
+			return floorErr
+		}
+	}
+
+	// Phase 5: install the target map. The epoch bump is what makes the
+	// cutover permanent: clients with the old map get WrongEpoch/redirects
+	// and refresh onto the new owners.
+	s.mu.Lock()
+	if s.cur == nil || s.cur.Epoch != run.plan.BaseEpoch {
+		cur := uint64(0)
+		if s.cur != nil {
+			cur = s.cur.Epoch
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("map changed during migration (epoch %d, planned against %d)", cur, run.plan.BaseEpoch)
+	}
+	m := plan.Target.Clone()
+	m.Epoch = run.plan.BaseEpoch + 1
+	s.cur = m
+	now := time.Now()
+	for _, shard := range m.Shards {
+		for _, n := range shard.Replicas {
+			s.lastSeen[n.ID] = now
+			delete(s.suspended, n.ID)
+		}
+	}
+	s.bumpLocked()
+	s.mu.Unlock()
+	s.pushMap()
+	// Drained shards' controlets are no longer in the map; push the new
+	// map to them explicitly so they stop serving stale reads.
+	var updWG sync.WaitGroup
+	for _, shard := range run.srcShards {
+		for _, n := range shard.Replicas {
+			updWG.Add(1)
+			go func(addr string) {
+				defer updWG.Done()
+				_ = s.callCtl(addr, "UpdateMap", m, nil)
+			}(n.ControlAddr)
+		}
+	}
+	updWG.Wait()
+	s.cfg.Logf("coordinator: %s: cutover window %v (barrier to new map pushed)", run.ID, time.Since(cutStart))
+
+	// Phase 6: GC the moved ranges at the sources.
+	s.setRunPhase(run, "gc")
+	for _, shard := range run.srcShards {
+		for _, n := range shard.Replicas {
+			var reply struct {
+				Keys uint64 `json:"keys"`
+			}
+			if err := s.callCtl(n.ControlAddr, "MigrateGC", migRef{ID: run.ID}, &reply); err != nil {
+				// The handoff itself succeeded; a failed GC leaves garbage
+				// that a later migration or restart can sweep. Log, don't
+				// abort — aborting now would try to un-cut-over.
+				s.cfg.Logf("coordinator: %s: gc at %s: %v", run.ID, n.ID, err)
+				continue
+			}
+			s.mu.Lock()
+			run.KeysGCed += reply.Keys
+			s.mu.Unlock()
+		}
+	}
+	s.setRunPhase(run, "done")
+	return nil
+}
+
+// abortMigration best-effort tears down every mover and records the error;
+// the cluster keeps serving from the pre-migration map.
+func (s *Server) abortMigration(run *migrationRun, cause error) {
+	for _, shard := range run.srcShards {
+		for _, n := range shard.Replicas {
+			if n.ControlAddr == "" {
+				continue
+			}
+			if err := s.callCtl(n.ControlAddr, "MigrateAbort", migRef{ID: run.ID}, nil); err != nil {
+				s.cfg.Logf("coordinator: %s: abort at %s: %v", run.ID, n.ID, err)
+			}
+		}
+	}
+	s.mu.Lock()
+	run.Phase = "failed"
+	run.Err = cause.Error()
+	s.mu.Unlock()
+}
+
+// migRef and streamReply mirror the controlet's MigrateRef and
+// MigrateStreamReply wire shapes without importing controlet (which would
+// be an import cycle: controlet already imports coordinator).
+type migRef struct {
+	ID string `json:"id"`
+}
+
+type streamReply struct {
+	Keys       uint64 `json:"keys"`
+	Bytes      uint64 `json:"bytes"`
+	MaxVersion uint64 `json:"max_version"`
+}
+
+func (s *Server) setRunPhase(run *migrationRun, phase string) {
+	s.mu.Lock()
+	run.Phase = phase
+	s.mu.Unlock()
+}

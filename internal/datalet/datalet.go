@@ -308,6 +308,21 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 			resp.Pairs = append(resp.Pairs, wire.KV{Key: kv.Key, Value: kv.Value, Version: kv.Version})
 		}
 
+	case wire.OpDelRange:
+		e, ok := s.engineFor(req.Table)
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			resp.Err = "no such table: " + req.Table
+			return
+		}
+		deleted, err := delRange(e, req.Key, req.EndKey)
+		if err != nil {
+			fail(resp, err)
+			return
+		}
+		resp.Status = wire.StatusOK
+		resp.Version = deleted
+
 	case wire.OpStats:
 		s.mu.RLock()
 		names := make([]string, 0, len(s.tables))
@@ -377,6 +392,35 @@ func (s *Server) streamExport(bw *bufio.Writer, req *wire.Request) error {
 	}
 	final := wire.Response{ID: req.ID, Status: wire.StatusOK, Version: total}
 	return s.cfg.Codec.WriteResponse(bw, &final)
+}
+
+// delRangeChunk bounds how many keys one deletion round scans out.
+const delRangeChunk = 512
+
+// delRange tombstones every live key in [start, end) in bounded chunks, so
+// an arbitrarily large range never materializes in memory at once. Each
+// tombstone reuses the record's stored version: a racing newer write
+// (strictly higher version) survives the sweep, which is what the
+// migration GC wants under last-writer-wins.
+func delRange(e store.Engine, start, end []byte) (uint64, error) {
+	cursor := start
+	var deleted uint64
+	for {
+		kvs, err := e.Scan(cursor, end, delRangeChunk)
+		if err != nil {
+			return deleted, err
+		}
+		for _, kv := range kvs {
+			if _, _, err := e.Delete(kv.Key, kv.Version); err != nil {
+				return deleted, err
+			}
+			deleted++
+		}
+		if len(kvs) < delRangeChunk {
+			return deleted, nil
+		}
+		cursor = append(append([]byte(nil), kvs[len(kvs)-1].Key...), 0)
+	}
 }
 
 func fail(resp *wire.Response, err error) {

@@ -12,8 +12,8 @@ import (
 // data path never touches the registry's keyed lookup: recording an op is
 // two atomic adds plus a histogram observe, all allocation-free.
 var (
-	srvOpCount [wire.OpHandoff + 1]*metrics.Counter
-	srvOpLat   [wire.OpHandoff + 1]*metrics.Histogram
+	srvOpCount [wire.OpMax + 1]*metrics.Counter
+	srvOpLat   [wire.OpMax + 1]*metrics.Histogram
 
 	// Pipelined-client metrics (see client.go): how requests reach the
 	// wire. Average coalesced batch size = batched_requests / batches.
@@ -75,14 +75,14 @@ func init() {
 }
 
 func init() {
-	for op := wire.OpNop; op <= wire.OpHandoff; op++ {
+	for op := wire.OpNop; op <= wire.OpMax; op++ {
 		srvOpCount[op] = metrics.Default.Counter("bespokv_datalet_ops_total", "op", op.String())
 		srvOpLat[op] = metrics.Default.Histogram("bespokv_datalet_op_seconds", "op", op.String())
 	}
 }
 
 func clampOp(op wire.Op) wire.Op {
-	if op > wire.OpHandoff {
+	if op > wire.OpMax {
 		return wire.OpNop
 	}
 	return op

@@ -1,0 +1,87 @@
+// Package migrate implements online shard migration — the elastic side of
+// the bespoKV control plane. The coordinator plans a rebalance as a
+// consistent-hash ownership diff (see internal/topology.OwnershipDiff) and
+// orchestrates one Mover per source shard through the Spinnaker-style
+// handoff: arm a dual-write window on every source replica, stream a
+// snapshot of the moving keys over the ordinary OpScan path, drain the
+// delta queue, cut writes over behind a short barrier, bump the epoch, and
+// garbage-collect the moved range at the source. Last-writer-wins versions
+// ride with every moved pair, so the snapshot, the dual-writes and live
+// post-cutover traffic all commute.
+package migrate
+
+import "bespokv/internal/topology"
+
+// Phase is a migration's lifecycle stage, in protocol order.
+type Phase int32
+
+const (
+	// PhaseIdle: no migration active.
+	PhaseIdle Phase = iota
+	// PhaseDualWrite: acknowledged writes to moving keys are mirrored to
+	// their post-cutover owner; the snapshot has not started yet.
+	PhaseDualWrite
+	// PhaseSnapshot: the elected source replica is streaming moving keys
+	// to their new owners in chunks (dual-writes continue underneath).
+	PhaseSnapshot
+	// PhaseCatchUp: snapshot complete; the mirror queue is draining.
+	PhaseCatchUp
+	// PhaseCutover: writes to moving keys are refused while the last
+	// deltas drain; ends with the coordinator's epoch bump.
+	PhaseCutover
+	// PhaseGC: the source is deleting keys it no longer owns.
+	PhaseGC
+	// PhaseDone: migration complete.
+	PhaseDone
+	// PhaseFailed: migration aborted; the source serves as before.
+	PhaseFailed
+)
+
+// String returns the phase mnemonic.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseDualWrite:
+		return "dual-write"
+	case PhaseSnapshot:
+		return "snapshot"
+	case PhaseCatchUp:
+		return "catch-up"
+	case PhaseCutover:
+		return "cutover"
+	case PhaseGC:
+		return "gc"
+	case PhaseDone:
+		return "done"
+	case PhaseFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec tells one source controlet how to run its side of a migration.
+type Spec struct {
+	// ID names the migration run (one coordinator-wide ID per rebalance).
+	ID string `json:"id"`
+	// SourceShard is the shard whose controlets run this mover.
+	SourceShard string `json:"source_shard"`
+	// Target is the post-cutover map: same Mode and Partitioner, the new
+	// shard set. Its Epoch is assigned by the coordinator at install time;
+	// movers use it only for ownership lookups.
+	Target *topology.Map `json:"target"`
+}
+
+// Status is one mover's progress snapshot, surfaced through the controlet
+// Stats RPC, /statusz and the coordinator's MigrationStatus.
+type Status struct {
+	ID         string `json:"id"`
+	Phase      string `json:"phase"`
+	KeysMoved  uint64 `json:"keys_moved"`
+	BytesMoved uint64 `json:"bytes_moved"`
+	DualWrites uint64 `json:"dual_writes"`
+	QueueDepth int64  `json:"catch_up_depth"`
+	KeysGCed   uint64 `json:"keys_gced"`
+	Err        string `json:"err,omitempty"`
+}

@@ -1,0 +1,43 @@
+package migrate
+
+import (
+	"sync"
+
+	"bespokv/internal/metrics"
+)
+
+// Migration counters follow the internal/metrics hot-path contract: every
+// series is resolved once here (or once per shard in phaseGaugeFor) and
+// the write path only touches lock-free atomics — no map lookups or
+// allocations per mirrored key.
+var (
+	migKeysMoved    = metrics.Default.Counter("bespokv_migrate_keys_moved_total")
+	migBytesMoved   = metrics.Default.Counter("bespokv_migrate_bytes_moved_total")
+	migDualWrites   = metrics.Default.Counter("bespokv_migrate_dual_writes_total")
+	migKeysGCed     = metrics.Default.Counter("bespokv_migrate_keys_gced_total")
+	migCatchupDepth = metrics.Default.Gauge("bespokv_migrate_catchup_queue_depth")
+)
+
+// phaseGauge exposes one source shard's migration phase as a numeric gauge
+// (the Phase enum's ordinal; 0 = idle).
+type phaseGauge struct{ g *metrics.Gauge }
+
+func (p *phaseGauge) set(ph Phase) { p.g.Set(int64(ph)) }
+
+var (
+	phaseGaugesMu sync.Mutex
+	phaseGauges   = map[string]*phaseGauge{}
+)
+
+// phaseGaugeFor resolves (once per shard) the phase gauge for shardID.
+// Called only from New — off the hot path.
+func phaseGaugeFor(shardID string) *phaseGauge {
+	phaseGaugesMu.Lock()
+	defer phaseGaugesMu.Unlock()
+	if p, ok := phaseGauges[shardID]; ok {
+		return p
+	}
+	p := &phaseGauge{g: metrics.Default.Gauge("bespokv_migrate_phase", "shard", shardID)}
+	phaseGauges[shardID] = p
+	return p
+}

@@ -1,0 +1,135 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bespokv/internal/topology"
+)
+
+// Plan is a computed rebalance: the target map plus which shards lose
+// keyspace and roughly how much.
+type Plan struct {
+	// BaseEpoch is the epoch the plan was computed against; the
+	// coordinator rejects execution if the map moved underneath it.
+	BaseEpoch uint64
+	// Target is the post-cutover map (epoch assigned at install time).
+	Target *topology.Map
+	// Sources are the shard IDs that lose keyspace and must run movers,
+	// sorted for determinism.
+	Sources []string
+	// Transfers is the ring ownership diff backing Sources.
+	Transfers []topology.Transfer
+	// MovedFraction estimates how much of the keyspace changes hands.
+	MovedFraction float64
+}
+
+// PlanJoin plans adding one shard to the ring.
+func PlanJoin(cur *topology.Map, add topology.Shard) (*Plan, error) {
+	if err := checkPlannable(cur); err != nil {
+		return nil, err
+	}
+	if add.ID == "" || len(add.Replicas) == 0 {
+		return nil, errors.New("migrate: new shard needs an ID and replicas")
+	}
+	for _, s := range cur.Shards {
+		if s.ID == add.ID {
+			return nil, fmt.Errorf("migrate: shard %s already in map", add.ID)
+		}
+	}
+	target := cur.Clone()
+	target.Shards = append(target.Shards, add)
+	return plan(cur, target)
+}
+
+// PlanDrain plans removing one shard; its keyspace spreads over the
+// survivors per the consistent-hash ring.
+func PlanDrain(cur *topology.Map, shardID string) (*Plan, error) {
+	if err := checkPlannable(cur); err != nil {
+		return nil, err
+	}
+	target := cur.Clone()
+	kept := target.Shards[:0]
+	found := false
+	for _, s := range target.Shards {
+		if s.ID == shardID {
+			found = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	if !found {
+		return nil, fmt.Errorf("migrate: unknown shard %s", shardID)
+	}
+	if len(kept) == 0 {
+		return nil, errors.New("migrate: cannot drain the last shard")
+	}
+	target.Shards = kept
+	return plan(cur, target)
+}
+
+// PlanRebalance plans an arbitrary target shard set (joins and drains in
+// one step).
+func PlanRebalance(cur *topology.Map, shards []topology.Shard) (*Plan, error) {
+	if err := checkPlannable(cur); err != nil {
+		return nil, err
+	}
+	if len(shards) == 0 {
+		return nil, errors.New("migrate: empty target shard set")
+	}
+	seen := map[string]bool{}
+	for _, s := range shards {
+		if s.ID == "" || len(s.Replicas) == 0 {
+			return nil, errors.New("migrate: every target shard needs an ID and replicas")
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("migrate: duplicate target shard %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	target := cur.Clone()
+	target.Shards = append([]topology.Shard(nil), shards...)
+	return plan(cur, target)
+}
+
+func plan(cur, target *topology.Map) (*Plan, error) {
+	diff := topology.OwnershipDiff(shardIDs(cur), shardIDs(target), 0)
+	srcSet := map[string]bool{}
+	for _, t := range diff {
+		srcSet[t.From] = true
+	}
+	sources := make([]string, 0, len(srcSet))
+	for id := range srcSet {
+		sources = append(sources, id)
+	}
+	sort.Strings(sources)
+	return &Plan{
+		BaseEpoch:     cur.Epoch,
+		Target:        target,
+		Sources:       sources,
+		Transfers:     diff,
+		MovedFraction: topology.MovedFraction(diff),
+	}, nil
+}
+
+func checkPlannable(cur *topology.Map) error {
+	if cur == nil || len(cur.Shards) == 0 {
+		return errors.New("migrate: no current map")
+	}
+	if cur.Partitioner != topology.HashPartitioner {
+		return fmt.Errorf("migrate: only hash-partitioned maps can rebalance (got %q)", cur.Partitioner)
+	}
+	if cur.Transition != nil {
+		return errors.New("migrate: mode transition in flight")
+	}
+	return nil
+}
+
+func shardIDs(m *topology.Map) []string {
+	ids := make([]string, len(m.Shards))
+	for i, s := range m.Shards {
+		ids[i] = s.ID
+	}
+	return ids
+}

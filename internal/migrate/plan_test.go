@@ -1,0 +1,118 @@
+package migrate
+
+import (
+	"testing"
+
+	"bespokv/internal/topology"
+)
+
+func TestPlanJoin(t *testing.T) {
+	cur := testTopo(3)
+	add := topology.Shard{ID: "s3", Replicas: []topology.Node{{ID: "n3"}}}
+	p, err := PlanJoin(cur, add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BaseEpoch != cur.Epoch {
+		t.Fatalf("base epoch %d, want %d", p.BaseEpoch, cur.Epoch)
+	}
+	if len(p.Target.Shards) != 4 || p.Target.Shards[3].ID != "s3" {
+		t.Fatalf("target shards = %+v", p.Target.Shards)
+	}
+	if len(p.Sources) == 0 {
+		t.Fatal("join plan has no sources")
+	}
+	for _, src := range p.Sources {
+		if src == "s3" {
+			t.Fatal("new shard listed as a source")
+		}
+	}
+	for _, tr := range p.Transfers {
+		if tr.To != "s3" {
+			t.Fatalf("join transfer to %s, want s3", tr.To)
+		}
+	}
+	// A 4-way ring should hand the newcomer very roughly a quarter.
+	if p.MovedFraction < 0.05 || p.MovedFraction > 0.6 {
+		t.Fatalf("moved fraction %.3f implausible for 3→4 shards", p.MovedFraction)
+	}
+	// Planning must not mutate the input map.
+	if len(cur.Shards) != 3 {
+		t.Fatal("PlanJoin mutated the current map")
+	}
+
+	if _, err := PlanJoin(cur, topology.Shard{ID: "s0", Replicas: add.Replicas}); err == nil {
+		t.Fatal("duplicate shard ID accepted")
+	}
+	if _, err := PlanJoin(cur, topology.Shard{ID: "sX"}); err == nil {
+		t.Fatal("shard without replicas accepted")
+	}
+}
+
+func TestPlanDrain(t *testing.T) {
+	cur := testTopo(3)
+	p, err := PlanDrain(cur, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Target.Shards) != 2 {
+		t.Fatalf("target shards = %+v", p.Target.Shards)
+	}
+	if len(p.Sources) != 1 || p.Sources[0] != "s1" {
+		t.Fatalf("drain sources = %v, want [s1]", p.Sources)
+	}
+	for _, tr := range p.Transfers {
+		if tr.From != "s1" {
+			t.Fatalf("drain transfer from %s, want s1", tr.From)
+		}
+	}
+	if len(cur.Shards) != 3 {
+		t.Fatal("PlanDrain mutated the current map")
+	}
+	if _, err := PlanDrain(cur, "nope"); err == nil {
+		t.Fatal("unknown shard accepted")
+	}
+	one := testTopo(1)
+	if _, err := PlanDrain(one, "s0"); err == nil {
+		t.Fatal("draining the last shard accepted")
+	}
+}
+
+func TestPlanRebalance(t *testing.T) {
+	cur := testTopo(3)
+	// Swap s2 for s9 in one step: s2 drains, s9 joins.
+	shards := []topology.Shard{
+		cur.Shards[0], cur.Shards[1],
+		{ID: "s9", Replicas: []topology.Node{{ID: "n9"}}},
+	}
+	p, err := PlanRebalance(cur, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasS2 := false
+	for _, src := range p.Sources {
+		if src == "s2" {
+			hasS2 = true
+		}
+	}
+	if !hasS2 {
+		t.Fatalf("replaced shard s2 not among sources %v", p.Sources)
+	}
+	if _, err := PlanRebalance(cur, nil); err == nil {
+		t.Fatal("empty target accepted")
+	}
+	if _, err := PlanRebalance(cur, []topology.Shard{shards[0], shards[0]}); err == nil {
+		t.Fatal("duplicate target shard accepted")
+	}
+}
+
+func TestCheckPlannable(t *testing.T) {
+	if _, err := PlanDrain(nil, "s0"); err == nil {
+		t.Fatal("nil map accepted")
+	}
+	cur := testTopo(2)
+	cur.Transition = &topology.Transition{}
+	if _, err := PlanDrain(cur, "s0"); err == nil {
+		t.Fatal("map mid-transition accepted")
+	}
+}

@@ -391,9 +391,37 @@ func (s *Store) Delete(key []byte, version uint64) (bool, uint64, error) {
 	return exists && !old.tombstone, version, nil
 }
 
-// Scan is unsupported: the log index is a hash table.
+// Scan returns live pairs with start <= key < end in key order, up to
+// limit — sorted-at-snapshot over the hash index (same approach as
+// ht.Store.Scan): matching keys are collected and sorted under the read
+// lock, and only the first limit values are read back from their segments.
 func (s *Store) Scan(start, end []byte, limit int) ([]store.KV, error) {
-	return nil, store.ErrUnordered
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, store.ErrClosed
+	}
+	keys := make([]string, 0, 64)
+	for k, e := range s.index {
+		if e.tombstone || !store.InRange([]byte(k), start, end) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // bytewise order, same as bytes.Compare
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	out := make([]store.KV, 0, len(keys))
+	for _, k := range keys {
+		e := s.index[k]
+		value, err := s.readValueLocked(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, store.KV{Key: []byte(k), Value: value, Version: e.version})
+	}
+	return out, nil
 }
 
 // Len returns the number of live keys.

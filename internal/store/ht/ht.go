@@ -4,7 +4,9 @@
 package ht
 
 import (
+	"bytes"
 	"hash/maphash"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -136,9 +138,33 @@ func (s *Store) Delete(key []byte, version uint64) (bool, uint64, error) {
 	return existed, version, nil
 }
 
-// Scan is unsupported: hash tables have no ordered iteration.
+// Scan returns live pairs with start <= key < end in key order, up to
+// limit. The table keeps no sorted structure, so the scan is
+// sorted-at-snapshot: matching pairs are collected stripe by stripe under
+// read locks and sorted afterwards. O(n log n) per call — built for the
+// migration/backfill paths, which walk the keyspace in bounded chunks, not
+// for hot-path range reads (the ordered engines serve those).
 func (s *Store) Scan(start, end []byte, limit int) ([]store.KV, error) {
-	return nil, store.ErrUnordered
+	if s.closed.Load() {
+		return nil, store.ErrClosed
+	}
+	var out []store.KV
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.m {
+			if e.tombstone || !store.InRange([]byte(k), start, end) {
+				continue
+			}
+			out = append(out, store.KV{Key: []byte(k), Value: e.value, Version: e.version})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
 }
 
 // Len returns the number of live keys.

@@ -1,6 +1,8 @@
 package ht
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"bespokv/internal/store"
@@ -11,11 +13,64 @@ func TestConformance(t *testing.T) {
 	enginetest.Run(t, func(t *testing.T) store.Engine { return New() })
 }
 
-func TestScanUnsupported(t *testing.T) {
+// TestScanChunkedWalk iterates the whole table the way the migration
+// streamer does — bounded chunks with a resume cursor just past the last
+// key — and checks the union is exactly the live key set, each key once.
+func TestScanChunkedWalk(t *testing.T) {
 	s := New()
 	defer s.Close()
-	if _, err := s.Scan(nil, nil, 0); err != store.ErrUnordered {
-		t.Fatalf("got %v, want ErrUnordered", err)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		if _, err := s.Put(key, []byte(fmt.Sprintf("val-%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a stripe; tombstones must not surface.
+	for i := 0; i < n; i += 10 {
+		if _, _, err := s.Delete([]byte(fmt.Sprintf("key-%04d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	var cursor []byte
+	const chunk = 64
+	for {
+		kvs, err := s.Scan(cursor, nil, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, kv := range kvs {
+			if i > 0 && bytes.Compare(kvs[i-1].Key, kv.Key) >= 0 {
+				t.Fatalf("chunk out of order at %q", kv.Key)
+			}
+			if seen[string(kv.Key)] {
+				t.Fatalf("key %q returned twice", kv.Key)
+			}
+			seen[string(kv.Key)] = true
+		}
+		if len(kvs) < chunk {
+			break
+		}
+		cursor = append(append(cursor[:0], kvs[len(kvs)-1].Key...), 0)
+	}
+	if want := n - n/10; len(seen) != want {
+		t.Fatalf("walk saw %d keys, want %d", len(seen), want)
+	}
+	for k := range seen {
+		var i int
+		fmt.Sscanf(k, "key-%d", &i)
+		if i%10 == 0 {
+			t.Fatalf("deleted key %q surfaced in scan", k)
+		}
+	}
+}
+
+func TestScanClosed(t *testing.T) {
+	s := New()
+	s.Close()
+	if _, err := s.Scan(nil, nil, 0); err != store.ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
 	}
 }
 

@@ -1,0 +1,84 @@
+package topology
+
+import "sort"
+
+// Transfer records that Fraction of the whole keyspace changes owner from
+// shard From to shard To when the ring is rebuilt over a new shard set.
+type Transfer struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Fraction float64 `json:"fraction"`
+}
+
+// OwnershipDiff compares the consistent-hash rings built over oldIDs and
+// newIDs and returns the keyspace fractions that change hands, one Transfer
+// per (from, to) pair, largest first. The computation is exact over the
+// ring geometry rather than sampled: both rings' points are merged into one
+// sorted boundary list, and between consecutive boundaries each ring's
+// owner is constant, so every interval lands in exactly one bucket. The
+// migration planner uses this both to pick sources and to estimate moved
+// data. A vnodes value <= 0 uses the default ring density.
+func OwnershipDiff(oldIDs, newIDs []string, vnodes int) []Transfer {
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	oldRing := BuildRingFromIDs(oldIDs, vnodes)
+	newRing := BuildRingFromIDs(newIDs, vnodes)
+	if len(oldRing.hashes) == 0 || len(newRing.hashes) == 0 {
+		return nil
+	}
+	bounds := make([]uint64, 0, len(oldRing.hashes)+len(newRing.hashes))
+	bounds = append(bounds, oldRing.hashes...)
+	bounds = append(bounds, newRing.hashes...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, h := range bounds[1:] {
+		if h != uniq[len(uniq)-1] {
+			uniq = append(uniq, h)
+		}
+	}
+	bounds = uniq
+
+	const keyspace = float64(1<<63) * 2 // 2^64, not representable as uint64
+	moved := map[[2]string]float64{}
+	prev := bounds[len(bounds)-1]
+	for _, cur := range bounds {
+		// The interval (prev, cur] has no ring point strictly inside it, so
+		// its owner in each ring is the owner of the first point >= cur.
+		// Width is modular: the first iteration covers the wrap interval.
+		width := float64(cur - prev)
+		if len(bounds) == 1 {
+			width = keyspace
+		}
+		prev = cur
+		from := oldIDs[oldRing.lookupHash(cur)]
+		to := newIDs[newRing.lookupHash(cur)]
+		if from != to {
+			moved[[2]string{from, to}] += width / keyspace
+		}
+	}
+
+	out := make([]Transfer, 0, len(moved))
+	for pair, frac := range moved {
+		out = append(out, Transfer{From: pair[0], To: pair[1], Fraction: frac})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fraction != out[j].Fraction {
+			return out[i].Fraction > out[j].Fraction
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// MovedFraction sums the keyspace fraction a diff moves.
+func MovedFraction(diff []Transfer) float64 {
+	total := 0.0
+	for _, t := range diff {
+		total += t.Fraction
+	}
+	return total
+}

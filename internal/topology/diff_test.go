@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func shardIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return ids
+}
+
+// TestOwnershipDiffOneOverN checks the consistent-hashing claim in ring.go:
+// adding one shard to n moves only ~1/(n+1) of the keyspace, and every
+// moved interval goes TO the new shard (survivors never trade keys among
+// themselves); removing it is symmetric. The hash is deterministic, so the
+// generous bounds make this a property test without flakes.
+func TestOwnershipDiffOneOverN(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		ids := shardIDs(n)
+		added := fmt.Sprintf("shard-%d", n)
+		grown := append(append([]string(nil), ids...), added)
+
+		diff := OwnershipDiff(ids, grown, 0)
+		moved := MovedFraction(diff)
+		ideal := 1.0 / float64(n+1)
+		if moved < 0.5*ideal || moved > 1.9*ideal {
+			t.Fatalf("n=%d: adding one shard moved %.4f of the keyspace, want ~%.4f", n, moved, ideal)
+		}
+		for _, tr := range diff {
+			if tr.To != added {
+				t.Fatalf("n=%d: keys moved between survivors: %+v", n, tr)
+			}
+		}
+
+		back := OwnershipDiff(grown, ids, 0)
+		if got := MovedFraction(back); got < 0.5*ideal || got > 1.9*ideal {
+			t.Fatalf("n=%d: removing one shard moved %.4f of the keyspace, want ~%.4f", n, got, ideal)
+		}
+		for _, tr := range back {
+			if tr.From != added {
+				t.Fatalf("n=%d: removal sourced keys from a survivor: %+v", n, tr)
+			}
+		}
+	}
+}
+
+func TestOwnershipDiffIdentity(t *testing.T) {
+	ids := shardIDs(5)
+	if diff := OwnershipDiff(ids, ids, 0); len(diff) != 0 {
+		t.Fatalf("identical rings produced transfers: %+v", diff)
+	}
+}
+
+// TestOwnershipDiffMatchesSampledKeys cross-checks the interval arithmetic
+// against brute-force key sampling on both rings.
+func TestOwnershipDiffMatchesSampledKeys(t *testing.T) {
+	oldIDs := shardIDs(3)
+	newIDs := append(append([]string(nil), oldIDs...), "shard-3")
+	oldRing := BuildRingFromIDs(oldIDs, defaultVirtualNodes)
+	newRing := BuildRingFromIDs(newIDs, defaultVirtualNodes)
+
+	rnd := rand.New(rand.NewSource(42))
+	const samples = 20000
+	movedKeys := 0
+	for i := 0; i < samples; i++ {
+		key := []byte(fmt.Sprintf("key-%d-%d", i, rnd.Int63()))
+		if oldIDs[oldRing.Lookup(key)] != newIDs[newRing.Lookup(key)] {
+			movedKeys++
+		}
+	}
+	sampled := float64(movedKeys) / samples
+	exact := MovedFraction(OwnershipDiff(oldIDs, newIDs, defaultVirtualNodes))
+	if delta := sampled - exact; delta < -0.02 || delta > 0.02 {
+		t.Fatalf("interval diff says %.4f moved, sampling says %.4f", exact, sampled)
+	}
+}
+
+func TestOwnershipDiffEmptyRings(t *testing.T) {
+	if diff := OwnershipDiff(nil, shardIDs(2), 0); diff != nil {
+		t.Fatalf("empty old ring produced transfers: %+v", diff)
+	}
+	if diff := OwnershipDiff(shardIDs(2), nil, 0); diff != nil {
+		t.Fatalf("empty new ring produced transfers: %+v", diff)
+	}
+}

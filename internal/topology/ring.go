@@ -59,10 +59,15 @@ func BuildRingFromIDs(ids []string, vnodes int) *Ring {
 
 // Lookup returns the shard index owning key.
 func (r *Ring) Lookup(key []byte) int {
+	return r.lookupHash(hash64Bytes(key))
+}
+
+// lookupHash returns the shard index owning a raw ring position; the diff
+// computation walks ring positions directly instead of hashing keys.
+func (r *Ring) lookupHash(h uint64) int {
 	if len(r.hashes) == 0 {
 		return 0
 	}
-	h := hash64Bytes(key)
 	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
 	if i == len(r.hashes) {
 		i = 0 // wrap around

@@ -128,7 +128,7 @@ func FuzzTraceHeader(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, id, tid uint64, opByte uint8, key, value []byte, epoch uint64) {
 		op := Op(opByte)
-		if op > OpHandoff {
+		if op > OpMax {
 			op = OpPut
 		}
 		req := Request{ID: id, Op: op, Table: "t", Key: key, Value: value, Epoch: epoch, TraceID: tid}

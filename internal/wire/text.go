@@ -135,7 +135,7 @@ func readBulkUint(r *bufio.Reader) (uint64, error) {
 
 var opByVerb = func() map[string]Op {
 	m := make(map[string]Op)
-	for op := OpNop; op <= OpHandoff; op++ {
+	for op := OpNop; op <= OpMax; op++ {
 		m[op.String()] = op
 	}
 	return m

@@ -49,7 +49,15 @@ const (
 	// OpHandoff transfers an in-flight write from an old-epoch controlet to
 	// its new-epoch replacement during a topology/consistency transition.
 	OpHandoff
+	// OpDelRange deletes every live key with Key <= k < EndKey — the shard
+	// migration GC primitive. Each tombstone inherits the record's stored
+	// version, so the sweep never clobbers a concurrent newer write.
+	OpDelRange
 )
+
+// OpMax is the highest defined op code; per-op metric tables and verb
+// registries size and iterate off it.
+const OpMax = OpDelRange
 
 // String returns the operation mnemonic.
 func (o Op) String() string {
@@ -82,6 +90,8 @@ func (o Op) String() string {
 		return "STATS"
 	case OpHandoff:
 		return "HANDOFF"
+	case OpDelRange:
+		return "DELRANGE"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}

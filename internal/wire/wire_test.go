@@ -168,7 +168,7 @@ func TestRequestRoundtripQuick(t *testing.T) {
 		f := func(id uint64, op uint8, table string, key, value, endKey []byte, limit uint32, version uint64, level uint8, epoch uint64) bool {
 			in := Request{
 				ID:      id,
-				Op:      Op(op % uint8(OpHandoff+1)),
+				Op:      Op(op % uint8(OpMax+1)),
 				Table:   table,
 				Key:     key,
 				Value:   value,

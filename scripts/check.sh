@@ -21,3 +21,8 @@ go test -race \
 go test -race ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 go test -run TestHotPathZeroAlloc ./internal/metrics/
 go test -run NONE -bench 'CounterAdd|HistogramObserve' -benchmem ./internal/metrics/
+
+# Online shard migration: planner/mover units plus the cluster
+# join/drain/AA+EC-floor scenarios under client load, race-detected.
+go test -race ./internal/migrate/...
+go test -race -run 'TestJoinNodeUnderLoad|TestDrainNodeUnderLoad|TestJoinNodeAAEC' ./internal/cluster/
