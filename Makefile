@@ -9,11 +9,19 @@ RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... .
 # HTTP introspection endpoints (including the end-to-end cluster test).
 OBS_PKGS = ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 
-.PHONY: all check vet build test race obs migrate bench bench-pipeline clean
+.PHONY: all check vet build test race obs migrate nemesis bench bench-pipeline clean
 
 all: check
 
-check: vet build test race obs migrate
+check: vet build test race obs migrate nemesis
+
+# nemesis race-tests the fault plane end to end: the faultnet fabric and
+# schedule units, the linearizability/convergence checker units, and the
+# cluster chaos suites that run every mode under seeded fault schedules.
+# A failing run logs its seed; replay it with BESPOKV_NEMESIS_SEED=<seed>.
+nemesis:
+	$(GO) test -race ./internal/faultnet/... ./internal/histcheck/...
+	$(GO) test -race -run 'TestNemesis' ./internal/cluster/
 
 # migrate race-tests the online-resize path end to end: the migrate
 # package's planner/mover units plus the cluster join/drain/AA+EC-floor

@@ -13,12 +13,14 @@ import (
 	"log"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"bespokv/internal/coordinator"
 	"bespokv/internal/datalet"
 	"bespokv/internal/metrics"
+	"bespokv/internal/rpc"
 	"bespokv/internal/topology"
 	"bespokv/internal/trace"
 	"bespokv/internal/transport"
@@ -45,6 +47,19 @@ type Config struct {
 	// WatchMap keeps a background long-poll for map changes (default on
 	// when CoordinatorAddr is set).
 	DisableWatch bool
+	// OpTimeout arms a pipeline watchdog on every controlet connection: a
+	// call with no response within OpTimeout fails with
+	// datalet.ErrCallTimeout instead of hanging. This is how the client
+	// notices a blackholed (partitioned) controlet — a dead one refuses
+	// connections, but a partitioned one just goes silent. 0 disables.
+	OpTimeout time.Duration
+	// TimeoutRetries caps how many timed-out attempts a single operation
+	// may burn (default 3). Timeouts are the expensive failure class —
+	// each costs a full OpTimeout — and they signal a partition, which
+	// more retries rarely outrun; refused connections and unavailability
+	// keep the full Retries budget, since those are the failover-in-
+	// progress signatures that retrying is for.
+	TimeoutRetries int
 	// HotKeyThreshold enables client-side hot-key load balancing
 	// (Appendix C): keys accessed at least this many times get a shadow
 	// copy on a rehashed shard, and eventual reads spread across primary
@@ -56,8 +71,14 @@ type Config struct {
 
 // Client is a bespokv cluster client; safe for concurrent use.
 type Client struct {
-	cfg   Config
-	coord *coordinator.Client
+	cfg Config
+
+	// coordMu guards the coordinator connection pointer, which refreshMap
+	// replaces when the old connection has died (a client that never
+	// re-dialed could not route around a failover that outlived its
+	// original coordinator conn).
+	coordMu sync.Mutex
+	coord   *coordinator.Client
 
 	mu   sync.RWMutex
 	m    *topology.Map
@@ -98,6 +119,9 @@ func New(cfg Config) (*Client, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 2 * time.Millisecond
 	}
+	if cfg.TimeoutRetries <= 0 {
+		cfg.TimeoutRetries = 3
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -117,6 +141,9 @@ func New(cfg Config) (*Client, error) {
 	coordClient, err := coordinator.DialCoordinator(cfg.Network, cfg.CoordinatorAddr)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.OpTimeout > 0 {
+		coordClient.SetCallTimeout(cfg.OpTimeout)
 	}
 	c.coord = coordClient
 	m, err := coordClient.GetMap()
@@ -142,8 +169,11 @@ func (c *Client) Close() error {
 	c.stopped = true
 	c.mu.Unlock()
 	close(c.stopCh)
-	if c.coord != nil {
-		_ = c.coord.Close()
+	c.coordMu.Lock()
+	coord := c.coord
+	c.coordMu.Unlock()
+	if coord != nil {
+		_ = coord.Close() // aborts an in-flight refresh call
 	}
 	c.watchMu.Lock()
 	if c.watchConn != nil {
@@ -151,6 +181,16 @@ func (c *Client) Close() error {
 	}
 	c.watchMu.Unlock()
 	c.wg.Wait()
+	// A refresh racing Close may have re-dialed; wait for it under the
+	// refreshing lock and close the replacement too.
+	c.refreshing.Lock()
+	c.coordMu.Lock()
+	if c.coord != nil {
+		_ = c.coord.Close()
+		c.coord = nil
+	}
+	c.coordMu.Unlock()
+	c.refreshing.Unlock()
 	c.poolsMu.Lock()
 	for _, p := range c.pools {
 		_ = p.Close()
@@ -178,19 +218,43 @@ func (c *Client) installMap(m *topology.Map) {
 }
 
 // watchLoop keeps the map fresh with long-polls; transitions and failovers
-// reach the client within one poll round trip.
+// reach the client within one poll round trip. The watch connection is
+// dedicated (long-polls never block foreground calls) and re-dialed when it
+// dies — a client must be able to outlive any single coordinator conn.
 func (c *Client) watchLoop() {
 	defer c.wg.Done()
-	// A dedicated connection so long-polls never block foreground calls;
-	// registered so Close can abort an in-flight poll immediately.
-	watch, err := coordinator.DialCoordinator(c.cfg.Network, c.cfg.CoordinatorAddr)
-	if err != nil {
-		return
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		default:
+		}
+		watch, err := coordinator.DialCoordinator(c.cfg.Network, c.cfg.CoordinatorAddr)
+		if err != nil {
+			select {
+			case <-c.stopCh:
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		c.watchMu.Lock()
+		c.watchConn = watch // registered so Close aborts an in-flight poll
+		c.watchMu.Unlock()
+		c.watchOnce(watch)
+		c.watchMu.Lock()
+		if c.watchConn == watch {
+			c.watchConn = nil
+		}
+		c.watchMu.Unlock()
+		_ = watch.Close()
 	}
-	defer watch.Close()
-	c.watchMu.Lock()
-	c.watchConn = watch
-	c.watchMu.Unlock()
+}
+
+// watchOnce long-polls on one connection until it looks dead (two
+// consecutive failures) or the client stops.
+func (c *Client) watchOnce(watch *coordinator.Client) {
+	fails := 0
 	for {
 		select {
 		case <-c.stopCh:
@@ -204,6 +268,9 @@ func (c *Client) watchLoop() {
 		}
 		m, err := watch.WatchMap(since, 2*time.Second)
 		if err != nil {
+			if fails++; fails >= 2 {
+				return // hand back for a re-dial
+			}
 			select {
 			case <-c.stopCh:
 				return
@@ -211,20 +278,53 @@ func (c *Client) watchLoop() {
 			}
 			continue
 		}
+		fails = 0
 		if m != nil {
 			c.installMap(m)
 		}
 	}
 }
 
-// refreshMap synchronously re-fetches the map (used on routing failures).
+// refreshMap synchronously re-fetches the map (used on routing failures),
+// re-dialing the coordinator if the cached connection has died.
 func (c *Client) refreshMap() {
-	if c.coord == nil {
+	if c.cfg.CoordinatorAddr == "" {
 		return
 	}
 	c.refreshing.Lock()
 	defer c.refreshing.Unlock()
-	if m, err := c.coord.GetMap(); err == nil {
+	c.coordMu.Lock()
+	coord := c.coord
+	c.coordMu.Unlock()
+	if coord != nil {
+		if m, err := coord.GetMap(); err == nil {
+			c.installMap(m)
+			return
+		}
+		// Broken conn or unreachable coordinator: drop it and re-dial.
+		c.coordMu.Lock()
+		if c.coord == coord {
+			c.coord = nil
+		}
+		c.coordMu.Unlock()
+		_ = coord.Close()
+	}
+	select {
+	case <-c.stopCh:
+		return // closing; don't re-dial (Close sweeps any straggler)
+	default:
+	}
+	fresh, err := coordinator.DialCoordinator(c.cfg.Network, c.cfg.CoordinatorAddr)
+	if err != nil {
+		return
+	}
+	if c.cfg.OpTimeout > 0 {
+		fresh.SetCallTimeout(c.cfg.OpTimeout)
+	}
+	c.coordMu.Lock()
+	c.coord = fresh
+	c.coordMu.Unlock()
+	if m, err := fresh.GetMap(); err == nil {
 		c.installMap(m)
 	}
 }
@@ -238,6 +338,9 @@ func (c *Client) pool(addr string) (*datalet.Pool, error) {
 	p, err := datalet.DialPool(c.cfg.Network, addr, c.cfg.Codec, c.cfg.PoolSize)
 	if err != nil {
 		return nil, err
+	}
+	if c.cfg.OpTimeout > 0 {
+		p.SetCallTimeout(c.cfg.OpTimeout)
 	}
 	c.pools[addr] = p
 	return p, nil
@@ -317,6 +420,19 @@ func (c *Client) do(addr string, req *wire.Request, resp *wire.Response) error {
 // maxRetryBackoff caps the doubling retry backoff.
 const maxRetryBackoff = 100 * time.Millisecond
 
+// isTimeout reports whether err is a call timeout — the signature of a
+// blackholed (partitioned) peer, as opposed to a dead one.
+func isTimeout(err error) bool {
+	return errors.Is(err, datalet.ErrCallTimeout) || errors.Is(err, rpc.ErrCallTimeout)
+}
+
+// isRefused reports whether err is a connection refusal — the signature of
+// a dead or not-yet-started listener (both the tcp and inproc transports
+// phrase it this way).
+func isRefused(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "connection refused")
+}
+
 // errOut is returned when the retry budget is exhausted.
 type errOut struct {
 	op   wire.Op
@@ -366,6 +482,7 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 	var lastErr error
 	backoff := c.cfg.RetryBackoff
 	redirect := ""
+	timeouts := 0
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		addr, epoch, err := route()
 		if err != nil {
@@ -398,6 +515,19 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 			}
 		} else {
 			lastErr = err
+			if isTimeout(err) {
+				// A timeout burned a full OpTimeout and points at a
+				// partition; cap how many one op may spend waiting out
+				// a blackhole. Refusals keep the full budget — they are
+				// cheap and usually mean a failover is replacing the
+				// node we just tried.
+				if timeouts++; timeouts >= c.cfg.TimeoutRetries {
+					lastErr = fmt.Errorf("gave up after %d call timeouts (target partitioned?): %w", timeouts, err)
+					break
+				}
+			} else if isRefused(err) {
+				clientRefused.Inc()
+			}
 		}
 		if attempt == c.cfg.Retries-1 {
 			break // out of budget: fail now, don't pay refresh+backoff

@@ -16,6 +16,7 @@ var (
 	clientRetries   = metrics.Default.Counter("bespokv_client_retries_total")
 	clientRedirects = metrics.Default.Counter("bespokv_client_redirects_total")
 	clientErrors    = metrics.Default.Counter("bespokv_client_errors_total")
+	clientRefused   = metrics.Default.Counter("bespokv_client_refused_total")
 )
 
 func init() {

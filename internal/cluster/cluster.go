@@ -19,6 +19,7 @@ import (
 	"bespokv/internal/coordinator"
 	"bespokv/internal/datalet"
 	"bespokv/internal/dlm"
+	"bespokv/internal/faultnet"
 	"bespokv/internal/rpc"
 	"bespokv/internal/sharedlog"
 	"bespokv/internal/store"
@@ -67,6 +68,15 @@ type Options struct {
 	// P2PRouting enables the §IV-E P2P-style topology: any controlet
 	// accepts any key and routes it to the owning shard.
 	P2PRouting bool
+	// Fabric, when set, interposes the faultnet fault plane on every
+	// connection: components dial and listen through named host views of
+	// the fabric (pair node IDs for the data plane; "coord", "dlm", "log"
+	// for the control services; "client" and "admin" for clients and the
+	// harness itself) so nemesis schedules can drop, delay, reorder or
+	// partition traffic between specific components. The fabric must wrap
+	// the same transport NetworkName names; any component on a different
+	// transport (e.g. collocated inproc datalets under tcp) bypasses it.
+	Fabric *faultnet.Fabric
 	// CollocatedDatalets keeps datalets on the in-process transport even
 	// when the cluster runs over tcp — the paper's physical layout, where
 	// each controlet–datalet pair shares one machine and the local hop is
@@ -210,7 +220,7 @@ func Start(opts Options) (*Cluster, error) {
 
 	// Control services.
 	c.Coord, err = coordinator.Serve(coordinator.Config{
-		Network:          net,
+		Network:          c.hostNet(net, "coord"),
 		Addr:             listenAddr(opts.NetworkName),
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		DisableFailover:  opts.DisableFailover,
@@ -219,11 +229,11 @@ func Start(opts Options) (*Cluster, error) {
 	if err != nil {
 		return fail(err)
 	}
-	c.DLM, err = dlm.Serve(dlm.Config{Network: net, Addr: listenAddr(opts.NetworkName)})
+	c.DLM, err = dlm.Serve(dlm.Config{Network: c.hostNet(net, "dlm"), Addr: listenAddr(opts.NetworkName)})
 	if err != nil {
 		return fail(err)
 	}
-	c.Log, err = sharedlog.Serve(sharedlog.Config{Network: net, Addr: listenAddr(opts.NetworkName)})
+	c.Log, err = sharedlog.Serve(sharedlog.Config{Network: c.hostNet(net, "log"), Addr: listenAddr(opts.NetworkName)})
 	if err != nil {
 		return fail(err)
 	}
@@ -258,7 +268,7 @@ func Start(opts Options) (*Cluster, error) {
 
 	// Install the map and give every controlet its first copy directly
 	// (faster and more deterministic than waiting for the first push).
-	admin, err := coordinator.DialCoordinator(net, c.Coord.Addr())
+	admin, err := coordinator.DialCoordinator(c.hostNet(net, "admin"), c.Coord.Addr())
 	if err != nil {
 		return fail(err)
 	}
@@ -294,6 +304,52 @@ func Start(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// hostNet resolves the network a component should use: the fault fabric's
+// view for the named host when one is installed (and wraps this transport),
+// otherwise inner unchanged. Every connection made through the returned
+// network is attributed to host, so nemesis rules can target it by name.
+func (c *Cluster) hostNet(inner transport.Network, host string) transport.Network {
+	if f := c.Opts.Fabric; f != nil && f.Inner() == inner {
+		return f.Host(host)
+	}
+	return inner
+}
+
+// fenceTimeout is the self-fencing horizon handed to every controlet: the
+// coordinator's failure-detection timeout, so a head that cannot reach the
+// coordinator stops acking writes at the same moment its replacement can
+// be promoted. Zero (fencing off) when failover is disabled — no one will
+// be promoted, so serving through a coordinator outage is the better
+// availability trade.
+func (c *Cluster) fenceTimeout() time.Duration {
+	if c.Opts.DisableFailover {
+		return 0
+	}
+	return c.Opts.HeartbeatTimeout
+}
+
+// Hosts returns the fabric host names of the live data nodes (shard
+// replicas, then standbys) for building nemesis schedules. The control
+// services dial as "coord", "dlm" and "log"; clients as "client"; the
+// harness's own control connections as "admin" (leave that one alone or
+// Transition/KillNode repair paths stall on the harness side).
+func (c *Cluster) Hosts() []string {
+	var hs []string
+	for _, pairs := range c.Shards {
+		for _, p := range pairs {
+			if !p.Killed() {
+				hs = append(hs, p.Node.ID)
+			}
+		}
+	}
+	for _, p := range c.Standbys {
+		if !p.Killed() {
+			hs = append(hs, p.Node.ID)
+		}
+	}
+	return hs
+}
+
 func listenAddr(networkName string) string {
 	if networkName == "tcp" {
 		return "127.0.0.1:0"
@@ -326,7 +382,7 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 	}
 	d, err := datalet.Serve(datalet.Config{
 		Name:      nodeID + "-datalet",
-		Network:   dataletNet,
+		Network:   c.hostNet(dataletNet, nodeID),
 		Addr:      dataletListen,
 		Codec:     dataletCodec,
 		NewEngine: newEngine,
@@ -338,8 +394,8 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 	ctl, err := controlet.Serve(controlet.Config{
 		NodeID:            nodeID,
 		ShardID:           shardID,
-		Network:           c.Net,
-		DataletNetwork:    dataletNet,
+		Network:           c.hostNet(c.Net, nodeID),
+		DataletNetwork:    c.hostNet(dataletNet, nodeID),
 		DataAddr:          listenAddr(c.Opts.NetworkName),
 		CtlAddr:           listenAddr(c.Opts.NetworkName),
 		Codec:             c.Codec,
@@ -350,6 +406,7 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 		DLMAddr:           c.DLM.Addr(),
 		SharedLogAddr:     c.Log.Addr(),
 		HeartbeatInterval: c.Opts.HeartbeatInterval,
+		FenceTimeout:      c.fenceTimeout(),
 		P2PRouting:        c.Opts.P2PRouting,
 		Logf:              c.Opts.Logf,
 	})
@@ -364,31 +421,33 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 
 // Client opens a coordinator-backed client for this cluster.
 func (c *Cluster) Client() (*client.Client, error) {
-	return client.New(client.Config{
-		Network:         c.Net,
-		Codec:           c.Codec,
-		CoordinatorAddr: c.Coord.Addr(),
-		Logf:            c.Opts.Logf,
-	})
+	return c.ClientConfig(client.Config{})
 }
 
 // ClientTuned opens a client with an explicit retry budget and backoff —
 // failover experiments use fail-fast clients so one dead shard parks a
 // load worker for milliseconds, not the full default budget.
 func (c *Cluster) ClientTuned(retries int, backoff time.Duration) (*client.Client, error) {
-	return client.New(client.Config{
-		Network:         c.Net,
-		Codec:           c.Codec,
-		CoordinatorAddr: c.Coord.Addr(),
-		Retries:         retries,
-		RetryBackoff:    backoff,
-		Logf:            c.Opts.Logf,
-	})
+	return c.ClientConfig(client.Config{Retries: retries, RetryBackoff: backoff})
+}
+
+// ClientConfig opens a client with caller-supplied tuning (op timeouts,
+// retry budgets); the cluster fills in the transport, codec and
+// coordinator address. Under a fault fabric the client dials as host
+// "client", so schedules can partition it from specific nodes.
+func (c *Cluster) ClientConfig(cfg client.Config) (*client.Client, error) {
+	cfg.Network = c.hostNet(c.Net, "client")
+	cfg.Codec = c.Codec
+	cfg.CoordinatorAddr = c.Coord.Addr()
+	if cfg.Logf == nil {
+		cfg.Logf = c.Opts.Logf
+	}
+	return client.New(cfg)
 }
 
 // Admin opens a coordinator client for map inspection and transitions.
 func (c *Cluster) Admin() (*coordinator.Client, error) {
-	return coordinator.DialCoordinator(c.Net, c.Coord.Addr())
+	return coordinator.DialCoordinator(c.hostNet(c.Net, "admin"), c.Coord.Addr())
 }
 
 // Pair returns the pair at (shard, replica) as originally deployed.
@@ -440,8 +499,8 @@ func (c *Cluster) Transition(to topology.Mode) error {
 			ctl, err := controlet.Serve(controlet.Config{
 				NodeID:            nodeID,
 				ShardID:           shard.ID,
-				Network:           c.Net,
-				DataletNetwork:    dataletNet,
+				Network:           c.hostNet(c.Net, nodeID),
+				DataletNetwork:    c.hostNet(dataletNet, nodeID),
 				DataAddr:          listenAddr(c.Opts.NetworkName),
 				CtlAddr:           listenAddr(c.Opts.NetworkName),
 				Codec:             c.Codec,
@@ -452,6 +511,7 @@ func (c *Cluster) Transition(to topology.Mode) error {
 				DLMAddr:           c.DLM.Addr(),
 				SharedLogAddr:     c.Log.Addr(),
 				HeartbeatInterval: c.Opts.HeartbeatInterval,
+				FenceTimeout:      c.fenceTimeout(),
 				P2PRouting:        c.Opts.P2PRouting,
 				Logf:              c.Opts.Logf,
 			})
@@ -637,7 +697,7 @@ func (c *Cluster) dataletOf(addr string) *datalet.Server {
 // Returns (pairs pushed, pairs accepted by all peers).
 func (c *Cluster) Reconcile(shard, replica int) (int, int, error) {
 	p := c.Shards[shard][replica]
-	ctl, err := rpc.DialClient(c.Net, p.Controlet.CtlAddr())
+	ctl, err := rpc.DialClient(c.hostNet(c.Net, "admin"), p.Controlet.CtlAddr())
 	if err != nil {
 		return 0, 0, err
 	}

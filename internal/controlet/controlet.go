@@ -74,6 +74,19 @@ type Config struct {
 	// HeartbeatInterval paces liveness reports (default 250ms; the
 	// paper's testbed used 5s — scaled down for single-box runs).
 	HeartbeatInterval time.Duration
+	// FenceTimeout, when > 0 (and CoordinatorAddr is set), makes the
+	// controlet self-fence: if no heartbeat has been acknowledged for this
+	// long, MS-mode writes and strong reads answer StatusUnavailable until
+	// contact resumes. Set it to the coordinator's failure-detection
+	// timeout and a partitioned head/tail stops serving at the same moment
+	// the coordinator starts promoting its replacement — closing the
+	// window where an isolated tail keeps answering strong reads that no
+	// longer reflect the surviving chain.
+	FenceTimeout time.Duration
+	// PeerCallTimeout bounds every datalet/peer pipeline call (default 2s;
+	// 0 keeps the default — the watchdog is what turns a blackholed peer
+	// into an error instead of a hung chain holding the inflight lock).
+	PeerCallTimeout time.Duration
 	// PeerPoolSize is connections per peer controlet/datalet (default 2).
 	PeerPoolSize int
 	// LockTTL bounds AA+SC leases (default 2s).
@@ -134,6 +147,10 @@ type Server struct {
 	// snapshotting for standby backfill.
 	inflight sync.RWMutex
 
+	// lastBeat is the wall time (UnixNano) of the last heartbeat the
+	// coordinator acknowledged; fenced() compares it against FenceTimeout.
+	lastBeat atomic.Int64
+
 	connsMu sync.Mutex
 	conns   map[transport.Conn]struct{}
 	wg      sync.WaitGroup
@@ -158,6 +175,9 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.PeerPoolSize <= 0 {
 		cfg.PeerPoolSize = 2
 	}
+	if cfg.PeerCallTimeout <= 0 {
+		cfg.PeerCallTimeout = 2 * time.Second
+	}
 	if cfg.LockTTL <= 0 {
 		cfg.LockTTL = 2 * time.Second
 	}
@@ -171,6 +191,7 @@ func Serve(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("controlet: dial local datalet: %w", err)
 	}
+	local.SetCallTimeout(cfg.PeerCallTimeout)
 	s := &Server{
 		cfg:    cfg,
 		local:  local,
@@ -183,6 +204,9 @@ func Serve(cfg Config) (*Server, error) {
 	// after recovery (coarse wall-clock epoch in the high bits, Lamport
 	// counter in the low 32).
 	s.clock.Store(uint64(time.Now().Unix()) << 32)
+	// A fresh controlet starts unfenced; it has a full FenceTimeout to
+	// land its first heartbeat.
+	s.lastBeat.Store(time.Now().UnixNano())
 
 	if cfg.Mode == (topology.Mode{Topology: topology.MS, Consistency: topology.Eventual}) {
 		s.prop = newPropagator(s)
@@ -425,6 +449,7 @@ func (s *Server) peerPool(addr string) (*datalet.Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.SetCallTimeout(s.cfg.PeerCallTimeout)
 	s.peers[addr] = p
 	return p, nil
 }
@@ -461,6 +486,7 @@ func (s *Server) dataletPool(n topology.Node) (*datalet.Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.SetCallTimeout(s.cfg.PeerCallTimeout)
 	s.dPeers[n.DataletAddr] = p
 	return p, nil
 }
@@ -555,16 +581,40 @@ func (s *Server) serveConn(conn transport.Conn) {
 	}
 }
 
+// fenced reports whether this controlet has lost coordinator contact for a
+// full FenceTimeout and must stop acknowledging MS writes and strong reads.
+// The hazard it closes: a node isolated from clients' view of the cluster —
+// coordinator unreachable but data path still up — would otherwise keep
+// serving from a chain the coordinator is in the middle of replacing
+// (double-acked writes at an old head, stale strong reads at an old tail).
+func (s *Server) fenced() bool {
+	if s.cfg.FenceTimeout <= 0 || s.cfg.CoordinatorAddr == "" {
+		return false
+	}
+	return time.Since(time.Unix(0, s.lastBeat.Load())) > s.cfg.FenceTimeout
+}
+
 // heartbeatLoop reports liveness (including the local datalet's) to the
-// coordinator and pulls fresher maps when the epoch moves.
+// coordinator and pulls fresher maps when the epoch moves. The connection
+// is re-dialed whenever it goes bad — a controlet that survives a partition
+// must be able to resume heartbeating (and unfence) after the heal, which a
+// dial-once loop cannot do.
 func (s *Server) heartbeatLoop() {
 	defer s.wg.Done()
-	coordClient, err := coordinator.DialCoordinator(s.cfg.Network, s.cfg.CoordinatorAddr)
-	if err != nil {
-		s.cfg.Logf("controlet %s: coordinator dial: %v", s.cfg.NodeID, err)
-		return
+	// A heartbeat that outlives its interval is useless; cap how long the
+	// loop can hang on a partitioned coordinator so fencing is detected on
+	// time and the loop keeps its cadence.
+	callTimeout := 2 * s.cfg.HeartbeatInterval
+	if s.cfg.FenceTimeout > 0 && callTimeout > s.cfg.FenceTimeout/2 {
+		callTimeout = s.cfg.FenceTimeout / 2
 	}
-	defer coordClient.Close()
+	var coordClient *coordinator.Client
+	defer func() {
+		if coordClient != nil {
+			coordClient.Close()
+		}
+	}()
+	fails := 0
 	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
 	defer ticker.Stop()
 	for {
@@ -572,18 +622,36 @@ func (s *Server) heartbeatLoop() {
 		case <-s.stopCh:
 			return
 		case <-ticker.C:
-			dataletOK := s.local.Get().Ping() == nil
-			ctlHeartbeats.Inc()
-			epoch, err := coordClient.Heartbeat(s.cfg.NodeID, dataletOK)
+		}
+		if coordClient == nil {
+			cc, err := coordinator.DialCoordinator(s.cfg.Network, s.cfg.CoordinatorAddr)
 			if err != nil {
 				ctlHeartbeatErrs.Inc()
 				continue
 			}
-			cur := s.Map()
-			if cur == nil || epoch > cur.Epoch {
-				if m, err := coordClient.GetMap(); err == nil {
-					s.SetMap(m)
-				}
+			cc.SetCallTimeout(callTimeout)
+			coordClient = cc
+			fails = 0
+		}
+		dataletOK := s.local.Get().Ping() == nil
+		ctlHeartbeats.Inc()
+		epoch, err := coordClient.Heartbeat(s.cfg.NodeID, dataletOK)
+		if err != nil {
+			ctlHeartbeatErrs.Inc()
+			if fails++; fails >= 2 {
+				// The conn is likely dead (partition, coordinator
+				// restart); drop it and re-dial next tick.
+				coordClient.Close()
+				coordClient = nil
+			}
+			continue
+		}
+		fails = 0
+		s.lastBeat.Store(time.Now().UnixNano())
+		cur := s.Map()
+		if cur == nil || epoch > cur.Epoch {
+			if m, err := coordClient.GetMap(); err == nil {
+				s.SetMap(m)
 			}
 		}
 	}

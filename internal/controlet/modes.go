@@ -168,6 +168,19 @@ func (s *Server) handleWrite(req *wire.Request, resp *wire.Response) {
 		return
 	}
 
+	// Self-fencing (MS only): a node out of coordinator contact cannot know
+	// whether it is still in the chain — the coordinator may be promoting
+	// its replacement right now, and an ack issued here would exist only on
+	// the deposed chain. AA modes don't need this: AA+SC writes must win a
+	// DLM lease (unreachable under the same partition) and AA+EC acks are
+	// sequenced through the shared log.
+	if s.cfg.Mode.Topology == topology.MS && s.fenced() {
+		ctlFencedRejects.Inc()
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: fenced (no coordinator contact)"
+		return
+	}
+
 	switch {
 	case s.cfg.Mode.Topology == topology.MS && s.cfg.Mode.Consistency == topology.Strong:
 		s.chainWrite(m, shard, pos, req, resp)
@@ -261,6 +274,15 @@ func (s *Server) handleGet(req *wire.Request, resp *wire.Response) {
 			owner = shard.Head() // master holds the freshest state
 		}
 		if owner.ID == s.cfg.NodeID {
+			// A fenced owner must not serve strong reads: the coordinator
+			// may have already promoted a new chain that has acked writes
+			// this isolated node never saw.
+			if s.fenced() {
+				ctlFencedRejects.Inc()
+				resp.Status = wire.StatusUnavailable
+				resp.Err = "controlet: fenced (no coordinator contact)"
+				return
+			}
 			s.localCall(req, resp)
 			return
 		}

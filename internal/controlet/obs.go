@@ -34,6 +34,10 @@ var (
 	// Coordinator liveness reporting.
 	ctlHeartbeats    = metrics.Default.Counter("bespokv_controlet_heartbeats_total")
 	ctlHeartbeatErrs = metrics.Default.Counter("bespokv_controlet_heartbeat_errors_total")
+
+	// Requests rejected because the node self-fenced (lost coordinator
+	// contact past FenceTimeout).
+	ctlFencedRejects = metrics.Default.Counter("bespokv_controlet_fenced_rejects_total")
 )
 
 func init() {

@@ -22,6 +22,14 @@ func DialCoordinator(network transport.Network, addr string) (*Client, error) {
 	return &Client{c: c}, nil
 }
 
+// SetCallTimeout caps how long each RPC may wait for its response. Control
+// loops that must notice a partitioned coordinator quickly (heartbeats, map
+// refreshes) set this well below the default; note WatchMap long-polls, so
+// its timeout must stay under the call timeout.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.c.CallTimeout = d
+}
+
 // GetMap fetches the current cluster map.
 func (c *Client) GetMap() (*topology.Map, error) {
 	var m topology.Map

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
@@ -31,6 +32,11 @@ const (
 
 // ErrClientClosed is returned after the connection has failed or closed.
 var ErrClientClosed = errors.New("datalet: client closed")
+
+// ErrCallTimeout fails a connection whose pipeline stalled: requests were
+// outstanding and no response arrived within the configured call timeout.
+// A blackholed peer (network partition) manifests as exactly this.
+var ErrCallTimeout = errors.New("datalet: call timed out")
 
 // call is one in-flight request/response exchange.
 type call struct {
@@ -95,6 +101,17 @@ type Client struct {
 
 	load atomic.Int64 // queued + in-flight calls (pool load balancing)
 	wg   sync.WaitGroup
+
+	// Pipeline watchdog (SetCallTimeout). FIFO pipelining cannot time out
+	// one call and keep the rest: responses match requests by order, so a
+	// lost response desynchronizes everything behind it. The watchdog
+	// therefore monitors *progress* — if calls are outstanding and no
+	// response frame arrives for a full timeout, the connection is failed
+	// with ErrCallTimeout and every waiter is released.
+	timeout  atomic.Int64 // nanoseconds; 0 = no watchdog
+	progress atomic.Int64 // response frames decoded (stall detector)
+	dogOnce  sync.Once
+	dead     chan struct{} // closed by the first fail()
 }
 
 // Dial connects a client to addr over the given network and codec.
@@ -108,6 +125,7 @@ func Dial(network transport.Network, addr string, codec wire.Codec) (*Client, er
 		codec: codec,
 		br:    bufio.NewReaderSize(conn, connBufSize),
 		bw:    bufio.NewWriterSize(conn, connBufSize),
+		dead:  make(chan struct{}),
 	}
 	c.bcd, _ = codec.(wire.BufferedCodec)
 	c.sendReady.L = &c.mu
@@ -119,6 +137,55 @@ func Dial(network transport.Network, addr string, codec wire.Codec) (*Client, er
 	go c.writeLoop()
 	go c.readLoop()
 	return c, nil
+}
+
+// SetCallTimeout arms the pipeline watchdog: if requests are outstanding
+// and no response arrives for d, the connection fails with ErrCallTimeout
+// and every in-flight call completes with it. d <= 0 disarms. Without a
+// timeout a partitioned (blackholed) peer hangs callers forever — and in
+// the controlet, a hung chain forward holds the inflight read-lock, which
+// wedges quiesce, drain and failover behind it.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.timeout.Store(int64(d))
+	if d > 0 {
+		c.dogOnce.Do(func() { go c.watchdog() })
+	}
+}
+
+// watchdog fails the connection when the pipeline stops making progress.
+func (c *Client) watchdog() {
+	var last int64
+	var stalled time.Time
+	for {
+		d := time.Duration(c.timeout.Load())
+		poll := d / 4
+		if d <= 0 {
+			poll = 100 * time.Millisecond // disarmed; keep checking cheaply
+		} else if poll < time.Millisecond {
+			poll = time.Millisecond
+		}
+		select {
+		case <-c.dead:
+			return
+		case <-time.After(poll):
+		}
+		if d <= 0 || c.load.Load() == 0 {
+			stalled = time.Time{}
+			continue
+		}
+		if p := c.progress.Load(); p != last {
+			last, stalled = p, time.Time{}
+			continue
+		}
+		if stalled.IsZero() {
+			stalled = time.Now()
+			continue
+		}
+		if time.Since(stalled) >= d {
+			c.fail(fmt.Errorf("%w (no response in %v)", ErrCallTimeout, d))
+			return
+		}
+	}
 }
 
 // Do sends req and decodes the reply into resp. The writer assigns req.ID;
@@ -164,6 +231,7 @@ func (c *Client) doInline(req *wire.Request, resp *wire.Response) error {
 	if err == nil {
 		resp.Reset()
 		err = c.codec.ReadResponse(c.br, resp)
+		c.progress.Add(1)
 	}
 	if err == nil && resp.ID != 0 && resp.ID != req.ID {
 		err = fmt.Errorf("datalet: pipeline desync: response ID %d for request %d", resp.ID, req.ID)
@@ -436,6 +504,7 @@ func (c *Client) readStream(cl *call) bool {
 			c.complete(cl, c.Err())
 			return false
 		}
+		c.progress.Add(1) // stream frames count as pipeline progress
 		if err := c.checkID(cl); err != nil {
 			c.fail(err)
 			c.complete(cl, err)
@@ -468,6 +537,7 @@ func (c *Client) checkID(cl *call) error {
 }
 
 func (c *Client) complete(cl *call, err error) {
+	c.progress.Add(1)
 	c.load.Add(-1)
 	cl.errc <- err
 }
@@ -480,6 +550,7 @@ func (c *Client) fail(err error) {
 	first := c.err == nil
 	if first {
 		c.err = err
+		close(c.dead)
 		_ = c.conn.Close()
 	}
 	failed := append(c.respQ, c.sendQ...)
@@ -584,6 +655,13 @@ func DialPool(network transport.Network, addr string, codec wire.Codec, size int
 		p.clients = append(p.clients, c)
 	}
 	return p, nil
+}
+
+// SetCallTimeout arms the pipeline watchdog on every pooled connection.
+func (p *Pool) SetCallTimeout(d time.Duration) {
+	for _, c := range p.clients {
+		c.SetCallTimeout(d)
+	}
 }
 
 // Get returns the pooled client with the fewest requests in flight.

@@ -1,0 +1,449 @@
+package faultnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bespokv/internal/transport"
+)
+
+// fabricPair builds a fabric over the inproc network with host "a" dialed
+// into a listener owned by host "b", returning both connection ends.
+func fabricPair(t *testing.T, seed int64) (*Fabric, transport.Conn, transport.Conn) {
+	t.Helper()
+	inner, err := transport.Lookup("inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(inner, seed)
+	l, err := f.Host("b").Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	type res struct {
+		c   transport.Conn
+		err error
+	}
+	acc := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		acc <- res{c, err}
+	}()
+	ca, err := f.Host("a").Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ca.Close() })
+	r := <-acc
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { r.c.Close() })
+	return f, ca, r.c
+}
+
+// roundtrip pushes one byte a→b and back so the accepted side learns the
+// dialer's identity from the preamble before a test installs faults.
+func roundtrip(t *testing.T, ca, cb transport.Conn) {
+	t.Helper()
+	buf := make([]byte, 1)
+	if _, err := ca.Write([]byte{'!'}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Read(buf); err != nil || buf[0] != '!' {
+		t.Fatalf("ping: %v %q", err, buf)
+	}
+	if _, err := cb.Write([]byte{'?'}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Read(buf); err != nil || buf[0] != '?' {
+		t.Fatalf("pong: %v %q", err, buf)
+	}
+}
+
+// readAsync starts a read and reports its result on a channel, so tests can
+// assert both arrival and (bounded-wait) non-arrival.
+func readAsync(c transport.Conn) <-chan []byte {
+	ch := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, err := c.Read(buf)
+		if err == nil {
+			ch <- append([]byte(nil), buf[:n]...)
+		}
+	}()
+	return ch
+}
+
+func expectNothing(t *testing.T, ch <-chan []byte, why string) {
+	t.Helper()
+	select {
+	case b := <-ch:
+		t.Fatalf("%s: unexpectedly received %q", why, b)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func expect(t *testing.T, ch <-chan []byte, want string, why string) {
+	t.Helper()
+	select {
+	case b := <-ch:
+		if string(b) != want {
+			t.Fatalf("%s: got %q, want %q", why, b, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("%s: timed out waiting for %q", why, want)
+	}
+}
+
+// deliverySeq records the exact byte order delivered across a lossy,
+// duplicating, reordering link for a fixed submission sequence. The link is
+// blocked during submission so queue occupancy — and therefore every
+// reorder's effect — is independent of sender-goroutine timing.
+func deliverySeq(t *testing.T, seed int64) []byte {
+	t.Helper()
+	f, ca, cb := fabricPair(t, seed)
+	f.Block("a", "b")
+	f.SetLink("a", "b", Rule{Drop: 0.3, Dup: 0.2, Reorder: 0.3})
+	for i := 0; i < 200; i++ {
+		if _, err := ca.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.ClearLinks()
+	if _, err := ca.Write([]byte{0xFF}); err != nil { // pristine terminator
+		t.Fatal(err)
+	}
+	f.Heal()
+	var got []byte
+	buf := make([]byte, 512)
+	for len(got) == 0 || got[len(got)-1] != 0xFF {
+		n, err := cb.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	return got[:len(got)-1]
+}
+
+// TestDeterministicReplay is the fabric's core contract: identical seeds
+// reproduce the identical fault sequence, byte for byte.
+func TestDeterministicReplay(t *testing.T) {
+	first := deliverySeq(t, 42)
+	second := deliverySeq(t, 42)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed, different delivery:\n  %v\n  %v", first, second)
+	}
+	if len(first) == 200 {
+		t.Fatal("no faults injected at all")
+	}
+	other := deliverySeq(t, 43)
+	if bytes.Equal(first, other) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestPartitionAsymmetry(t *testing.T) {
+	f, ca, cb := fabricPair(t, 1)
+	roundtrip(t, ca, cb)
+
+	// One-way block: a→b blackholes, b→a keeps flowing.
+	f.Block("a", "b")
+	if _, err := ca.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	fromA := readAsync(cb)
+	expectNothing(t, fromA, "a→b blocked")
+	if !f.Blocked("a", "b") || f.Blocked("b", "a") {
+		t.Fatal("Blocked() disagrees with installed one-way block")
+	}
+	if _, err := cb.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	expect(t, readAsync(ca), "back", "b→a open during one-way block")
+
+	// Unblock delivers the queued message.
+	f.Unblock("a", "b")
+	expect(t, fromA, "lost", "unblock drains queue")
+
+	// Symmetric partition cuts both directions.
+	f.Partition([]string{"a"}, []string{"b"})
+	if _, err := ca.Write([]byte("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Write([]byte("p2")); err != nil {
+		t.Fatal(err)
+	}
+	fromA, fromB := readAsync(cb), readAsync(ca)
+	expectNothing(t, fromA, "a→b partitioned")
+	expectNothing(t, fromB, "b→a partitioned")
+	f.Heal()
+	expect(t, fromA, "p1", "heal drains a→b")
+	expect(t, fromB, "p2", "heal drains b→a")
+}
+
+func TestHealDrainsQueuedInOrder(t *testing.T) {
+	f, ca, cb := fabricPair(t, 1)
+	roundtrip(t, ca, cb)
+	f.Block("a", "b")
+	for _, m := range []string{"one", "two", "three"} {
+		if _, err := ca.Write([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := readAsync(cb)
+	expectNothing(t, got, "blocked link")
+	f.Heal()
+	// Stream semantics: all three frames arrive, in order, possibly
+	// coalesced into fewer reads.
+	var all []byte
+	select {
+	case b := <-got:
+		all = append(all, b...)
+	case <-time.After(2 * time.Second):
+		t.Fatal("heal did not drain the queue")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for string(all) != "onetwothree" {
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %q, want %q", all, "onetwothree")
+		}
+		select {
+		case b := <-readAsync(cb):
+			all = append(all, b...)
+		case <-time.After(200 * time.Millisecond):
+			t.Fatalf("drained %q then stalled, want %q", all, "onetwothree")
+		}
+	}
+}
+
+// TestDupReorderCombo pins the exact interleaving of certain duplication
+// plus certain reordering: dup copies are appended after the reorder swap,
+// and the swap never crosses a queued preamble.
+func TestDupReorderCombo(t *testing.T) {
+	f, ca, cb := fabricPair(t, 1)
+	roundtrip(t, ca, cb) // flush the preamble out of the queue
+	f.Block("a", "b")
+	f.SetLink("a", "b", Rule{Dup: 1, Reorder: 1})
+	for _, m := range []string{"1", "2", "3"} {
+		if _, err := ca.Write([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.ClearLinks()
+	if _, err := ca.Write([]byte("T")); err != nil {
+		t.Fatal(err)
+	}
+	f.Heal()
+	var all []byte
+	buf := make([]byte, 64)
+	for len(all) == 0 || all[len(all)-1] != 'T' {
+		n, err := cb.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, buf[:n]...)
+	}
+	// Trace: [1 1'] → append 2, swap, dup → [1 2 1' 2'] → append 3, swap,
+	// dup → [1 2 1' 3 2' 3'].
+	if want := "121323T"; string(all) != want {
+		t.Fatalf("delivery = %q, want %q", all, want)
+	}
+}
+
+// TestPreambleSurvivesReorderWhileBlocked dials through an
+// already-reordering, blocked link: the queued preamble must still be
+// delivered first or the accepted side cannot parse the stream.
+func TestPreambleSurvivesReorderWhileBlocked(t *testing.T) {
+	inner, err := transport.Lookup("inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(inner, 5)
+	l, err := f.Host("b").Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acc := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	f.Block("a", "b")
+	f.SetLink("a", "b", Rule{Reorder: 1})
+	ca, err := f.Host("a").Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	if _, err := ca.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	cb := <-acc
+	defer cb.Close()
+	got := readAsync(cb)
+	expectNothing(t, got, "blocked link")
+	f.Heal()
+	expect(t, got, "hi", "payload after queued preamble")
+}
+
+// TestDirectedRules verifies the accepted side attributes its writes to the
+// dialer learned from the preamble: a drop-all rule on b→a eats responses
+// while a→b stays clean.
+func TestDirectedRules(t *testing.T) {
+	f, ca, cb := fabricPair(t, 1)
+	roundtrip(t, ca, cb)
+	f.SetLink("b", "a", Rule{Drop: 1})
+	if _, err := ca.Write([]byte("req")); err != nil {
+		t.Fatal(err)
+	}
+	expect(t, readAsync(cb), "req", "a→b unaffected")
+	if _, err := cb.Write([]byte("resp")); err != nil {
+		t.Fatal(err)
+	}
+	expectNothing(t, readAsync(ca), "b→a drop-all")
+	f.ClearLinks()
+	if _, err := cb.Write([]byte("resp2")); err != nil {
+		t.Fatal(err)
+	}
+	expect(t, readAsync(ca), "resp2", "b→a after clearing rules")
+}
+
+// TestIsolateSparesLoopback: an isolated host still reaches itself
+// (collocated controlet↔datalet traffic must survive node isolation).
+func TestIsolateSparesLoopback(t *testing.T) {
+	inner, err := transport.Lookup("inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(inner, 1)
+	l, err := f.Host("a").Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acc := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	f.Isolate("a")
+	if !f.Blocked("a", "b") || !f.Blocked("b", "a") {
+		t.Fatal("isolate did not cut a↔b")
+	}
+	ca, err := f.Host("a").Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	if _, err := ca.Write([]byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	cb := <-acc
+	defer cb.Close()
+	expect(t, readAsync(cb), "self", "loopback during isolation")
+}
+
+func TestDelayRule(t *testing.T) {
+	f, ca, cb := fabricPair(t, 1)
+	roundtrip(t, ca, cb)
+	f.SetLink("a", "b", Rule{Delay: 60 * time.Millisecond})
+	start := time.Now()
+	if _, err := ca.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	expect(t, readAsync(cb), "slow", "delayed delivery")
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("delivered after %v, want ≥ 50ms", el)
+	}
+}
+
+// --- nemesis ---------------------------------------------------------------
+
+func TestGenerateDeterministic(t *testing.T) {
+	hosts := []string{"s0-r0", "s0-r1", "s0-r2", "coord", "client"}
+	a := Generate(42, hosts, GenOptions{Rounds: 6})
+	b := Generate(42, hosts, GenOptions{Rounds: 6})
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different schedules:\n  %s\n  %s", a, b)
+	}
+	// Host order must not matter.
+	rev := []string{"client", "coord", "s0-r2", "s0-r1", "s0-r0"}
+	c := Generate(42, rev, GenOptions{Rounds: 6})
+	if a.String() != c.String() {
+		t.Fatalf("host order changed the schedule:\n  %s\n  %s", a, c)
+	}
+	d := Generate(43, hosts, GenOptions{Rounds: 6})
+	if a.String() == d.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a.Steps) != 12 { // fault + heal per round
+		t.Fatalf("len(Steps) = %d, want 12", len(a.Steps))
+	}
+}
+
+func TestScheduleRunAppliesAndHeals(t *testing.T) {
+	inner, err := transport.Lookup("inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(inner, 9)
+	s := Schedule{Seed: 9, Steps: []Step{
+		{At: 0, Desc: "isolate x", Apply: func(f *Fabric) { f.Isolate("x") }},
+		{At: 20 * time.Millisecond, Desc: "flaky", Apply: func(f *Fabric) {
+			f.SetLinkBoth("x", "y", Rule{Drop: 0.5})
+		}},
+	}}
+	s.Run(f, nil, t.Logf)
+	if f.Blocked("x", "y") {
+		t.Fatal("Run returned with partitions still installed")
+	}
+	f.mu.Lock()
+	nrules := len(f.rules)
+	f.mu.Unlock()
+	if nrules != 0 {
+		t.Fatalf("Run returned with %d link rules installed", nrules)
+	}
+}
+
+func TestScheduleRunStopsEarlyAndHeals(t *testing.T) {
+	inner, err := transport.Lookup("inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(inner, 9)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s := Schedule{Seed: 9, Steps: []Step{
+		{At: 0, Desc: "isolate x", Apply: func(f *Fabric) { f.Isolate("x") }},
+		{At: time.Minute, Desc: "never reached", Apply: func(f *Fabric) { f.Isolate("y") }},
+	}}
+	go func() {
+		s.Run(f, stop, t.Logf)
+		close(done)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !f.Blocked("x", "z") {
+		if time.Now().After(deadline) {
+			t.Fatal("first step never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after stop")
+	}
+	if f.Blocked("x", "z") || f.Blocked("y", "z") {
+		t.Fatal("early stop left partitions installed")
+	}
+}

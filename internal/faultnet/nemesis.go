@@ -1,0 +1,232 @@
+// Nemesis: seeded, deterministic fault schedules. A Schedule is generated
+// entirely up front from (seed, hosts) — every victim choice, partition
+// split and fault rule is drawn at generation time — so a failing run's
+// logged seed replays the exact same fault sequence. Runtime only applies
+// the prebuilt steps at their offsets.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Step is one scheduled fault-plane mutation.
+type Step struct {
+	// At is the step's offset from schedule start.
+	At time.Duration
+	// Desc names the step for logs ("isolate s0-r1", "heal").
+	Desc string
+	// Apply mutates the fabric.
+	Apply func(f *Fabric)
+}
+
+// Schedule is a reproducible sequence of fault steps.
+type Schedule struct {
+	Seed  int64
+	Steps []Step
+}
+
+// String summarizes the schedule for logs.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nemesis(seed=%d)", s.Seed)
+	for _, st := range s.Steps {
+		fmt.Fprintf(&b, " [%s %s]", st.At.Round(time.Millisecond), st.Desc)
+	}
+	return b.String()
+}
+
+// Run applies the schedule against f, sleeping between steps, until every
+// step ran or stop closes. It always leaves the fabric fully healed (all
+// partitions and rules cleared), even on early stop. logf may be nil.
+func (s Schedule) Run(f *Fabric, stop <-chan struct{}, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	defer func() {
+		f.Heal()
+		f.ClearLinks()
+	}()
+	start := time.Now()
+	for _, st := range s.Steps {
+		wait := st.At - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-stop:
+				logf("nemesis[seed=%d]: stopped early, healing", s.Seed)
+				return
+			case <-time.After(wait):
+			}
+		} else {
+			select {
+			case <-stop:
+				logf("nemesis[seed=%d]: stopped early, healing", s.Seed)
+				return
+			default:
+			}
+		}
+		logf("nemesis[seed=%d] t=%s: %s", s.Seed, st.At.Round(time.Millisecond), st.Desc)
+		st.Apply(f)
+	}
+}
+
+// Kind selects a fault family for generated schedules.
+type Kind int
+
+const (
+	// KindIsolate cuts one host off from everyone (both directions).
+	KindIsolate Kind = iota
+	// KindSplit partitions the hosts into two random halves.
+	KindSplit
+	// KindOneWay blocks a single direction of one random link — the
+	// asymmetric partition classic (A hears B, B never hears A).
+	KindOneWay
+	// KindFlaky makes random links lossy: drop, duplicate, reorder.
+	KindFlaky
+	// KindSlow adds latency jitter and a bandwidth cap to random links.
+	KindSlow
+)
+
+var kindNames = map[Kind]string{
+	KindIsolate: "isolate",
+	KindSplit:   "split",
+	KindOneWay:  "oneway",
+	KindFlaky:   "flaky",
+	KindSlow:    "slow",
+}
+
+// GenOptions shapes Generate's output.
+type GenOptions struct {
+	// Rounds is the number of fault→heal cycles (default 3).
+	Rounds int
+	// Dwell is how long each fault stays applied (default 600ms).
+	Dwell time.Duration
+	// Pause is the healthy gap after each heal (default 400ms).
+	Pause time.Duration
+	// Kinds restricts the fault families drawn (default: all).
+	Kinds []Kind
+}
+
+// Generate builds a deterministic schedule over hosts: Rounds cycles of a
+// randomly drawn fault followed by a full heal. Identical (seed, hosts,
+// opts) always produce the identical schedule; hosts are sorted first so
+// callers need not worry about map iteration order.
+func Generate(seed int64, hosts []string, o GenOptions) Schedule {
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	if o.Dwell <= 0 {
+		o.Dwell = 600 * time.Millisecond
+	}
+	if o.Pause <= 0 {
+		o.Pause = 400 * time.Millisecond
+	}
+	if len(o.Kinds) == 0 {
+		o.Kinds = []Kind{KindIsolate, KindSplit, KindOneWay, KindFlaky, KindSlow}
+	}
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	at := o.Pause // let the cluster breathe before the first fault
+	for round := 0; round < o.Rounds; round++ {
+		kind := o.Kinds[rng.Intn(len(o.Kinds))]
+		step := genStep(rng, kind, sorted)
+		step.At = at
+		s.Steps = append(s.Steps, step)
+		at += o.Dwell
+		s.Steps = append(s.Steps, Step{
+			At:   at,
+			Desc: "heal",
+			Apply: func(f *Fabric) {
+				f.Heal()
+				f.ClearLinks()
+			},
+		})
+		at += o.Pause
+	}
+	return s
+}
+
+// genStep draws one fault step; all randomness happens here, at generation
+// time.
+func genStep(rng *rand.Rand, kind Kind, hosts []string) Step {
+	if len(hosts) < 2 {
+		// Degenerate topology: nothing to cut; emit a no-op.
+		return Step{Desc: "noop (fewer than 2 hosts)", Apply: func(*Fabric) {}}
+	}
+	switch kind {
+	case KindSplit:
+		shuffled := append([]string(nil), hosts...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		cut := 1 + rng.Intn(len(shuffled)-1)
+		a := append([]string(nil), shuffled[:cut]...)
+		b := append([]string(nil), shuffled[cut:]...)
+		return Step{
+			Desc:  fmt.Sprintf("split %v | %v", a, b),
+			Apply: func(f *Fabric) { f.Partition(a, b) },
+		}
+	case KindOneWay:
+		src := hosts[rng.Intn(len(hosts))]
+		dst := src
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		return Step{
+			Desc:  fmt.Sprintf("oneway block %s→%s", src, dst),
+			Apply: func(f *Fabric) { f.Block(src, dst) },
+		}
+	case KindFlaky:
+		pairs := drawPairs(rng, hosts)
+		rule := Rule{Drop: 0.25, Dup: 0.15, Reorder: 0.25, Delay: time.Millisecond, Jitter: 2 * time.Millisecond}
+		return Step{
+			Desc:  fmt.Sprintf("flaky links %v", pairs),
+			Apply: func(f *Fabric) { applyPairs(f, pairs, rule) },
+		}
+	case KindSlow:
+		pairs := drawPairs(rng, hosts)
+		rule := Rule{Delay: 3 * time.Millisecond, Jitter: 5 * time.Millisecond, BandwidthBps: 1 << 20}
+		return Step{
+			Desc:  fmt.Sprintf("slow links %v", pairs),
+			Apply: func(f *Fabric) { applyPairs(f, pairs, rule) },
+		}
+	default: // KindIsolate
+		victim := hosts[rng.Intn(len(hosts))]
+		return Step{
+			Desc:  "isolate " + victim,
+			Apply: func(f *Fabric) { f.Isolate(victim) },
+		}
+	}
+}
+
+// drawPairs picks a random non-empty subset of host pairs (~40% of links).
+func drawPairs(rng *rand.Rand, hosts []string) [][2]string {
+	var pairs [][2]string
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			if rng.Float64() < 0.4 {
+				pairs = append(pairs, [2]string{hosts[i], hosts[j]})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		i := rng.Intn(len(hosts))
+		j := i
+		for j == i {
+			j = rng.Intn(len(hosts))
+		}
+		pairs = append(pairs, [2]string{hosts[i], hosts[j]})
+	}
+	return pairs
+}
+
+func applyPairs(f *Fabric, pairs [][2]string, r Rule) {
+	for _, p := range pairs {
+		f.SetLinkBoth(p[0], p[1], r)
+	}
+}

@@ -1,0 +1,48 @@
+package histcheck
+
+// bruteForce decides linearizability of one key's history by trying every
+// permutation consistent with real-time order. Exponential — usable only
+// for tiny histories (the fuzz cross-check caps at 8 ops) — but its
+// correctness is self-evident, which is the point: it is the oracle the
+// search is validated against.
+func bruteForce(ops []Op) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	used := make([]bool, n)
+	var rec func(remaining int, s regState) bool
+	rec = func(remaining int, s regState) bool {
+		if remaining == 0 {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// ops[i] may be next only if no other pending op finished
+			// before it began (that op would have to precede it).
+			eligible := true
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && ops[j].End < ops[i].Start {
+					eligible = false
+					break
+				}
+			}
+			if !eligible {
+				continue
+			}
+			next, ok := apply(&ops[i], s)
+			if !ok {
+				continue
+			}
+			used[i] = true
+			if rec(remaining-1, next) {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(n, regState{})
+}

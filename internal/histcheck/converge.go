@@ -1,0 +1,72 @@
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckConvergence verifies the eventual-consistency contract for one
+// shard's replicas after the system has quiesced and healed:
+//
+//  1. agreement — every replica holds the identical key→value state for
+//     the keys under test, and
+//  2. provenance — every present value was actually written to that key at
+//     some point in the history (no invented or cross-key values).
+//
+// It deliberately does NOT require every acked write to survive: under
+// MS+EC a master crash legally loses acked-but-unpropagated writes
+// (paper Appendix C), and any write may be superseded by a later one. What
+// EC promises is that the replicas converge on *some* written value.
+//
+// replicas maps replica name → its final key/value state (absent key =
+// deleted/never present). ops is the full recorded history. Returns a list
+// of human-readable violations, empty when the contract holds.
+func CheckConvergence(replicas map[string]map[string]string, ops []Op) []string {
+	var problems []string
+	names := make([]string, 0, len(replicas))
+	for n := range replicas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil
+	}
+
+	// Agreement: all replicas equal, compared against the first.
+	ref := replicas[names[0]]
+	for _, n := range names[1:] {
+		st := replicas[n]
+		for k, v := range ref {
+			if ov, ok := st[k]; !ok {
+				problems = append(problems, fmt.Sprintf("divergence: %s has %q=%q, %s misses it", names[0], k, v, n))
+			} else if ov != v {
+				problems = append(problems, fmt.Sprintf("divergence: key %q is %q on %s but %q on %s", k, v, names[0], ov, n))
+			}
+		}
+		for k, v := range st {
+			if _, ok := ref[k]; !ok {
+				problems = append(problems, fmt.Sprintf("divergence: %s has %q=%q, %s misses it", n, k, v, names[0]))
+			}
+		}
+	}
+
+	// Provenance: every surviving value traces back to a write of that key
+	// (acked or uncertain — an uncertain write taking effect is legal).
+	written := map[string]map[string]bool{}
+	for _, o := range ops {
+		if o.Kind == OpWrite {
+			if written[o.Key] == nil {
+				written[o.Key] = map[string]bool{}
+			}
+			written[o.Key][o.Value] = true
+		}
+	}
+	for _, n := range names {
+		for k, v := range replicas[n] {
+			if !written[k][v] {
+				problems = append(problems, fmt.Sprintf("provenance: %s holds %q=%q, never written to that key", n, k, v))
+			}
+		}
+	}
+	return problems
+}

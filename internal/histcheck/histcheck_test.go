@@ -1,0 +1,293 @@
+package histcheck
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func w(client int, key, val string, start, end int64) Op {
+	return Op{Client: client, Kind: OpWrite, Key: key, Value: val, Start: start, End: end, OK: true}
+}
+
+func rd(client int, key, val string, found bool, start, end int64) Op {
+	return Op{Client: client, Kind: OpRead, Key: key, Value: val, Found: found, Start: start, End: end, OK: true}
+}
+
+func del(client int, key string, start, end int64) Op {
+	return Op{Client: client, Kind: OpDelete, Key: key, Start: start, End: end, OK: true}
+}
+
+func checkOne(t *testing.T, ops []Op, want Outcome) KeyResult {
+	t.Helper()
+	res := CheckKey("k", ops, Options{})
+	if res.Outcome != want {
+		t.Fatalf("outcome = %s, want %s (states=%d, bad=%v)\nhistory:\n%s",
+			res.Outcome, want, res.States, res.Bad, dump(ops))
+	}
+	return res
+}
+
+func dump(ops []Op) string {
+	s := ""
+	for _, o := range ops {
+		s += "  " + o.String() + "\n"
+	}
+	return s
+}
+
+func TestSequentialLinearizable(t *testing.T) {
+	checkOne(t, []Op{
+		w(0, "k", "1", 0, 10),
+		rd(1, "k", "1", true, 20, 30),
+		w(0, "k", "2", 40, 50),
+		rd(1, "k", "2", true, 60, 70),
+		del(0, "k", 80, 90),
+		rd(1, "k", "", false, 100, 110),
+	}, Linearizable)
+}
+
+// The classic stale read: a read that begins after a write's ack must not
+// observe the pre-write state.
+func TestStaleReadRejected(t *testing.T) {
+	checkOne(t, []Op{
+		w(0, "k", "1", 0, 10),
+		w(0, "k", "2", 20, 30),
+		rd(1, "k", "1", true, 40, 50), // stale: write "2" was acked at 30
+	}, NonLinearizable)
+	// Not-found after an acked write is stale too.
+	checkOne(t, []Op{
+		w(0, "k", "1", 0, 10),
+		rd(1, "k", "", false, 20, 30),
+	}, NonLinearizable)
+}
+
+// The classic lost update: two sequential acked writes, then reads that
+// flip back to the overwritten value.
+func TestLostUpdateRejected(t *testing.T) {
+	checkOne(t, []Op{
+		w(0, "k", "1", 0, 10),
+		w(1, "k", "2", 20, 30),
+		rd(2, "k", "2", true, 40, 50),
+		rd(2, "k", "1", true, 60, 70), // "1" resurfaced: "2" was lost
+	}, NonLinearizable)
+}
+
+// Concurrent ops may linearize in either order — both observations are
+// legal while the windows overlap.
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	checkOne(t, []Op{
+		w(0, "k", "1", 0, 100),
+		w(1, "k", "2", 0, 100),
+		rd(2, "k", "2", true, 0, 100),
+		rd(2, "k", "1", true, 150, 160), // final order: 2 then 1
+	}, Linearizable)
+	// A read overlapping a write may see either side of it.
+	checkOne(t, []Op{
+		w(0, "k", "1", 0, 100),
+		rd(1, "k", "", false, 10, 20),
+		rd(1, "k", "1", true, 30, 40),
+	}, Linearizable)
+	// ...but real-time order between the reads still binds: once a read
+	// saw the write, a later read cannot unsee it.
+	checkOne(t, []Op{
+		w(0, "k", "1", 0, 100),
+		rd(1, "k", "1", true, 10, 20),
+		rd(1, "k", "", false, 30, 40),
+	}, NonLinearizable)
+}
+
+// An uncertain write (client timeout — End=Inf, OK=false) may take effect
+// at any later point, or never.
+func TestUncertainWrite(t *testing.T) {
+	unc := Op{Client: 0, Kind: OpWrite, Key: "k", Value: "1", Start: 0, End: Inf}
+	// Surfacing later is legal...
+	checkOne(t, []Op{unc, rd(1, "k", "1", true, 50, 60)}, Linearizable)
+	// ...as is never surfacing...
+	checkOne(t, []Op{unc, rd(1, "k", "", false, 50, 60)}, Linearizable)
+	// ...even surfacing, disappearing under a delete, for a while:
+	checkOne(t, []Op{
+		unc,
+		rd(1, "k", "1", true, 50, 60),
+		del(1, "k", 70, 80),
+		rd(1, "k", "", false, 90, 100),
+	}, Linearizable)
+	// But it cannot make a *never-written* value appear.
+	checkOne(t, []Op{unc, rd(1, "k", "2", true, 50, 60)}, NonLinearizable)
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	checkOne(t, []Op{
+		w(0, "k", "1", 0, 10),
+		del(1, "k", 20, 30),
+		rd(2, "k", "1", true, 40, 50), // deleted value resurfaced
+	}, NonLinearizable)
+}
+
+func TestUnknownOnTinyBudget(t *testing.T) {
+	// Many fully-concurrent writes explode the search; a one-state budget
+	// must give up rather than mislabel.
+	var ops []Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, w(i, "k", fmt.Sprint(i), 0, 1000))
+	}
+	ops = append(ops, rd(9, "k", "3", true, 2000, 2001))
+	res := CheckKey("k", ops, Options{MaxStates: 1})
+	if res.Outcome != Unknown {
+		t.Fatalf("outcome = %s, want unknown", res.Outcome)
+	}
+}
+
+func TestCheckGroupsByKey(t *testing.T) {
+	rep := Check([]Op{
+		w(0, "a", "1", 0, 10),
+		rd(1, "a", "1", true, 20, 30),
+		w(0, "b", "1", 0, 10),
+		rd(1, "b", "2", true, 20, 30), // bad key b
+	}, Options{})
+	if rep.Ok() {
+		t.Fatal("report Ok despite nonlinearizable key")
+	}
+	if rep.TotalOps() != 4 {
+		t.Fatalf("TotalOps = %d, want 4", rep.TotalOps())
+	}
+	var badKeys []string
+	for _, k := range rep.Keys {
+		if k.Outcome == NonLinearizable {
+			badKeys = append(badKeys, k.Key)
+		}
+	}
+	if len(badKeys) != 1 || badKeys[0] != "b" {
+		t.Fatalf("bad keys = %v, want [b]", badKeys)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	ref := r.BeginWrite(0, "k", "1")
+	r.EndWrite(ref, nil)
+	ref = r.BeginRead(1, "k")
+	r.EndRead(ref, "1", true, nil)
+	ref = r.BeginWrite(0, "k", "2")
+	r.EndWrite(ref, errors.New("timeout")) // uncertain
+	ref = r.BeginRead(1, "k")
+	r.EndRead(ref, "", false, errors.New("timeout")) // dropped
+	ops := r.Ops()
+	if len(ops) != 4 {
+		t.Fatalf("recorded %d ops, want 4", len(ops))
+	}
+	if !ops[0].OK || ops[0].End == Inf {
+		t.Fatalf("acked write not definite: %+v", ops[0])
+	}
+	if ops[2].OK || ops[2].End != Inf {
+		t.Fatalf("timed-out write not uncertain: %+v", ops[2])
+	}
+	res := CheckKey("k", ops, Options{})
+	if res.Outcome != Linearizable {
+		t.Fatalf("recorded history: %s", res.Outcome)
+	}
+	if res.Ops != 3 {
+		t.Fatalf("checked %d ops, want 3 (failed read dropped)", res.Ops)
+	}
+	acked := r.AckedWrites()
+	if !acked["k"]["1"] || acked["k"]["2"] {
+		t.Fatalf("AckedWrites = %v", acked)
+	}
+}
+
+func TestCheckConvergence(t *testing.T) {
+	ops := []Op{
+		w(0, "a", "1", 0, 10),
+		w(1, "a", "2", 0, 10),
+		w(0, "b", "9", 0, 10),
+	}
+	ok := map[string]map[string]string{
+		"r0": {"a": "2", "b": "9"},
+		"r1": {"a": "2", "b": "9"},
+	}
+	if p := CheckConvergence(ok, ops); len(p) != 0 {
+		t.Fatalf("converged state flagged: %v", p)
+	}
+	diverged := map[string]map[string]string{
+		"r0": {"a": "1"},
+		"r1": {"a": "2"},
+	}
+	if p := CheckConvergence(diverged, ops); len(p) == 0 {
+		t.Fatal("diverged replicas not flagged")
+	}
+	phantom := map[string]map[string]string{
+		"r0": {"a": "7"},
+		"r1": {"a": "7"},
+	}
+	if p := CheckConvergence(phantom, ops); len(p) == 0 {
+		t.Fatal("phantom value not flagged")
+	}
+}
+
+// genHistory builds a small random single-key history from a seed: a mix of
+// overlapping reads/writes/deletes with occasional uncertain writes. Used
+// by both the cross-check test and the fuzz target.
+func genHistory(rng *rand.Rand, n int) []Op {
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		start := int64(rng.Intn(60))
+		end := start + 1 + int64(rng.Intn(40))
+		o := Op{Client: i, Key: "k", Start: start, End: end, OK: true}
+		switch rng.Intn(4) {
+		case 0:
+			o.Kind = OpRead
+			o.Found = rng.Intn(3) > 0
+			if o.Found {
+				o.Value = fmt.Sprint(rng.Intn(3))
+			}
+		case 1, 2:
+			o.Kind = OpWrite
+			o.Value = fmt.Sprint(rng.Intn(3))
+			if rng.Intn(8) == 0 {
+				o.End, o.OK = Inf, false // uncertain
+			}
+		default:
+			o.Kind = OpDelete
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// TestCrossCheckBruteForce validates the search against the brute-force
+// oracle on thousands of random histories ≤ 8 ops.
+func TestCrossCheckBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 3000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genHistory(rng, 2+rng.Intn(7))
+		res := CheckKey("k", ops, Options{})
+		if res.Outcome == Unknown {
+			t.Fatalf("seed %d: budget exhausted on %d ops", seed, len(ops))
+		}
+		want := bruteForce(ops)
+		got := res.Outcome == Linearizable
+		if got != want {
+			t.Fatalf("seed %d: search=%v brute=%v\nhistory:\n%s", seed, got, want, dump(ops))
+		}
+	}
+}
+
+// FuzzCheckKey drives the same cross-check from fuzzer-chosen seeds.
+func FuzzCheckKey(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1234, 99999} {
+		f.Add(seed, uint8(6))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		size := 2 + int(n%7) // ≤ 8 ops keeps brute force instant
+		rng := rand.New(rand.NewSource(seed))
+		ops := genHistory(rng, size)
+		res := CheckKey("k", ops, Options{})
+		if res.Outcome == Unknown {
+			t.Skip("budget exhausted")
+		}
+		if got, want := res.Outcome == Linearizable, bruteForce(ops); got != want {
+			t.Fatalf("seed %d: search=%v brute=%v\nhistory:\n%s", seed, got, want, dump(ops))
+		}
+	})
+}

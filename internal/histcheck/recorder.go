@@ -1,0 +1,124 @@
+package histcheck
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder collects a concurrent history on one monotonic clock. Workers
+// call Begin* immediately before issuing an operation and End* with its
+// outcome; the recorder timestamps both sides. Safe for concurrent use.
+//
+// Outcome policy (what makes the recorded history checkable):
+//   - a write/delete that errored or timed out is kept as *uncertain*
+//     (End = Inf): it may have taken effect server-side, so a later read
+//     observing it is legal, and a checker unaware of it would flag that
+//     read as a phantom;
+//   - a read that errored is dropped — an unobserved read constrains
+//     nothing.
+type Recorder struct {
+	t0 time.Time
+
+	mu  sync.Mutex
+	ops []Op
+}
+
+// OpRef identifies a begun operation until its End* call.
+type OpRef int
+
+// NewRecorder starts a recorder; its clock zero is now.
+func NewRecorder() *Recorder {
+	return &Recorder{t0: time.Now()}
+}
+
+func (r *Recorder) now() int64 { return time.Since(r.t0).Nanoseconds() }
+
+func (r *Recorder) begin(client int, kind Kind, key, value string) OpRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, Op{
+		Client: client,
+		Kind:   kind,
+		Key:    key,
+		Value:  value,
+		Start:  r.now(),
+		End:    Inf,
+	})
+	return OpRef(len(r.ops) - 1)
+}
+
+// BeginWrite records the invocation of write(key)=value.
+func (r *Recorder) BeginWrite(client int, key, value string) OpRef {
+	return r.begin(client, OpWrite, key, value)
+}
+
+// BeginDelete records the invocation of delete(key).
+func (r *Recorder) BeginDelete(client int, key string) OpRef {
+	return r.begin(client, OpDelete, key, "")
+}
+
+// BeginRead records the invocation of read(key).
+func (r *Recorder) BeginRead(client int, key string) OpRef {
+	return r.begin(client, OpRead, key, "")
+}
+
+// EndWrite (also used for deletes) records the outcome: err == nil is a
+// definite acknowledgment; anything else leaves the op uncertain.
+func (r *Recorder) EndWrite(ref OpRef, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		return // stays End=Inf, OK=false: may take effect any time
+	}
+	r.ops[ref].End = r.now()
+	r.ops[ref].OK = true
+}
+
+// EndRead records a successful read's observation; a non-nil err drops the
+// operation from the history.
+func (r *Recorder) EndRead(ref OpRef, value string, found bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.ops[ref].Kind = OpRead
+		r.ops[ref].OK = false
+		// Marked dropped by staying End=Inf with Kind==OpRead; CheckKey
+		// discards unobserved reads.
+		return
+	}
+	r.ops[ref].End = r.now()
+	r.ops[ref].OK = true
+	r.ops[ref].Value = value
+	r.ops[ref].Found = found
+}
+
+// Ops returns a copy of the history recorded so far.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op(nil), r.ops...)
+}
+
+// Len reports the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// AckedWrites returns, per key, the set of values whose write was
+// definitely acknowledged — the convergence checker's ground truth.
+func (r *Recorder) AckedWrites() map[string]map[string]bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]map[string]bool{}
+	for _, o := range r.ops {
+		if o.Kind == OpWrite && o.OK {
+			if out[o.Key] == nil {
+				out[o.Key] = map[string]bool{}
+			}
+			out[o.Key][o.Value] = true
+		}
+	}
+	return out
+}

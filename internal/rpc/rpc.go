@@ -55,12 +55,13 @@ func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
 		return errors.New("rpc: frame too large")
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	// Header and payload go down in ONE Write: transports that treat each
+	// Write as a message quantum (the faultnet fault plane drops/duplicates
+	// whole Writes) must see frames, never torn header/payload halves.
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 

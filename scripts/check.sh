@@ -26,3 +26,10 @@ go test -run NONE -bench 'CounterAdd|HistogramObserve' -benchmem ./internal/metr
 # join/drain/AA+EC-floor scenarios under client load, race-detected.
 go test -race ./internal/migrate/...
 go test -race -run 'TestJoinNodeUnderLoad|TestDrainNodeUnderLoad|TestJoinNodeAAEC' ./internal/cluster/
+
+# Nemesis fault injection: faultnet fabric/schedule units, the
+# linearizability and convergence checkers, then every deployment mode
+# under seeded fault schedules. Failing runs log their seed — replay with
+# BESPOKV_NEMESIS_SEED=<seed>.
+go test -race ./internal/faultnet/... ./internal/histcheck/...
+go test -race -run 'TestNemesis' ./internal/cluster/
