@@ -9,11 +9,20 @@ RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... .
 # HTTP introspection endpoints (including the end-to-end cluster test).
 OBS_PKGS = ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 
-.PHONY: all check vet build test race obs migrate nemesis bench bench-pipeline clean
+.PHONY: all check vet build test race obs migrate nemesis crash bench bench-pipeline clean
 
 all: check
 
-check: vet build test race obs migrate nemesis
+check: vet build test race obs migrate nemesis crash
+
+# crash race-tests the storage fault story end to end: the WAL and faultfs
+# units, the durable ht/lsm/applog engine recovery suites, and the cluster
+# crash-restart/incremental-rejoin scenarios. A failing run logs its seed;
+# replay it with BESPOKV_NEMESIS_SEED=<seed>.
+crash:
+	$(GO) test -race ./internal/store/wal/... ./internal/store/faultfs/...
+	$(GO) test -race -run 'Durable|Crash|Torn|WAL|Recover|Snapshot|Persist|CleanClose' ./internal/store/ht/ ./internal/store/lsm/ ./internal/store/applog/
+	$(GO) test -race -run 'TestCrashRestart|TestRejoin' ./internal/cluster/
 
 # nemesis race-tests the fault plane end to end: the faultnet fabric and
 # schedule units, the linearizability/convergence checker units, and the

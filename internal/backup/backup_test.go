@@ -102,6 +102,51 @@ func TestDumpAndRestoreRoundtrip(t *testing.T) {
 	poll("jobs", []byte("key-0003"), []byte("running"))
 }
 
+// TestRestoreTruncatedFinalRecord cuts a dump mid-way through its last
+// pair record (trailer gone, final frame torn) and restores it: the restore
+// must fail loudly — no silent partial apply — and report only the complete
+// records it replayed before hitting the tear.
+func TestRestoreTruncatedFinalRecord(t *testing.T) {
+	src := startCluster(t, cluster.Options{Shards: 2, Replicas: 1, DisableFailover: true})
+	cli, err := src.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("t-%03d", i))
+		if err := cli.Put("", k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var dump bytes.Buffer
+	if _, err := Dump(src.Net, src.Coord.Addr(), &dump); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trailer frame is 8 bytes of header plus a 2-byte body (type +
+	// 1-byte varint count for n < 128); cutting 3 bytes past it lands
+	// inside the final pair record.
+	raw := dump.Bytes()
+	cut := raw[:len(raw)-10-3]
+
+	dst := startCluster(t, cluster.Options{Shards: 3, Replicas: 1, DisableFailover: true})
+	dcli, err := dst.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dcli.Close()
+	stats, err := Restore(dcli, bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("restore of a torn dump succeeded silently")
+	}
+	if stats.Pairs >= n {
+		t.Fatalf("restore claims %d pairs applied from a dump torn before record %d", stats.Pairs, n)
+	}
+	t.Logf("torn restore applied %d/%d complete records, then failed: %v", stats.Pairs, n, err)
+}
+
 func TestReadRejectsCorruption(t *testing.T) {
 	src := startCluster(t, cluster.Options{Shards: 1, Replicas: 1, DisableFailover: true})
 	cli, err := src.Client()

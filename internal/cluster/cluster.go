@@ -10,7 +10,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,8 +27,10 @@ import (
 	"bespokv/internal/store"
 	"bespokv/internal/store/applog"
 	"bespokv/internal/store/btree"
+	"bespokv/internal/store/faultfs"
 	"bespokv/internal/store/ht"
 	"bespokv/internal/store/lsm"
+	"bespokv/internal/store/wal"
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
@@ -59,6 +63,15 @@ type Options struct {
 	Standbys int
 	// DataDir persists applog/lsm engines under per-node directories.
 	DataDir string
+	// Durable gives every node a private crash-faithful filesystem
+	// (faultfs) and opens its engines in write-ahead-logged durable mode;
+	// requires Engine "ht" or "lsm". Crash and Restart then emulate
+	// kill -9 plus reboot: unsynced data is lost, fsynced data survives,
+	// and a restarted node rejoins with an incremental delta.
+	Durable bool
+	// Seed derives each node's faultfs seed; same seed, same torn-write
+	// behavior. Used with Durable.
+	Seed int64
 	// HeartbeatTimeout and HeartbeatInterval tune failure detection
 	// (defaults 800ms / 100ms — scaled-down versions of the paper's 5s).
 	HeartbeatTimeout  time.Duration
@@ -94,7 +107,20 @@ type Pair struct {
 	Datalet   *datalet.Server
 	Controlet *controlet.Server
 	killed    atomic.Bool
+
+	// Restart metadata: the shard the pair belongs to, the engine it
+	// runs, and (under Options.Durable) its private crash-faithful
+	// filesystem, which survives the pair so a restarted instance
+	// recovers from it.
+	shardID string
+	engine  string
+	fs      *faultfs.FS
 }
+
+// FS returns the pair's fault-injecting filesystem (nil unless the
+// cluster runs with Options.Durable); tests use it for white-box fault
+// injection.
+func (p *Pair) FS() *faultfs.FS { return p.fs }
 
 // Kill abruptly stops the pair (both processes), emulating a node crash.
 func (p *Pair) Kill() {
@@ -120,6 +146,9 @@ type Cluster struct {
 	Standbys []*Pair
 	oldPairs []*Pair // pre-transition controlets kept until Close
 	nameSeq  atomic.Uint64
+
+	fsMu   sync.Mutex
+	nodeFS map[string]*faultfs.FS // nodeID -> durable filesystem
 }
 
 func (o *Options) defaults() error {
@@ -163,7 +192,52 @@ func (o *Options) defaults() error {
 		return fmt.Errorf("cluster: EnginesByReplica has %d entries for %d replicas",
 			len(o.EnginesByReplica), o.Replicas)
 	}
+	if o.Durable {
+		engines := o.EnginesByReplica
+		if len(engines) == 0 {
+			engines = []string{o.Engine}
+		}
+		for _, e := range engines {
+			if e != "ht" && e != "lsm" {
+				return fmt.Errorf("cluster: engine %q does not support Durable (use ht or lsm)", e)
+			}
+		}
+	}
 	return nil
+}
+
+// fsFor returns (creating on first use) the durable filesystem for a node.
+// The filesystem outlives any one pair: a restarted node opens the same
+// one and recovers whatever its predecessor made durable.
+func (c *Cluster) fsFor(nodeID string) *faultfs.FS {
+	c.fsMu.Lock()
+	defer c.fsMu.Unlock()
+	if c.nodeFS == nil {
+		c.nodeFS = map[string]*faultfs.FS{}
+	}
+	fs, ok := c.nodeFS[nodeID]
+	if !ok {
+		fs = faultfs.New(c.Opts.Seed ^ int64(crc32.ChecksumIEEE([]byte(nodeID))))
+		c.nodeFS[nodeID] = fs
+	}
+	return fs
+}
+
+// durableEngineFactory builds the NewEngine function for one durable node:
+// every table's engine write-ahead-logs over the node's faultfs.
+func durableEngineFactory(name string, fs *faultfs.FS) (func(table string) (store.Engine, error), error) {
+	switch name {
+	case "ht":
+		return func(table string) (store.Engine, error) {
+			return ht.Open(ht.Options{Dir: wal.Join("data", "t_"+table), FS: fs})
+		}, nil
+	case "lsm":
+		return func(table string) (store.Engine, error) {
+			return lsm.New(lsm.Options{Dir: wal.Join("data", "t_"+table), FS: fs, Durable: true})
+		}, nil
+	default:
+		return nil, fmt.Errorf("cluster: engine %q does not support durable mode", name)
+	}
 }
 
 // engineFactory builds the NewEngine function for one node.
@@ -368,11 +442,19 @@ func (c *Cluster) dataletNetwork() (transport.Network, string, error) {
 
 // startPair boots one datalet and its controlet.
 func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Codec, mode topology.Mode) (*Pair, error) {
-	dir := ""
-	if c.Opts.DataDir != "" {
-		dir = filepath.Join(c.Opts.DataDir, nodeID+"-"+fmt.Sprint(c.nameSeq.Add(1)))
+	var newEngine func(table string) (store.Engine, error)
+	var nodeFS *faultfs.FS
+	var err error
+	if c.Opts.Durable {
+		nodeFS = c.fsFor(nodeID)
+		newEngine, err = durableEngineFactory(engine, nodeFS)
+	} else {
+		dir := ""
+		if c.Opts.DataDir != "" {
+			dir = filepath.Join(c.Opts.DataDir, nodeID+"-"+fmt.Sprint(c.nameSeq.Add(1)))
+		}
+		newEngine, err = engineFactory(engine, dir)
 	}
-	newEngine, err := engineFactory(engine, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +498,7 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 	}
 	node := ctl.Node()
 	node.DataletCodec = c.Opts.DataletCodecName
-	return &Pair{Node: node, Datalet: d, Controlet: ctl}, nil
+	return &Pair{Node: node, Datalet: d, Controlet: ctl, shardID: shardID, engine: engine, fs: nodeFS}, nil
 }
 
 // Client opens a coordinator-backed client for this cluster.
@@ -459,6 +541,81 @@ func (c *Cluster) Pair(shard, replica int) *Pair {
 // detector will repair the shard.
 func (c *Cluster) KillNode(shard, replica int) {
 	c.Shards[shard][replica].Kill()
+}
+
+// Crash kill-9s the pair at (shard, replica) with storage semantics: the
+// node's filesystem freezes first (so the in-process graceful Close that
+// Kill triggers cannot flush anything — exactly what a real SIGKILL
+// denies), the processes stop, and the disk image reverts to its durable
+// prefix. Requires Options.Durable.
+func (c *Cluster) Crash(shard, replica int) error {
+	return c.crash(shard, replica, false)
+}
+
+// CrashTorn is Crash with a torn final write: a seeded-random prefix of
+// each file's unsynced tail survives, as when power fails mid-sector.
+func (c *Cluster) CrashTorn(shard, replica int) error {
+	return c.crash(shard, replica, true)
+}
+
+func (c *Cluster) crash(shard, replica int, torn bool) error {
+	p := c.Shards[shard][replica]
+	if p.fs == nil {
+		return errors.New("cluster: Crash requires Options.Durable")
+	}
+	p.fs.Freeze()
+	p.Kill()
+	if torn {
+		p.fs.CrashTorn()
+	} else {
+		p.fs.Crash()
+	}
+	return nil
+}
+
+// Restart boots a fresh pair over the crashed node's durable filesystem
+// and rejoins it to its shard. The engine recovers its WAL/checkpoint
+// state first; the coordinator then runs the two-phase join, during which
+// the node's controlet backfills what it missed — incrementally from its
+// recovered watermark when the source can serve a delta, otherwise by a
+// full export. The reply reports which happened and how much moved.
+func (c *Cluster) Restart(shard, replica int) (coordinator.RejoinReply, error) {
+	var reply coordinator.RejoinReply
+	old := c.Shards[shard][replica]
+	if !old.Killed() {
+		return reply, fmt.Errorf("cluster: node %s is still running; Crash it first", old.Node.ID)
+	}
+	if old.fs == nil {
+		return reply, errors.New("cluster: Restart requires Options.Durable")
+	}
+	dataletCodec, err := wire.LookupCodec(codecNameOf(old.Node, c.Opts))
+	if err != nil {
+		return reply, err
+	}
+	pair, err := c.startPair(old.Node.ID, old.shardID, old.engine, dataletCodec, c.Opts.Mode)
+	if err != nil {
+		return reply, err
+	}
+	admin, err := c.Admin()
+	if err != nil {
+		pair.Kill()
+		return reply, err
+	}
+	defer admin.Close()
+	cur, err := admin.GetMap()
+	if err != nil {
+		pair.Kill()
+		return reply, err
+	}
+	pair.Controlet.SetMap(cur)
+	reply, err = admin.Rejoin(old.shardID, pair.Node)
+	if err != nil {
+		pair.Kill()
+		return reply, err
+	}
+	c.oldPairs = append(c.oldPairs, old)
+	c.Shards[shard][replica] = pair
+	return reply, nil
 }
 
 // Transition performs a live topology/consistency switch (§V): it boots a

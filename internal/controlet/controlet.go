@@ -676,8 +676,8 @@ type RecoverArgs struct {
 	Codec string `json:"codec,omitempty"`
 }
 
-func (s *Server) handleRecover(args RecoverArgs) (struct{}, error) {
-	return struct{}{}, s.recoverFrom(args)
+func (s *Server) handleRecover(args RecoverArgs) (RecoverReply, error) {
+	return s.recoverFrom(args)
 }
 
 // handleQuiesce returns once every write that was executing when the call

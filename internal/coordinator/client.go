@@ -99,6 +99,15 @@ func (c *Client) CompleteTransition() (uint64, error) {
 	return reply.Epoch, nil
 }
 
+// Rejoin re-admits a restarted node (with durable state) to its shard; the
+// reply reports how many records the catch-up transferred and whether it
+// was an incremental delta.
+func (c *Client) Rejoin(shardID string, n topology.Node) (RejoinReply, error) {
+	var reply RejoinReply
+	err := c.c.Call("Rejoin", RejoinArgs{Node: n, ShardID: shardID}, &reply)
+	return reply, err
+}
+
 // JoinNode starts an online rebalance that adds shard to the ring; its
 // share of the keyspace migrates in with zero downtime. Poll
 // MigrationStatus for completion.

@@ -128,6 +128,7 @@ func Serve(cfg Config) (*Server, error) {
 	rpc.HandleFunc(s.rpc, "LeaderElect", s.handleLeaderElect)
 	rpc.HandleFunc(s.rpc, "BeginTransition", s.handleBeginTransition)
 	rpc.HandleFunc(s.rpc, "CompleteTransition", s.handleCompleteTransition)
+	rpc.HandleFunc(s.rpc, "Rejoin", s.handleRejoin)
 	rpc.HandleFunc(s.rpc, "JoinNode", s.handleJoinNode)
 	rpc.HandleFunc(s.rpc, "DrainNode", s.handleDrainNode)
 	rpc.HandleFunc(s.rpc, "Rebalance", s.handleRebalance)

@@ -129,7 +129,7 @@ func (s *Server) FailNode(nodeID string) error {
 	go func() {
 		defer s.wg.Done()
 		recStart := time.Now()
-		if err := s.recoverOnto(*standby, source, shardID); err != nil {
+		if _, err := s.recoverOnto(*standby, source, shardID); err != nil {
 			coordRecoveryFails.Inc()
 			s.cfg.Logf("coordinator: recovery of %s onto %s: %v", shardID, standby.ID, err)
 			s.mu.Lock()
@@ -143,6 +143,14 @@ func (s *Server) FailNode(nodeID string) error {
 	return nil
 }
 
+// RejoinReply reports how a joining node caught up: how many records the
+// backfill transferred and whether it was an incremental delta (a
+// restarted node pulling only what it missed) rather than a full export.
+type RejoinReply struct {
+	Pairs int  `json:"pairs"`
+	Delta bool `json:"delta"`
+}
+
 // recoverOnto performs the two-phase standby join. Phase 1 appends the
 // standby to the shard marked Recovering: from that epoch on, every new
 // write traverses it (chain tail position / EC propagation target), so it
@@ -153,7 +161,11 @@ func (s *Server) FailNode(nodeID string) error {
 // phase 1 first, a write acknowledged between the backfill snapshot and
 // the join would be missing from the new read tail: an acked-write loss
 // under strong consistency (caught by cluster.TestChaosKillsUnderMSSC).
-func (s *Server) recoverOnto(standby, source topology.Node, shardID string) error {
+// The backfill itself may be incremental: a restarted node's controlet
+// asks the source for a delta above its recovered watermark and falls
+// back to the full export only when the source cannot serve one.
+func (s *Server) recoverOnto(standby, source topology.Node, shardID string) (RejoinReply, error) {
+	var reply RejoinReply
 	// Phase 1: join for writes, hidden from reads.
 	joining := standby
 	joining.Recovering = true
@@ -161,7 +173,7 @@ func (s *Server) recoverOnto(standby, source topology.Node, shardID string) erro
 		shard.Replicas = append(shard.Replicas, joining)
 		return nil
 	}); err != nil {
-		return err
+		return reply, err
 	}
 	s.mu.Lock()
 	s.lastSeen[standby.ID] = time.Now()
@@ -195,14 +207,14 @@ func (s *Server) recoverOnto(standby, source topology.Node, shardID string) erro
 	if standby.ControlAddr != "" {
 		ctl, err := s.dialCtl(standby.ControlAddr)
 		if err != nil {
-			return err
+			return reply, err
 		}
 		defer ctl.Close()
 		args := struct {
 			SourceDatalet string `json:"source"`
 			Codec         string `json:"codec,omitempty"`
 		}{SourceDatalet: source.DataletAddr, Codec: source.DataletCodec}
-		if err := ctl.Call("Recover", args, nil); err != nil {
+		if err := ctl.Call("Recover", args, &reply); err != nil {
 			// Leave the shard functional: drop the half-joined node.
 			_ = s.mutateShard(shardID, func(shard *topology.Shard) error {
 				kept := shard.Replicas[:0]
@@ -215,7 +227,7 @@ func (s *Server) recoverOnto(standby, source topology.Node, shardID string) erro
 				return nil
 			})
 			s.pushMap()
-			return err
+			return reply, err
 		}
 	}
 	if err := s.mutateShard(shardID, func(shard *topology.Shard) error {
@@ -226,11 +238,76 @@ func (s *Server) recoverOnto(standby, source topology.Node, shardID string) erro
 		}
 		return nil
 	}); err != nil {
-		return err
+		return reply, err
 	}
 	s.pushMap()
-	s.cfg.Logf("coordinator: standby %s joined shard %s after recovery", standby.ID, shardID)
-	return nil
+	s.cfg.Logf("coordinator: %s joined shard %s after recovering %d records (delta=%v)",
+		standby.ID, shardID, reply.Pairs, reply.Delta)
+	return reply, nil
+}
+
+// RejoinArgs asks the coordinator to re-admit a restarted node to its
+// shard. Node carries the node's fresh addresses (a restart re-listens).
+type RejoinArgs struct {
+	Node    topology.Node `json:"node"`
+	ShardID string        `json:"shard"`
+}
+
+// handleRejoin re-admits a node that crashed and restarted with durable
+// state. Any stale map entry for the node (present when the failure
+// detector had not yet swept it) is dropped first; the node then runs the
+// same two-phase join as a standby promotion, except its controlet
+// backfills incrementally from its recovered watermark when it can.
+func (s *Server) handleRejoin(args RejoinArgs) (RejoinReply, error) {
+	s.mu.Lock()
+	if s.cur == nil {
+		s.mu.Unlock()
+		return RejoinReply{}, errors.New("coordinator: no map installed")
+	}
+	if s.cur.Transition != nil || s.migrating != nil {
+		s.mu.Unlock()
+		return RejoinReply{}, errors.New("coordinator: transition or migration in flight; rejoin deferred")
+	}
+	m := s.cur.Clone()
+	shardIdx := -1
+	for si := range m.Shards {
+		if m.Shards[si].ID == args.ShardID {
+			shardIdx = si
+		}
+	}
+	if shardIdx == -1 {
+		s.mu.Unlock()
+		return RejoinReply{}, fmt.Errorf("coordinator: unknown shard %s", args.ShardID)
+	}
+	// Drop the stale pre-crash entry and pick a backfill source among the
+	// survivors (prefer the tail, skipping any still-recovering node).
+	reps := m.Shards[shardIdx].Replicas[:0]
+	for _, n := range m.Shards[shardIdx].Replicas {
+		if n.ID != args.Node.ID {
+			reps = append(reps, n)
+		}
+	}
+	m.Shards[shardIdx].Replicas = reps
+	var source *topology.Node
+	for i := len(reps) - 1; i >= 0; i-- {
+		if !reps[i].Recovering {
+			source = &reps[i]
+			break
+		}
+	}
+	if source == nil {
+		s.mu.Unlock()
+		return RejoinReply{}, fmt.Errorf("coordinator: shard %s has no live source to rejoin from", args.ShardID)
+	}
+	src := *source
+	m.Epoch++
+	s.cur = m
+	delete(s.suspended, args.Node.ID)
+	s.lastSeen[args.Node.ID] = time.Now()
+	s.bumpLocked()
+	s.mu.Unlock()
+	s.pushMap()
+	return s.recoverOnto(args.Node, src, args.ShardID)
 }
 
 // mutateShard applies fn to one shard under the lock, bumping the epoch.

@@ -169,6 +169,12 @@ func (s *Server) serveConn(conn transport.Conn) {
 			}
 			continue
 		}
+		if req.Op == wire.OpExportDelta {
+			if err := s.streamExportDelta(bw, &req); err != nil {
+				return
+			}
+			continue
+		}
 		resp.Reset()
 		resp.ID = req.ID
 		timed := req.TraceID != 0 || metrics.SampleLatency()
@@ -331,10 +337,17 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			resp.Pairs = append(resp.Pairs, wire.KV{
+			kv := wire.KV{
 				Key:   []byte(name),
 				Value: []byte(strconv.Itoa(s.tables[name].Len())),
-			})
+			}
+			// Per-table recovered watermark rides along in Version so a
+			// restarted node's controlet can request an incremental
+			// delta instead of a full export.
+			if r, ok := s.tables[name].(store.Recovered); ok {
+				kv.Version = r.RecoveredVersion()
+			}
+			resp.Pairs = append(resp.Pairs, kv)
 		}
 		var engineName string
 		if e, ok := s.tables[""]; ok {
@@ -385,6 +398,76 @@ func (s *Server) streamExport(bw *bufio.Writer, req *wire.Request) error {
 	})
 	if err == nil && len(batch.Pairs) > 0 {
 		err = writeBatch(bw, &batch)
+	}
+	if err != nil {
+		resp := wire.Response{ID: req.ID, Status: wire.StatusErr, Err: err.Error()}
+		return s.cfg.Codec.WriteResponse(bw, &resp)
+	}
+	final := wire.Response{ID: req.ID, Status: wire.StatusOK, Version: total}
+	return s.cfg.Codec.WriteResponse(bw, &final)
+}
+
+// deltaUnavailable is the error marker a delta export answers when the
+// engine cannot serve a complete delta from the requested watermark;
+// clients recognize it and fall back to a full export.
+const deltaUnavailable = "delta export unavailable"
+
+// streamExportDelta writes every record newer than req.Version as batched
+// responses — live pairs under StatusOK, tombstones under StatusNotFound —
+// terminated by an empty StatusOK sentinel carrying the record count. An
+// engine without delta support (or one whose compaction already discarded
+// tombstones the delta would need) answers a StatusErr marker instead.
+func (s *Server) streamExportDelta(bw *bufio.Writer, req *wire.Request) error {
+	e, ok := s.engineFor(req.Table)
+	if !ok {
+		resp := wire.Response{ID: req.ID, Status: wire.StatusNotFound, Err: "no such table: " + req.Table}
+		return s.cfg.Codec.WriteResponse(bw, &resp)
+	}
+	ds, ok := e.(store.DeltaSnapshotter)
+	if !ok {
+		resp := wire.Response{ID: req.ID, Status: wire.StatusErr, Err: deltaUnavailable}
+		return s.cfg.Codec.WriteResponse(bw, &resp)
+	}
+	writeBatch := s.cfg.Codec.WriteResponse
+	if bcd, ok := s.cfg.Codec.(wire.BufferedCodec); ok {
+		writeBatch = bcd.EncodeResponse
+	}
+	// Live and tombstone records accumulate in separate batches keyed by
+	// status; each flushes independently as it fills.
+	var live, tomb wire.Response
+	live.ID, live.Status = req.ID, wire.StatusOK
+	tomb.ID, tomb.Status = req.ID, wire.StatusNotFound
+	total := uint64(0)
+	complete, err := ds.SnapshotSince(req.Version, func(kv store.KV, tombstone bool) error {
+		batch := &live
+		if tombstone {
+			batch = &tomb
+		}
+		batch.Pairs = append(batch.Pairs, wire.KV{
+			Key:     store.CloneBytes(kv.Key),
+			Value:   store.CloneBytes(kv.Value),
+			Version: kv.Version,
+		})
+		total++
+		if len(batch.Pairs) >= exportBatch {
+			if err := writeBatch(bw, batch); err != nil {
+				return err
+			}
+			batch.Pairs = batch.Pairs[:0]
+		}
+		return nil
+	})
+	if err == nil && !complete {
+		// Nothing has been streamed yet: SnapshotSince reports
+		// incompleteness before emitting any record.
+		resp := wire.Response{ID: req.ID, Status: wire.StatusErr, Err: deltaUnavailable}
+		return s.cfg.Codec.WriteResponse(bw, &resp)
+	}
+	if err == nil && len(live.Pairs) > 0 {
+		err = writeBatch(bw, &live)
+	}
+	if err == nil && len(tomb.Pairs) > 0 {
+		err = writeBatch(bw, &tomb)
 	}
 	if err != nil {
 		resp := wire.Response{ID: req.ID, Status: wire.StatusErr, Err: err.Error()}

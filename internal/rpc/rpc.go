@@ -164,8 +164,11 @@ func (s *Server) acceptLoop(l transport.Listener) {
 			return
 		}
 		s.active[conn] = struct{}{}
-		s.mu.Unlock()
+		// Register with the WaitGroup while still holding mu: once Close
+		// sets closed (under mu) it may already be in conns.Wait, and an
+		// Add racing that Wait is a WaitGroup misuse.
 		s.conns.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.conns.Done()
 			defer func() {

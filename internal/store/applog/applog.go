@@ -37,6 +37,9 @@ type segment interface {
 	append(rec []byte) (offset int64, err error)
 	readAt(p []byte, off int64) error
 	size() int64
+	// truncate discards everything at and after off, repairing a torn or
+	// corrupt tail so later appends extend a clean log.
+	truncate(off int64) error
 	close() error
 	remove() error
 }
@@ -63,7 +66,10 @@ type Store struct {
 	live      int
 	garbage   int // dead records (superseded or tombstoned)
 	maxVer    uint64
-	closed    bool
+	// recoveredVer is the watermark captured at the end of open-time
+	// replay; rejoin uses it to request a delta of newer writes.
+	recoveredVer uint64
+	closed       bool
 }
 
 // Options configure the engine.
@@ -106,6 +112,7 @@ func New(opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	s.recoveredVer = s.maxVer
 	return s, nil
 }
 
@@ -151,14 +158,18 @@ func (s *Store) segPath(id int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%08d.seg", id))
 }
 
-// replaySegment scans records in segment si rebuilding the index.
+// replaySegment scans records in segment si rebuilding the index. Every
+// record's CRC is verified; at the first torn or corrupt record the
+// segment is truncated there, so the bad suffix is physically discarded
+// and later appends extend a log whose replayable prefix matches its
+// bytes on disk.
 func (s *Store) replaySegment(si int) error {
 	seg := s.segs[si]
 	var off int64
 	var hdr [recordHeaderSize]byte
 	for off < seg.size() {
 		if seg.size()-off < recordHeaderSize {
-			return nil // torn header at the tail; stop replay
+			return seg.truncate(off) // torn header at the tail
 		}
 		if err := seg.readAt(hdr[:], off); err != nil {
 			return fmt.Errorf("applog: replay header at %d: %w", off, err)
@@ -167,15 +178,14 @@ func (s *Store) replaySegment(si int) error {
 		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
 		if int64(n) > seg.size()-off-recordHeaderSize {
 			// Torn tail write: the record was never fully persisted.
-			// Everything before this point is intact; stop replay here.
-			return nil
+			return seg.truncate(off)
 		}
 		body := make([]byte, n)
 		if err := seg.readAt(body, off+recordHeaderSize); err != nil {
 			return err
 		}
 		if crc32.ChecksumIEEE(body) != wantCRC {
-			return nil // torn write at the tail; stop replay
+			return seg.truncate(off) // torn or corrupt record
 		}
 		key, _, version, flags, err := decodeBody(body)
 		if err != nil {
@@ -533,4 +543,48 @@ func (s *Store) Close() error {
 	return nil
 }
 
-var _ store.Engine = (*Store)(nil)
+// MaxVersion returns the highest version assigned or observed.
+func (s *Store) MaxVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxVer
+}
+
+// RecoveredVersion returns the watermark captured at the end of open-time
+// replay; 0 for stores that started empty.
+func (s *Store) RecoveredVersion() uint64 { return s.recoveredVer }
+
+// SnapshotSince calls fn for every record — live or tombstone — with
+// version > since. The index keeps tombstones (and Compact rewrites
+// them), so the log can always serve a complete delta (ok is always true).
+func (s *Store) SnapshotSince(since uint64, fn func(kv store.KV, tombstone bool) error) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, store.ErrClosed
+	}
+	for k, e := range s.index {
+		if e.version <= since {
+			continue
+		}
+		var value []byte
+		if !e.tombstone {
+			v, err := s.readValueLocked(e)
+			if err != nil {
+				return true, err
+			}
+			value = v
+		}
+		if err := fn(store.KV{Key: []byte(k), Value: value, Version: e.version}, e.tombstone); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+var (
+	_ store.Engine           = (*Store)(nil)
+	_ store.Versioned        = (*Store)(nil)
+	_ store.Recovered        = (*Store)(nil)
+	_ store.DeltaSnapshotter = (*Store)(nil)
+)

@@ -55,6 +55,19 @@ func (s *fileSegment) size() int64 {
 	return s.end
 }
 
+func (s *fileSegment) truncate(off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off >= s.end {
+		return nil
+	}
+	if err := s.f.Truncate(off); err != nil {
+		return err
+	}
+	s.end = off
+	return nil
+}
+
 func (s *fileSegment) close() error  { return s.f.Close() }
 func (s *fileSegment) remove() error { return os.Remove(s.path) }
 
@@ -87,6 +100,15 @@ func (s *memSegment) size() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return int64(len(s.buf))
+}
+
+func (s *memSegment) truncate(off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < int64(len(s.buf)) {
+		s.buf = s.buf[:off]
+	}
+	return nil
 }
 
 func (s *memSegment) close() error  { return nil }

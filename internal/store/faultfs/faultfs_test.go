@@ -1,0 +1,262 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bespokv/internal/store/wal"
+)
+
+func TestCrashDropsUnsyncedWrites(t *testing.T) {
+	fs := New(1)
+	f, err := fs.OpenFile("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("-volatile"), 7); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	f2, err := fs.OpenFile("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := f2.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 7 {
+		t.Fatalf("size after crash = %d, want 7 (volatile tail dropped)", size)
+	}
+	buf := make([]byte, 7)
+	if _, err := f2.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "durable" {
+		t.Fatalf("content after crash = %q", buf)
+	}
+}
+
+func TestCrashUnlinksNeverSyncedFiles(t *testing.T) {
+	fs := New(1)
+	if _, err := fs.OpenFile("d/ghost"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	names, err := fs.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("never-synced file survived crash: %v", names)
+	}
+}
+
+func TestRenameDurabilityNeedsSyncDir(t *testing.T) {
+	fs := New(1)
+	f, _ := fs.OpenFile("d/x.tmp")
+	f.WriteAt([]byte("payload"), 0)
+	f.Sync()
+	if err := fs.Rename("d/x.tmp", "d/x"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before SyncDir: the rename is lost; old path comes back.
+	fs.Crash()
+	names, _ := fs.ReadDir("d")
+	if len(names) != 1 || names[0] != "x.tmp" {
+		t.Fatalf("after crash without SyncDir: %v, want [x.tmp]", names)
+	}
+
+	// Redo with SyncDir: the rename survives.
+	if err := fs.Rename("d/x.tmp", "d/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	names, _ = fs.ReadDir("d")
+	if len(names) != 1 || names[0] != "x" {
+		t.Fatalf("after crash with SyncDir: %v, want [x]", names)
+	}
+	g, _ := fs.OpenFile("d/x")
+	buf := make([]byte, 7)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "payload" {
+		t.Fatalf("renamed content = %q err %v", buf, err)
+	}
+}
+
+func TestRemoveDurabilityNeedsSyncDir(t *testing.T) {
+	fs := New(1)
+	f, _ := fs.OpenFile("d/f")
+	f.WriteAt([]byte("data"), 0)
+	f.Sync()
+	if err := fs.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash() // remove not yet durable: file resurrects
+	if names, _ := fs.ReadDir("d"); len(names) != 1 {
+		t.Fatalf("removed-without-SyncDir file did not resurrect: %v", names)
+	}
+	if err := fs.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if names, _ := fs.ReadDir("d"); len(names) != 0 {
+		t.Fatalf("durably removed file survived crash: %v", names)
+	}
+}
+
+func TestFreezeSwallowsMutations(t *testing.T) {
+	fs := New(1)
+	f, _ := fs.OpenFile("d/f")
+	f.WriteAt([]byte("before"), 0)
+	f.Sync()
+	fs.Freeze()
+	if _, err := f.WriteAt([]byte("AFTERAFTER"), 0); err != nil {
+		t.Fatalf("frozen write should no-op, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("frozen sync should no-op, got %v", err)
+	}
+	if err := fs.Remove("d/f"); err != nil {
+		t.Fatalf("frozen remove should no-op, got %v", err)
+	}
+	fs.Crash()
+	if fs.Frozen() {
+		t.Fatal("Crash should unfreeze")
+	}
+	g, _ := fs.OpenFile("d/f")
+	buf := make([]byte, 6)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "before" {
+		t.Fatalf("post-crash content = %q err %v, want pre-freeze state", buf, err)
+	}
+}
+
+func TestInjectedWriteAndSyncErrors(t *testing.T) {
+	fs := New(1)
+	f, _ := fs.OpenFile("d/f")
+	fs.FailWrites(2, ErrInjected)
+	for i := 0; i < 2; i++ {
+		if _, err := f.WriteAt([]byte("x"), int64(i)); err != nil {
+			t.Fatalf("write %d before countdown: %v", i, err)
+		}
+	}
+	if _, err := f.WriteAt([]byte("x"), 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after countdown: %v, want injected", err)
+	}
+	fs.FailWrites(-1, nil)
+	if _, err := f.WriteAt([]byte("x"), 2); err != nil {
+		t.Fatalf("write after clearing injection: %v", err)
+	}
+	fs.FailSyncs(0, ErrInjected)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: %v, want injected", err)
+	}
+	if err := fs.SyncDir("d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncdir: %v, want injected", err)
+	}
+	fs.FailSyncs(-1, nil)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALOverFaultFS drives the real WAL against the fault filesystem:
+// acked (fsynced) appends survive a crash, volatile ones don't exist by
+// construction (Append only returns after sync), and a torn crash leaves
+// a consistent prefix.
+func TestWALOverFaultFS(t *testing.T) {
+	fs := New(42)
+	l, err := wal.Open(wal.Options{Dir: "node/wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay(func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var acked []string
+	for i := 0; i < 25; i++ {
+		body := fmt.Sprintf("op-%03d", i)
+		if _, err := l.Append([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, body)
+	}
+	// kill -9: freeze so Close can't flush, then crash.
+	fs.Freeze()
+	l.Close()
+	fs.Crash()
+
+	l2, err := wal.Open(wal.Options{Dir: "node/wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := l2.Replay(func(body []byte) error {
+		got = append(got, string(body))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < len(acked) {
+		t.Fatalf("lost acked records: replayed %d, acked %d", len(got), len(acked))
+	}
+	for i, want := range acked {
+		if got[i] != want {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want)
+		}
+	}
+	l2.Close()
+}
+
+func TestWALTornCrashRecoversPrefix(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		fs := New(seed)
+		l, err := wal.Open(wal.Options{Dir: "node/wal", FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Replay(func([]byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("op-%03d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.Freeze()
+		l.Close()
+		fs.CrashTorn()
+
+		l2, err := wal.Open(wal.Options{Dir: "node/wal", FS: fs})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		count := 0
+		if err := l2.Replay(func(body []byte) error {
+			want := fmt.Sprintf("op-%03d", count)
+			if string(body) != want {
+				t.Fatalf("seed %d: record %d = %q, want %q (not a prefix)", seed, count, body, want)
+			}
+			count++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count < 20 {
+			t.Fatalf("seed %d: torn crash lost acked records: %d/20", seed, count)
+		}
+		l2.Close()
+	}
+}

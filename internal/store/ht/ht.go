@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"bespokv/internal/store"
+	"bespokv/internal/store/wal"
 )
 
 // shardCount stripes the table to reduce lock contention; a power of two so
@@ -28,7 +29,8 @@ type shard struct {
 	m  map[string]entry
 }
 
-// Store is a striped in-memory hash table engine.
+// Store is a striped hash table engine: in-memory when built with New,
+// write-ahead-logged with checkpoint snapshots when built with Open.
 type Store struct {
 	shards  [shardCount]shard
 	seed    maphash.Seed
@@ -36,6 +38,18 @@ type Store struct {
 	live    atomic.Int64
 	closed  atomic.Bool
 	nameStr string
+
+	// Durable mode (nil/zero for in-memory stores). ckptMu is read-held
+	// across each WAL append + table apply so Checkpoint (write-held)
+	// sees an atomic boundary between snapshotted and logged writes.
+	wal          *wal.Log
+	fs           wal.FS
+	dir          string
+	ckptEvery    int
+	ckptMu       sync.RWMutex
+	sinceCkpt    atomic.Int64
+	ckptRunning  atomic.Bool
+	recoveredVer uint64
 }
 
 // New returns an empty hash-table engine.
@@ -70,7 +84,9 @@ func (s *Store) observeVersion(v uint64) {
 	}
 }
 
-// Put stores value under key with LWW semantics (see store.Engine).
+// Put stores value under key with LWW semantics (see store.Engine). In
+// durable mode the record is fsynced to the WAL before it is applied, so
+// a returned version implies the write survives a crash.
 func (s *Store) Put(key, value []byte, version uint64) (uint64, error) {
 	if s.closed.Load() {
 		return 0, store.ErrClosed
@@ -79,6 +95,12 @@ func (s *Store) Put(key, value []byte, version uint64) (uint64, error) {
 		version = s.nextVersion()
 	} else {
 		s.observeVersion(version)
+	}
+	if s.wal != nil {
+		if err := s.logRecord(key, value, version, false); err != nil {
+			return 0, err
+		}
+		defer s.logDone()
 	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
@@ -121,6 +143,12 @@ func (s *Store) Delete(key []byte, version uint64) (bool, uint64, error) {
 		version = s.nextVersion()
 	} else {
 		s.observeVersion(version)
+	}
+	if s.wal != nil {
+		if err := s.logRecord(key, nil, version, true); err != nil {
+			return false, 0, err
+		}
+		defer s.logDone()
 	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
@@ -196,9 +224,20 @@ func (s *Store) Snapshot(fn func(store.KV) error) error {
 	return nil
 }
 
-// Close marks the engine closed.
+// Close marks the engine closed; in durable mode it fsyncs and closes
+// the WAL (every acked write is already durable, so close adds nothing
+// beyond releasing the files).
 func (s *Store) Close() error {
-	s.closed.Store(true)
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.wal != nil {
+		// Wait out in-flight append+apply pairs so the WAL files are not
+		// yanked from under them.
+		s.ckptMu.Lock()
+		defer s.ckptMu.Unlock()
+		return s.wal.Close()
+	}
 	return nil
 }
 

@@ -5,7 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"os"
+
+	"bespokv/internal/store/wal"
 )
 
 // sstEntry is one record inside a sorted table.
@@ -126,8 +127,12 @@ func (t *sstable) scanRange(start, end []byte, fn func(sstEntry) error) error {
 
 const sstMagic = 0x73737462 // "sstb"
 
-// persist writes the table to path as a self-describing file.
-func (t *sstable) persist(path string) error {
+// persist writes the table to path as a self-describing file, routed
+// through the wal.FS so fault injection covers table I/O. The file is
+// fsynced before the rename and the rename is fsynced via the parent
+// directory — a table counts as flushed only once both complete, so a
+// crash can never leave a referenced-but-hollow .sst behind.
+func (t *sstable) persist(fs wal.FS, dir, path string) error {
 	var buf bytes.Buffer
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], sstMagic)
@@ -150,21 +155,51 @@ func (t *sstable) persist(path string) error {
 		buf.Write(scratch)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	f, err := fs.OpenFile(tmp)
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.WriteAt(buf.Bytes(), 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := fs.SyncDir(dir); err != nil {
 		return err
 	}
 	t.path = path
 	return nil
 }
 
-// loadSSTable reads a persisted table back into memory.
-func loadSSTable(id uint64, path string) (*sstable, error) {
-	raw, err := os.ReadFile(path)
+// loadSSTable reads a persisted table back into memory through the FS.
+func loadSSTable(fs wal.FS, id uint64, path string) (*sstable, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(raw, 0); err != nil {
+			return nil, err
+		}
 	}
 	if len(raw) < 12 || binary.LittleEndian.Uint32(raw[0:4]) != sstMagic {
 		return nil, fmt.Errorf("lsm: %s is not an sstable", path)
@@ -202,12 +237,13 @@ func loadSSTable(id uint64, path string) (*sstable, error) {
 
 // mergeTables k-way merges newest-first tables into one sorted run,
 // keeping the highest version per key and optionally dropping tombstones
-// (safe only when merging into the bottommost level).
-func mergeTables(tables []*sstable, dropTombstones bool) []sstEntry {
+// (safe only when merging into the bottommost level). droppedTomb is the
+// highest version among dropped tombstones: deltas at or below that
+// watermark can no longer be served completely.
+func mergeTables(tables []*sstable, dropTombstones bool) (out []sstEntry, droppedTomb uint64) {
 	// tables[0] is newest. Walk all tables with cursors picking the
 	// smallest key; on ties the newest table wins and the rest advance.
 	cursors := make([]int, len(tables))
-	var out []sstEntry
 	for {
 		best := -1
 		for i, t := range tables {
@@ -225,7 +261,7 @@ func mergeTables(tables []*sstable, dropTombstones bool) []sstEntry {
 			// On c==0 keep the earlier (newer) table as best.
 		}
 		if best == -1 {
-			return out
+			return out, droppedTomb
 		}
 		winner := tables[best].entries[cursors[best]]
 		// Resolve ties across tables by version, advancing every cursor
@@ -244,6 +280,9 @@ func mergeTables(tables []*sstable, dropTombstones bool) []sstEntry {
 			cursors[i]++
 		}
 		if dropTombstones && winner.tombstone {
+			if winner.version > droppedTomb {
+				droppedTomb = winner.version
+			}
 			continue
 		}
 		out = append(out, winner)

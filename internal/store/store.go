@@ -67,6 +67,35 @@ type Engine interface {
 	Close() error
 }
 
+// Versioned is implemented by engines that expose their monotonic version
+// counter. The datalet reports it as the table's current watermark.
+type Versioned interface {
+	// MaxVersion returns the highest version the engine has assigned or
+	// observed.
+	MaxVersion() uint64
+}
+
+// Recovered is implemented by durable engines that replay local state on
+// open. RecoveredVersion is the watermark captured at the end of that
+// replay — before any new writes — so a rejoining node can ask a peer for
+// exactly the writes it missed while down. The live MaxVersion is wrong
+// for that purpose: a node rejoins the write path before catch-up runs,
+// so new writes bump the counter past the gap.
+type Recovered interface {
+	// RecoveredVersion returns the engine's version watermark as of the
+	// end of open-time recovery (0 when the engine started empty).
+	RecoveredVersion() uint64
+}
+
+// DeltaSnapshotter is implemented by engines that can enumerate every
+// record — including tombstones — with version > since. ok is false when
+// the engine cannot guarantee completeness above since (e.g. compaction
+// already dropped tombstones from that range); callers must fall back to
+// a full Snapshot export.
+type DeltaSnapshotter interface {
+	SnapshotSince(since uint64, fn func(kv KV, tombstone bool) error) (ok bool, err error)
+}
+
 // InRange reports whether key falls within [start, end); empty end means
 // +infinity.
 func InRange(key, start, end []byte) bool {

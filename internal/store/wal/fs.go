@@ -1,0 +1,243 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is one open log or snapshot file. Implementations must allow
+// concurrent ReadAt/WriteAt on disjoint regions; Sync makes every completed
+// write durable (it is the commit point the group-commit window batches).
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	// Truncate discards everything at or beyond size — torn-tail repair.
+	Truncate(size int64) error
+	// Sync makes all completed writes durable.
+	Sync() error
+	// Size reports the current length.
+	Size() (int64, error)
+	Close() error
+}
+
+// FS is the filesystem surface the durability layer is written against.
+// Production uses OSFS; tests substitute MemFS or faultfs.FS to run the
+// same code paths against an in-memory store with injectable crash and
+// I/O faults — the storage analogue of the faultnet fabric.
+type FS interface {
+	// OpenFile opens path read-write, creating it if absent.
+	OpenFile(path string) (File, error)
+	// ReadDir lists the file names (not paths) in dir, sorted; a missing
+	// directory returns an empty list.
+	ReadDir(dir string) ([]string, error)
+	MkdirAll(dir string) error
+	// Rename atomically replaces newPath with oldPath's file. Durable
+	// only after SyncDir on the parent directory.
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	// SyncDir makes directory-level operations (create, rename, remove)
+	// in dir durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real-disk FS.
+type OSFS struct{}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+func (o osFile) Truncate(size int64) error                { return o.f.Truncate(size) }
+func (o osFile) Sync() error                              { return o.f.Sync() }
+func (o osFile) Close() error                             { return o.f.Close() }
+
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// OpenFile opens path read-write, creating it if absent.
+func (OSFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// ReadDir lists dir's file names, sorted; missing dirs list as empty.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// MkdirAll creates dir and parents.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Rename atomically replaces newPath.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove deletes path.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir fsyncs the directory so renames/creates/removes are durable.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// MemFS is an in-memory FS. Unlike faultfs it has no crash model: Sync is
+// a no-op and everything written is immediately "durable". It exists for
+// benchmarks and tests that want the durability code paths without disk.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: map[string]*memFile{}} }
+
+type memFile struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+type memHandle struct{ f *memFile }
+
+func (h memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	if off >= int64(len(h.f.data)) {
+		return 0, fmt.Errorf("wal: read at %d beyond EOF %d", off, len(h.f.data))
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("wal: short read %d/%d at %d", n, len(p), off)
+	}
+	return n, nil
+}
+
+func (h memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if need := off + int64(len(p)); need > int64(len(h.f.data)) {
+		h.f.data = append(h.f.data, make([]byte, need-int64(len(h.f.data)))...)
+	}
+	copy(h.f.data[off:], p)
+	return len(p), nil
+}
+
+func (h memHandle) Truncate(size int64) error {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if size < int64(len(h.f.data)) {
+		h.f.data = h.f.data[:size]
+	}
+	return nil
+}
+
+func (h memHandle) Sync() error { return nil }
+
+func (h memHandle) Size() (int64, error) {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	return int64(len(h.f.data)), nil
+}
+
+func (h memHandle) Close() error { return nil }
+
+// OpenFile opens or creates path.
+func (m *MemFS) OpenFile(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		f = &memFile{}
+		m.files[path] = f
+	}
+	return memHandle{f}, nil
+}
+
+// ReadDir lists the file names directly inside dir, sorted.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for p := range m.files {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		if !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll is a no-op: MemFS directories exist implicitly.
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+// Rename atomically replaces newPath with oldPath's file.
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldPath]
+	if !ok {
+		return fmt.Errorf("wal: rename %s: no such file", oldPath)
+	}
+	delete(m.files, oldPath)
+	m.files[newPath] = f
+	return nil
+}
+
+// Remove deletes path.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("wal: remove %s: no such file", path)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// SyncDir is a no-op.
+func (m *MemFS) SyncDir(string) error { return nil }
+
+var (
+	_ FS = OSFS{}
+	_ FS = (*MemFS)(nil)
+)
+
+// Join builds an FS path. All FS implementations use the host separator
+// via path/filepath, so engines can mix OSFS and memory FSes freely.
+func Join(elem ...string) string { return filepath.Join(elem...) }

@@ -1,0 +1,242 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Record is the engine-level WAL payload: one versioned put or tombstone.
+// The engines replay records through their LWW apply path, so replay is
+// idempotent and order-insensitive across checkpoint/log overlap.
+type Record struct {
+	Tombstone bool
+	Version   uint64
+	Key       []byte
+	Value     []byte
+}
+
+const flagTombstone = 0x1
+
+// EncodeRecord appends r's wire form to dst and returns the result:
+// flags byte, uvarint version, uvarint key length, key, uvarint value
+// length, value.
+func EncodeRecord(dst []byte, r Record) []byte {
+	var flags byte
+	if r.Tombstone {
+		flags |= flagTombstone
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, r.Version)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
+	dst = append(dst, r.Value...)
+	return dst
+}
+
+// DecodeRecord parses a record body produced by EncodeRecord. The returned
+// slices alias body.
+func DecodeRecord(body []byte) (Record, error) {
+	var r Record
+	if len(body) < 1 {
+		return r, errors.New("wal: record too short")
+	}
+	r.Tombstone = body[0]&flagTombstone != 0
+	rest := body[1:]
+	ver, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, errors.New("wal: bad record version")
+	}
+	r.Version = ver
+	rest = rest[n:]
+	klen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < klen {
+		return r, errors.New("wal: bad record key")
+	}
+	rest = rest[n:]
+	r.Key = rest[:klen]
+	rest = rest[klen:]
+	vlen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < vlen {
+		return r, errors.New("wal: bad record value")
+	}
+	rest = rest[n:]
+	r.Value = rest[:vlen]
+	if uint64(len(rest)) != vlen {
+		return r, errors.New("wal: trailing garbage in record")
+	}
+	return r, nil
+}
+
+// Snapshot files share the WAL's frame format behind a magic header and a
+// count trailer, giving checkpoints the same torn/corrupt detection as the
+// log itself. Layout: magic, then one frame per body, then a trailer frame
+// whose body is the u64 frame count.
+var snapMagic = []byte("BKVSNAP1")
+
+// WriteSnapshotFile atomically writes a snapshot named name in dir: the
+// content goes to name.tmp, is fsynced, renamed over name, and the rename
+// is made durable with a directory sync. emit receives an add callback to
+// append one frame per record body.
+func WriteSnapshotFile(fs FS, dir, name string, emit func(add func(body []byte) error) error) error {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return fmt.Errorf("wal: snapshot mkdir: %w", err)
+	}
+	tmp := Join(dir, name+".tmp")
+	f, err := fs.OpenFile(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot create: %w", err)
+	}
+	// A leftover tmp from an earlier crash may be longer than what we
+	// write; truncate so stale bytes can't survive past the trailer.
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot truncate: %w", err)
+	}
+	off := int64(0)
+	write := func(p []byte) error {
+		if _, err := f.WriteAt(p, off); err != nil {
+			return err
+		}
+		off += int64(len(p))
+		return nil
+	}
+	if err := write(snapMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	var count uint64
+	var hdr [frameHeaderSize]byte
+	add := func(body []byte) error {
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+		if err := write(hdr[:]); err != nil {
+			return err
+		}
+		if err := write(body); err != nil {
+			return err
+		}
+		count++
+		return nil
+	}
+	if err := emit(add); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot emit: %w", err)
+	}
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], count)
+	if err := add(trailer[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot trailer: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := fs.Rename(tmp, Join(dir, name)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: snapshot sync dir: %w", err)
+	}
+	return nil
+}
+
+// ErrSnapshotCorrupt marks a snapshot that fails magic, CRC, or trailer
+// validation. Callers treat it like an absent snapshot plus a loud log
+// line: the WAL still holds everything since the previous good checkpoint
+// only if the snapshot never superseded it, so engines fail open loudly.
+var ErrSnapshotCorrupt = errors.New("wal: snapshot corrupt")
+
+// ReadSnapshotFile streams the frames of a snapshot written by
+// WriteSnapshotFile to fn. A missing file returns os.ErrNotExist; a file
+// with a bad magic, bad CRC, torn tail, or frame-count mismatch returns
+// ErrSnapshotCorrupt.
+func ReadSnapshotFile(fs FS, dir, name string, fn func(body []byte) error) error {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot list: %w", err)
+	}
+	found := false
+	for _, n := range names {
+		if n == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return os.ErrNotExist
+	}
+	f, err := fs.OpenFile(Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: snapshot open: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return fmt.Errorf("wal: snapshot size: %w", err)
+	}
+	magic := make([]byte, len(snapMagic))
+	if size < int64(len(snapMagic)) {
+		return ErrSnapshotCorrupt
+	}
+	if _, err := f.ReadAt(magic, 0); err != nil {
+		return fmt.Errorf("wal: snapshot read: %w", err)
+	}
+	if string(magic) != string(snapMagic) {
+		return ErrSnapshotCorrupt
+	}
+	// Collect frames first: fn must not observe a partial snapshot that
+	// later turns out to be torn.
+	var frames [][]byte
+	off := int64(len(snapMagic))
+	var hdr [frameHeaderSize]byte
+	for off+frameHeaderSize <= size {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return fmt.Errorf("wal: snapshot read: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		end := off + frameHeaderSize + int64(n)
+		if end > size {
+			return ErrSnapshotCorrupt
+		}
+		body := make([]byte, n)
+		if n > 0 {
+			if _, err := f.ReadAt(body, off+frameHeaderSize); err != nil {
+				return fmt.Errorf("wal: snapshot read: %w", err)
+			}
+		}
+		if crc32.Checksum(body, crcTable) != sum {
+			return ErrSnapshotCorrupt
+		}
+		frames = append(frames, body)
+		off = end
+	}
+	if off != size || len(frames) == 0 {
+		return ErrSnapshotCorrupt
+	}
+	trailer := frames[len(frames)-1]
+	frames = frames[:len(frames)-1]
+	if len(trailer) != 8 || binary.LittleEndian.Uint64(trailer) != uint64(len(frames)) {
+		return ErrSnapshotCorrupt
+	}
+	for _, body := range frames {
+		if err := fn(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}

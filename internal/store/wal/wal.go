@@ -1,0 +1,531 @@
+// Package wal implements a CRC-framed, segmented write-ahead log with
+// group commit. Records are opaque bodies framed as
+//
+//	[u32 len][u32 crc32c(body)][body]
+//
+// appended to numbered segment files (00000001.wal, ...). Append returns
+// only after the record is fsynced; concurrent appenders are batched under
+// a single fsync (group commit), so the per-write sync cost amortises
+// across the commit window. On open, Replay scans every segment in order
+// and truncates the first torn or corrupt frame it finds — everything
+// before it is the durable prefix, everything after is discarded.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	frameHeaderSize = 8 // u32 length + u32 crc
+	segSuffix       = ".wal"
+
+	// DefaultSegmentBytes is the rotation threshold when Options leaves it 0.
+	DefaultSegmentBytes = 4 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// Options configures a Log.
+type Options struct {
+	// Dir holds the segment files. Created if missing.
+	Dir string
+	// FS is the backing filesystem; nil means OSFS.
+	FS FS
+	// SegmentBytes rotates the active segment once it grows past this
+	// size. 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// SyncDelay optionally widens the group-commit window: the syncing
+	// appender sleeps this long before fsyncing so more concurrent
+	// appends pile into the same sync. 0 relies on natural batching
+	// (everything that arrives while a sync is in flight shares the
+	// next one), which is the right default for in-process use.
+	SyncDelay time.Duration
+}
+
+type segment struct {
+	id   uint64
+	f    File
+	size int64
+}
+
+// Log is a segmented write-ahead log. All methods are safe for concurrent
+// use; Replay must be called (once) before the first Append.
+type Log struct {
+	opts Options
+	fs   FS
+
+	mu       sync.Mutex // guards segments, active segment writes, closed
+	segs     []*segment // sorted by id; last is active
+	nextID   uint64
+	closed   bool
+	replayed bool
+
+	// Group commit state. appendSeq numbers completed WriteAt calls;
+	// syncedSeq is the highest appendSeq covered by a finished fsync.
+	// One goroutine at a time syncs; the rest wait on cond.
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	appendSeq uint64
+	syncedSeq uint64
+	syncing   bool
+	syncErr   error // sticky: a failed fsync poisons the log
+
+	// stats
+	appends uint64
+	syncs   uint64
+}
+
+// Open opens (or creates) the log in opts.Dir. Call Replay before Append.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir required")
+	}
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", opts.Dir, err)
+	}
+	names, err := fs.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", opts.Dir, err)
+	}
+	l := &Log{opts: opts, fs: fs, nextID: 1}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	var ids []uint64
+	for _, name := range names {
+		if !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f, err := fs.OpenFile(l.segPath(id))
+		if err != nil {
+			l.closeSegsLocked()
+			return nil, fmt.Errorf("wal: open segment %d: %w", id, err)
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close()
+			l.closeSegsLocked()
+			return nil, fmt.Errorf("wal: size segment %d: %w", id, err)
+		}
+		l.segs = append(l.segs, &segment{id: id, f: f, size: size})
+		if id >= l.nextID {
+			l.nextID = id + 1
+		}
+	}
+	if len(l.segs) == 0 {
+		if err := l.openFreshSegmentLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (l *Log) segPath(id uint64) string {
+	return Join(l.opts.Dir, fmt.Sprintf("%08d%s", id, segSuffix))
+}
+
+func (l *Log) openFreshSegmentLocked() error {
+	id := l.nextID
+	l.nextID++
+	f, err := l.fs.OpenFile(l.segPath(id))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %d: %w", id, err)
+	}
+	l.segs = append(l.segs, &segment{id: id, f: f})
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) closeSegsLocked() {
+	for _, s := range l.segs {
+		s.f.Close()
+	}
+	l.segs = nil
+}
+
+// Replay calls fn for every durable record in segment order and repairs
+// torn tails: the first frame that is short or fails its CRC marks the end
+// of the durable prefix in that segment — the segment is truncated there
+// and the scan continues with the next segment. fn errors abort the replay.
+func (l *Log) Replay(fn func(body []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	for _, s := range l.segs {
+		valid, err := replaySegment(s.f, s.size, fn)
+		if err != nil {
+			return err
+		}
+		if valid < s.size {
+			if err := s.f.Truncate(valid); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of segment %d: %w", s.id, err)
+			}
+			s.size = valid
+		}
+	}
+	l.replayed = true
+	return nil
+}
+
+// replaySegment scans frames from offset 0 and returns the end of the
+// valid prefix. Corrupt or torn frames stop the scan without error; only
+// fn failures and read errors below the known size propagate.
+func replaySegment(f File, size int64, fn func(body []byte) error) (int64, error) {
+	var off int64
+	var hdr [frameHeaderSize]byte
+	for off+frameHeaderSize <= size {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return off, fmt.Errorf("wal: read frame header at %d: %w", off, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		end := off + frameHeaderSize + int64(n)
+		if end > size {
+			break // torn: body extends past the durable data
+		}
+		body := make([]byte, n)
+		if n > 0 {
+			if _, err := f.ReadAt(body, off+frameHeaderSize); err != nil {
+				return off, fmt.Errorf("wal: read frame body at %d: %w", off, err)
+			}
+		}
+		if crc32.Checksum(body, crcTable) != sum {
+			break // corrupt: truncate here
+		}
+		if err := fn(body); err != nil {
+			return off, err
+		}
+		off = end
+	}
+	return off, nil
+}
+
+// Append frames body, writes it to the active segment, and returns once
+// an fsync covering the write has completed, reporting which segment the
+// record landed in. Concurrent Appends share syncs (group commit).
+func (l *Log) Append(body []byte) (uint64, error) {
+	frame := make([]byte, frameHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+	copy(frame[frameHeaderSize:], body)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	active := l.segs[len(l.segs)-1]
+	segID := active.id
+	off := active.size
+	if _, err := active.f.WriteAt(frame, off); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	active.size = off + int64(len(frame))
+	l.appends++
+	rotate := active.size >= l.opts.SegmentBytes
+	if rotate {
+		// Seal the outgoing segment: fsync it (covering this record and
+		// every earlier one) and open a fresh active segment. Done under
+		// mu so no append can land in the sealed segment afterwards.
+		if err := l.sealActiveLocked(); err != nil {
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	l.syncMu.Lock()
+	l.appendSeq++
+	seq := l.appendSeq
+	if rotate {
+		// The seal's fsync covered everything appended so far.
+		if seq > l.syncedSeq {
+			l.syncedSeq = seq
+		}
+		l.syncCond.Broadcast()
+	}
+	l.syncMu.Unlock()
+	l.mu.Unlock()
+	if rotate {
+		return segID, nil
+	}
+	return segID, l.waitSynced(seq)
+}
+
+// sealActiveLocked fsyncs the active segment and opens a fresh one.
+// Caller holds mu.
+func (l *Log) sealActiveLocked() error {
+	active := l.segs[len(l.segs)-1]
+	if err := active.f.Sync(); err != nil {
+		l.poisonSync(err)
+		return fmt.Errorf("wal: seal segment %d: %w", active.id, err)
+	}
+	l.syncs++
+	return l.openFreshSegmentLocked()
+}
+
+// poisonSync records a failed fsync; all pending and future appends fail.
+func (l *Log) poisonSync(err error) {
+	l.syncMu.Lock()
+	if l.syncErr == nil {
+		l.syncErr = err
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
+// waitSynced blocks until a completed fsync covers seq, becoming the
+// syncer itself when none is in flight.
+//
+// The syncer fsyncs whatever segment is active *after* it reads covered:
+// every append with seq' <= covered lives either in that segment or in a
+// segment sealed earlier — and sealing fsyncs — so one fsync of the
+// current active segment makes the whole prefix durable.
+func (l *Log) waitSynced(seq uint64) error {
+	l.syncMu.Lock()
+	for {
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.syncMu.Unlock()
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		if l.syncedSeq >= seq {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.syncCond.Wait()
+	}
+	// Become the syncer. Everything appended up to now rides this fsync.
+	l.syncing = true
+	l.syncMu.Unlock()
+
+	if d := l.opts.SyncDelay; d > 0 {
+		time.Sleep(d) // widen the commit window: more appends share the fsync
+	}
+	l.syncMu.Lock()
+	covered := l.appendSeq
+	l.syncMu.Unlock()
+
+	l.mu.Lock()
+	var f File
+	var closed bool
+	if l.closed || len(l.segs) == 0 {
+		closed = true
+	} else {
+		f = l.segs[len(l.segs)-1].f
+	}
+	l.mu.Unlock()
+
+	var err error
+	if closed {
+		err = ErrClosed
+	} else {
+		err = f.Sync()
+	}
+
+	l.syncMu.Lock()
+	l.syncing = false
+	if err != nil {
+		if l.syncErr == nil {
+			l.syncErr = err
+		}
+		l.syncCond.Broadcast()
+		l.syncMu.Unlock()
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if covered > l.syncedSeq {
+		l.syncedSeq = covered
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+
+	l.mu.Lock()
+	l.syncs++
+	l.mu.Unlock()
+	return nil
+}
+
+// Rotate seals the active segment and starts a new one, returning the
+// sealed segment's id. Engines use it to tie a memtable seal to a log
+// boundary: once the memtable is flushed, DropThrough(id) frees the tail.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	sealed := l.segs[len(l.segs)-1].id
+	if err := l.sealActiveLocked(); err != nil {
+		return 0, err
+	}
+	l.syncMu.Lock()
+	if l.appendSeq > l.syncedSeq {
+		l.syncedSeq = l.appendSeq
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return sealed, nil
+}
+
+// DropThrough removes all sealed segments with id <= segID. The active
+// segment is never removed.
+func (l *Log) DropThrough(segID uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	kept := l.segs[:0]
+	removed := false
+	for i, s := range l.segs {
+		if i == len(l.segs)-1 || s.id > segID {
+			kept = append(kept, s)
+			continue
+		}
+		s.f.Close()
+		if err := l.fs.Remove(l.segPath(s.id)); err != nil {
+			return fmt.Errorf("wal: drop segment %d: %w", s.id, err)
+		}
+		removed = true
+	}
+	l.segs = kept
+	if removed {
+		if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+			return fmt.Errorf("wal: sync dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// Reset discards every record: all segments are removed and a fresh active
+// segment is created. Used after a checkpoint supersedes the log. Segment
+// ids keep increasing across Reset so replay order stays unambiguous.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	for _, s := range l.segs {
+		s.f.Close()
+		if err := l.fs.Remove(l.segPath(s.id)); err != nil {
+			return fmt.Errorf("wal: reset remove segment %d: %w", s.id, err)
+		}
+	}
+	l.segs = nil
+	if err := l.openFreshSegmentLocked(); err != nil {
+		return err
+	}
+	l.syncMu.Lock()
+	if l.appendSeq > l.syncedSeq {
+		l.syncedSeq = l.appendSeq
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return nil
+}
+
+// ActiveSegment returns the id of the segment new appends land in.
+func (l *Log) ActiveSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return 0
+	}
+	return l.segs[len(l.segs)-1].id
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Stats reports lifetime append and fsync counts; their ratio is the
+// realised group-commit batch size.
+func (l *Log) Stats() (appends, syncs uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.syncs
+}
+
+// Sync forces an fsync of the active segment, covering every completed
+// append. Used by engines on clean shutdown.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	active := l.segs[len(l.segs)-1]
+	err := active.f.Sync()
+	if err == nil {
+		l.syncs++
+	}
+	l.mu.Unlock()
+	if err != nil {
+		l.poisonSync(err)
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.syncMu.Lock()
+	if l.appendSeq > l.syncedSeq {
+		l.syncedSeq = l.appendSeq
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return nil
+}
+
+// Close fsyncs the active segment and closes all files.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	active := l.segs[len(l.segs)-1]
+	err := active.f.Sync()
+	l.closed = true
+	l.closeSegsLocked()
+	l.syncMu.Lock()
+	if l.syncErr == nil {
+		l.syncErr = ErrClosed
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}

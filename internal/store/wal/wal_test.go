@@ -1,0 +1,446 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func replayAll(t *testing.T, l *Log) [][]byte {
+	t.Helper()
+	var got [][]byte
+	if err := l.Replay(func(body []byte) error {
+		got = append(got, append([]byte(nil), body...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAll(t, l)
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		body := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, body)
+		if _, err := l.Append(body); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	l2.Close()
+}
+
+func TestTornTailTruncatedOnReplay(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAll(t, l)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("good-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Append a torn frame by hand: a header promising more bytes than exist.
+	f, err := fs.OpenFile(Join("wal", "00000001.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1000)
+	binary.LittleEndian.PutUint32(hdr[4:8], 0xdeadbeef)
+	if _, err := f.WriteAt(hdr[:], size); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("partial body"), size+frameHeaderSize); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records after torn tail, want 10", len(got))
+	}
+	// The tail must be gone: new appends land after the truncated prefix
+	// and a third open sees exactly 11 records.
+	if _, err := l2.Append([]byte("post-repair")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = replayAll(t, l3)
+	if len(got) != 11 || string(got[10]) != "post-repair" {
+		t.Fatalf("after repair+append: %d records (last %q), want 11 ending in post-repair", len(got), got[len(got)-1])
+	}
+	l3.Close()
+}
+
+func TestCorruptMidSegmentTruncates(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAll(t, l)
+	var offsets []int64
+	var off int64
+	for i := 0; i < 10; i++ {
+		body := []byte(fmt.Sprintf("rec-%d", i))
+		offsets = append(offsets, off)
+		off += frameHeaderSize + int64(len(body))
+		if _, err := l.Append(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip a byte in record 6's body.
+	f, _ := fs.OpenFile(Join("wal", "00000001.wal"))
+	var b [1]byte
+	pos := offsets[6] + frameHeaderSize
+	if _, err := f.ReadAt(b[:], pos); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], pos); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6 (truncate at first corrupt record)", len(got))
+	}
+	l2.Close()
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAll(t, l)
+	const writers = 16
+	const perWriter = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%02d-%03d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	appends, syncs := l.Stats()
+	if appends != writers*perWriter {
+		t.Fatalf("appends = %d, want %d", appends, writers*perWriter)
+	}
+	if syncs == 0 || syncs > appends {
+		t.Fatalf("syncs = %d out of range (0, %d]", syncs, appends)
+	}
+	t.Logf("group commit: %d appends over %d syncs (batch ~%.1f)", appends, syncs, float64(appends)/float64(syncs))
+	l.Close()
+
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != writers*perWriter {
+		t.Fatalf("replayed %d, want %d", len(got), writers*perWriter)
+	}
+	seen := map[string]bool{}
+	for _, b := range got {
+		if seen[string(b)] {
+			t.Fatalf("duplicate record %q", b)
+		}
+		seen[string(b)] = true
+	}
+	l2.Close()
+}
+
+func TestRotateAndDropThrough(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAll(t, l)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("seg1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("seg2-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := l.Segments(); n != 2 {
+		t.Fatalf("segments = %d, want 2", n)
+	}
+	if err := l.DropThrough(sealed); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.Segments(); n != 1 {
+		t.Fatalf("segments after drop = %d, want 1", n)
+	}
+	l.Close()
+
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 5 || string(got[0]) != "seg2-0" {
+		t.Fatalf("after drop: %d records starting %q, want 5 starting seg2-0", len(got), got[0])
+	}
+	l2.Close()
+}
+
+func TestAutomaticRotation(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAll(t, l)
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := l.Segments(); n < 2 {
+		t.Fatalf("segments = %d, want rotation to have produced several", n)
+	}
+	l.Close()
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l2); len(got) != 20 {
+		t.Fatalf("replayed %d, want 20", len(got))
+	}
+	l2.Close()
+}
+
+func TestReset(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAll(t, l)
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append([]byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := l.ActiveSegment()
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.ActiveSegment() <= first {
+		t.Fatalf("segment id did not advance across Reset: %d -> %d", first, l.ActiveSegment())
+	}
+	if _, err := l.Append([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "new" {
+		t.Fatalf("after reset got %d records %q, want just new", len(got), got)
+	}
+	l2.Close()
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Key: []byte("k"), Value: []byte("v"), Version: 1},
+		{Key: []byte("key"), Value: nil, Version: 1 << 40, Tombstone: true},
+		{Key: []byte{}, Value: []byte{}, Version: 0},
+		{Key: bytes.Repeat([]byte("x"), 300), Value: bytes.Repeat([]byte("y"), 5000), Version: 77},
+	}
+	for i, r := range cases {
+		body := EncodeRecord(nil, r)
+		got, err := DecodeRecord(body)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Tombstone != r.Tombstone || got.Version != r.Version ||
+			!bytes.Equal(got.Key, r.Key) || !bytes.Equal(got.Value, r.Value) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, r)
+		}
+	}
+	for _, bad := range [][]byte{nil, {0}, {0, 0x80}, {0, 1, 5, 'a'}} {
+		if _, err := DecodeRecord(bad); err == nil {
+			t.Fatalf("DecodeRecord(%v) accepted garbage", bad)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	want := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	err := WriteSnapshotFile(fs, "d", "checkpoint", func(add func([]byte) error) error {
+		for _, b := range want {
+			if err := add(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	err = ReadSnapshotFile(fs, "d", "checkpoint", func(body []byte) error {
+		got = append(got, append([]byte(nil), body...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("frame %d = %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotMissing(t *testing.T) {
+	err := ReadSnapshotFile(NewMemFS(), "d", "none", func([]byte) error { return nil })
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestSnapshotCorruptDetected(t *testing.T) {
+	fs := NewMemFS()
+	if err := WriteSnapshotFile(fs, "d", "snap", func(add func([]byte) error) error {
+		return add([]byte("payload"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail: shave bytes off the end.
+	f, _ := fs.OpenFile(Join("d", "snap"))
+	size, _ := f.Size()
+	if err := f.Truncate(size - 3); err != nil {
+		t.Fatal(err)
+	}
+	err := ReadSnapshotFile(fs, "d", "snap", func([]byte) error { return nil })
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("torn snapshot: err = %v, want ErrSnapshotCorrupt", err)
+	}
+	// Bad magic.
+	if _, err := f.WriteAt([]byte("XX"), 0); err != nil {
+		t.Fatal(err)
+	}
+	err = ReadSnapshotFile(fs, "d", "snap", func([]byte) error { return nil })
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: Join(dir, "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAll(t, l)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("os-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l2, err := Open(Options{Dir: Join(dir, "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l2); len(got) != 10 {
+		t.Fatalf("replayed %d, want 10", len(got))
+	}
+	l2.Close()
+}
+
+func TestClosedErrors(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close: %v", err)
+	}
+	if _, err := l.Rotate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Rotate after close: %v", err)
+	}
+	if err := l.Reset(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Reset after close: %v", err)
+	}
+}

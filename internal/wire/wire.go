@@ -53,11 +53,17 @@ const (
 	// migration GC primitive. Each tombstone inherits the record's stored
 	// version, so the sweep never clobbers a concurrent newer write.
 	OpDelRange
+	// OpExportDelta streams every record — live or tombstone — with
+	// version > Request.Version; used for incremental rejoin after a
+	// restart. Live pairs arrive in StatusOK batches, tombstones in
+	// StatusNotFound batches; a server that cannot serve a complete delta
+	// answers StatusErr and the caller falls back to a full OpExport.
+	OpExportDelta
 )
 
 // OpMax is the highest defined op code; per-op metric tables and verb
 // registries size and iterate off it.
-const OpMax = OpDelRange
+const OpMax = OpExportDelta
 
 // String returns the operation mnemonic.
 func (o Op) String() string {
@@ -92,6 +98,8 @@ func (o Op) String() string {
 		return "HANDOFF"
 	case OpDelRange:
 		return "DELRANGE"
+	case OpExportDelta:
+		return "EXPORTDELTA"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}

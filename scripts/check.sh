@@ -33,3 +33,11 @@ go test -race -run 'TestJoinNodeUnderLoad|TestDrainNodeUnderLoad|TestJoinNodeAAE
 # BESPOKV_NEMESIS_SEED=<seed>.
 go test -race ./internal/faultnet/... ./internal/histcheck/...
 go test -race -run 'TestNemesis' ./internal/cluster/
+
+# Crash-restart durability: WAL and faultfs units, durable engine recovery
+# suites, then the cluster crash/restart and incremental-rejoin scenarios.
+# Same seed-replay convention as the nemesis suites.
+go test -race ./internal/store/wal/... ./internal/store/faultfs/...
+go test -race -run 'Durable|Crash|Torn|WAL|Recover|Snapshot|Persist|CleanClose' \
+	./internal/store/ht/ ./internal/store/lsm/ ./internal/store/applog/
+go test -race -run 'TestCrashRestart|TestRejoin' ./internal/cluster/
