@@ -9,11 +9,11 @@ RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... .
 # HTTP introspection endpoints (including the end-to-end cluster test).
 OBS_PKGS = ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 
-.PHONY: all check vet build test race obs migrate nemesis crash bench bench-pipeline clean
+.PHONY: all check vet build test race obs migrate nemesis crash wirespeed bench bench-pipeline clean
 
 all: check
 
-check: vet build test race obs migrate nemesis crash
+check: vet build test race obs migrate nemesis crash wirespeed
 
 # crash race-tests the storage fault story end to end: the WAL and faultfs
 # units, the durable ht/lsm/applog engine recovery suites, and the cluster
@@ -23,6 +23,16 @@ crash:
 	$(GO) test -race ./internal/store/wal/... ./internal/store/faultfs/...
 	$(GO) test -race -run 'Durable|Crash|Torn|WAL|Recover|Snapshot|Persist|CleanClose' ./internal/store/ht/ ./internal/store/lsm/ ./internal/store/applog/
 	$(GO) test -race -run 'TestCrashRestart|TestRejoin' ./internal/cluster/
+
+# wirespeed race-tests the direct-read data path end to end: the multi-op
+# wire frames (fuzz seeds included), the client batch scheduler and lease
+# cache units, and the cluster suites covering direct reads under epoch
+# churn, shard-coalesced MultiGet/MultiPut in every mode, hedged reads
+# under injected delay, and MS+SC linearizability with direct readers.
+wirespeed:
+	$(GO) test -race -run 'Multi|Fuzz' ./internal/wire/
+	$(GO) test -race ./internal/client/
+	$(GO) test -race -run 'TestDirectRead|TestHotKeyShadow|TestMultiGet|TestMultiPut|TestHedged|TestMSSCLinearizableWithDirectReads' ./internal/cluster/
 
 # nemesis race-tests the fault plane end to end: the faultnet fabric and
 # schedule units, the linearizability/convergence checker units, and the

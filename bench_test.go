@@ -70,6 +70,13 @@ func BenchmarkFig7ScalabilityHT(b *testing.B) {
 	runExperiment(b, bench.Fig7ScalabilityHT)
 }
 
+// BenchmarkFig7MultiGet95 measures the wire-speed read path against the
+// fig7 95% GET baseline: controlet-routed single GETs vs direct-routed
+// MultiGet batches at 64 callers.
+func BenchmarkFig7MultiGet95(b *testing.B) {
+	runExperiment(b, bench.Fig7MultiGet95)
+}
+
 // BenchmarkFig8HPCWorkloads regenerates Fig. 8 (job-launch and
 // I/O-forwarding traces across modes and node counts).
 func BenchmarkFig8HPCWorkloads(b *testing.B) {

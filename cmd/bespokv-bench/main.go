@@ -28,20 +28,21 @@ var experiments = map[string]struct {
 	fn    func(bench.Params) error
 	about string
 }{
-	"table1":   {bench.Table1FeatureMatrix, "Table I: live-probed feature matrix"},
-	"fig6":     {bench.Fig6DataAbstractions, "Fig. 6: LSM vs B+-tree vs log under monitoring/analytics"},
-	"fig7":     {bench.Fig7ScalabilityHT, "Fig. 7: tHT scalability across modes, mixes, distributions"},
-	"fig8":     {bench.Fig8HPCWorkloads, "Fig. 8: job-launch and I/O-forwarding HPC traces"},
-	"fig9":     {bench.Fig9OtherDatalets, "Fig. 9: tSSDB/tLog/tMT datalets under MS+EC (incl. scans)"},
-	"fig10":    {bench.Fig10Transitions, "Fig. 10: live MS+EC→{MS+SC,AA+EC,AA+SC} transition timelines"},
-	"fig11":    {bench.Fig11ProxyComparison, "Fig. 11: bespokv+tRedis vs twemproxy vs dynomite"},
-	"fig12":    {bench.Fig12NativeComparison, "Fig. 12: latency/throughput vs cassandra- and voldemort-style stores"},
-	"fig16":    {bench.Fig16Failover, "Fig. 16: node-kill failover timelines"},
-	"fig17":    {bench.Fig17TransportBypass, "Fig. 17: kernel sockets vs DPDK-style bypass transport"},
-	"perreq":   {bench.PerRequestConsistency, "§VIII-D: per-request consistency levels"},
-	"polyglot": {bench.PolyglotPersistence, "§VIII-D: polyglot persistence (mixed engines per shard)"},
-	"dlcache":  {bench.DLCache, "§VI-B: deep-learning ingestion cache vs simulated PFS"},
-	"ablate":   {bench.Ablations, "design ablations: chain length, AA ordering, LSM write-amp, ring vnodes"},
+	"table1":              {bench.Table1FeatureMatrix, "Table I: live-probed feature matrix"},
+	"fig6":                {bench.Fig6DataAbstractions, "Fig. 6: LSM vs B+-tree vs log under monitoring/analytics"},
+	"fig7":                {bench.Fig7ScalabilityHT, "Fig. 7: tHT scalability across modes, mixes, distributions"},
+	"fig7-95get-multiget": {bench.Fig7MultiGet95, "Fig. 7 extension: single GETs vs direct-routed MultiGet at 64 callers"},
+	"fig8":                {bench.Fig8HPCWorkloads, "Fig. 8: job-launch and I/O-forwarding HPC traces"},
+	"fig9":                {bench.Fig9OtherDatalets, "Fig. 9: tSSDB/tLog/tMT datalets under MS+EC (incl. scans)"},
+	"fig10":               {bench.Fig10Transitions, "Fig. 10: live MS+EC→{MS+SC,AA+EC,AA+SC} transition timelines"},
+	"fig11":               {bench.Fig11ProxyComparison, "Fig. 11: bespokv+tRedis vs twemproxy vs dynomite"},
+	"fig12":               {bench.Fig12NativeComparison, "Fig. 12: latency/throughput vs cassandra- and voldemort-style stores"},
+	"fig16":               {bench.Fig16Failover, "Fig. 16: node-kill failover timelines"},
+	"fig17":               {bench.Fig17TransportBypass, "Fig. 17: kernel sockets vs DPDK-style bypass transport"},
+	"perreq":              {bench.PerRequestConsistency, "§VIII-D: per-request consistency levels"},
+	"polyglot":            {bench.PolyglotPersistence, "§VIII-D: polyglot persistence (mixed engines per shard)"},
+	"dlcache":             {bench.DLCache, "§VI-B: deep-learning ingestion cache vs simulated PFS"},
+	"ablate":              {bench.Ablations, "design ablations: chain length, AA ordering, LSM write-amp, ring vnodes"},
 }
 
 func main() {

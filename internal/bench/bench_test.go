@@ -45,6 +45,11 @@ func TestFig7(t *testing.T) {
 	runExp(t, "fig7", Fig7ScalabilityHT, "ms+strong/95get/unif", "aa+eventual/50get/zipf")
 }
 
+func TestFig7MultiGet(t *testing.T) {
+	runExp(t, "fig7-95get-multiget", Fig7MultiGet95,
+		"95get-multiget/baseline-get", "95get-multiget/direct-mget32", "x baseline")
+}
+
 func TestFig8(t *testing.T) {
 	runExp(t, "fig8", Fig8HPCWorkloads, "ms+sc/job-launch", "aa+ec/io-forwarding")
 }

@@ -3,8 +3,12 @@ package bench
 import (
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
+	"bespokv/internal/client"
 	"bespokv/internal/cluster"
+	"bespokv/internal/metrics"
 	"bespokv/internal/topology"
 	"bespokv/internal/workload"
 )
@@ -250,4 +254,195 @@ func Fig9OtherDatalets(p Params) error {
 		}
 	}
 	return nil
+}
+
+// Fig7MultiGet95 extends Fig. 7's 95% GET mix with the wire-speed read
+// path (ROADMAP open item 3). Same tHT cluster and read-mostly uniform
+// load, 64 concurrent callers — measured twice: one controlet-routed GET
+// frame per read (the baseline every prior figure used), then the same op
+// stream with reads coalesced into direct-routed MultiGet frames of 16
+// keys (leased maps, client→datalet, zero metadata hops). The gate:
+// batched direct reads sustain ≥2× the baseline op rate; the histogram
+// column tracks the latency a caller sees per key.
+func Fig7MultiGet95(p Params) error {
+	p.defaults()
+	const (
+		callers = 64 // caller goroutines (the acceptance point)
+		conns   = 8  // pipelined clients shared round-robin by the callers
+		batch   = 32 // keys coalesced per MultiGet frame
+	)
+	c, err := cluster.Start(cluster.Options{
+		NetworkName:     p.NetworkName,
+		Shards:          4,
+		Replicas:        3,
+		Mode:            msEC,
+		Engine:          "ht",
+		DisableFailover: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	pre, err := c.Client()
+	if err != nil {
+		return err
+	}
+	if err := Preload(bespoKV{c: pre}, p.Preload); err != nil {
+		pre.Close()
+		return err
+	}
+	pre.Close()
+
+	var baseline float64
+	for _, s := range []struct {
+		name   string
+		direct bool
+		batch  int
+	}{
+		{"95get-multiget/baseline-get", false, 1},
+		{"95get-multiget/direct-mget32", true, batch},
+	} {
+		clis := make([]*client.Client, conns)
+		for i := range clis {
+			cli, err := c.ClientConfig(client.Config{DirectReads: s.direct})
+			if err != nil {
+				return err
+			}
+			clis[i] = cli
+		}
+		res, err := p.runBatchedReadMostly(clis, callers, s.batch)
+		for _, cli := range clis {
+			cli.Close()
+		}
+		if err != nil {
+			return err
+		}
+		p.row("fig7", s.name, callers, res.KQPS, res.Latency.Summary())
+		if s.batch == 1 {
+			baseline = res.KQPS
+		} else if baseline > 0 {
+			p.note("fig7-95get-multiget: direct mget = %.2fx baseline (gate: >=2x)", res.KQPS/baseline)
+		}
+	}
+	return nil
+}
+
+// runBatchedReadMostly drives the 95/5 mix for the measurement window with
+// callers goroutines over the shared clients. PUTs always go one frame per
+// op; GET keys accumulate per caller and flush as one MultiGet of batch
+// keys (batch=1 degenerates to plain Get). Latency is recorded per key as
+// the time its frame took — for a batch, every key in it completes when
+// the frame does, so the histograms compare caller-visible waits like for
+// like.
+func (p *Params) runBatchedReadMostly(clis []*client.Client, callers, batch int) (Result, error) {
+	gens := make([]*workload.Generator, callers)
+	for i := range gens {
+		g, err := workload.NewGenerator(workload.Options{
+			Dist: workload.Uniform{Keys: p.Keys},
+			Mix:  workload.ReadMostly,
+			Seed: workload.SplitRand(97, i),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		gens[i] = g
+	}
+	var (
+		wg    sync.WaitGroup
+		hist  metrics.Histogram
+		ops   int64
+		errs  int64
+		tally sync.Mutex
+		stop  = make(chan struct{})
+	)
+	timer := time.AfterFunc(p.MeasureFor, func() { close(stop) })
+	defer timer.Stop()
+	start := time.Now()
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli := clis[i%len(clis)]
+			gen := gens[i]
+			// Per-caller reusable key buffers: the generator recycles its
+			// op buffer, so batched keys must be copied out — into the
+			// same arrays every round, not fresh allocations.
+			bufs := make([][]byte, batch)
+			keys := make([][]byte, 0, batch)
+			var localOps, localErrs int64
+			flush := func() {
+				if len(keys) == 0 {
+					return
+				}
+				t0 := time.Now()
+				results, err := cli.MultiGet("", keys)
+				d := time.Since(t0)
+				for range keys {
+					hist.Observe(d)
+				}
+				if err != nil {
+					localErrs += int64(len(keys))
+				} else {
+					for _, r := range results {
+						if r.Err != nil {
+							localErrs++
+						} else {
+							localOps++
+						}
+					}
+				}
+				keys = keys[:0]
+			}
+			for {
+				select {
+				case <-stop:
+					flush()
+					tally.Lock()
+					ops += localOps
+					errs += localErrs
+					tally.Unlock()
+					return
+				default:
+				}
+				op := gen.Next()
+				switch op.Kind {
+				case workload.Get:
+					if batch <= 1 {
+						t0 := time.Now()
+						_, _, err := cli.Get("", op.Key)
+						hist.Observe(time.Since(t0))
+						if err != nil {
+							localErrs++
+						} else {
+							localOps++
+						}
+						continue
+					}
+					n := len(keys)
+					bufs[n] = append(bufs[n][:0], op.Key...)
+					keys = append(keys, bufs[n])
+					if len(keys) == batch {
+						flush()
+					}
+				case workload.Put:
+					t0 := time.Now()
+					err := cli.Put("", op.Key, op.Value)
+					hist.Observe(time.Since(t0))
+					if err != nil {
+						localErrs++
+					} else {
+						localOps++
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return Result{
+		Ops:     ops,
+		Errors:  errs,
+		KQPS:    float64(ops) / elapsed / 1000,
+		Latency: &hist,
+	}, nil
 }

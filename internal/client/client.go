@@ -11,10 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"math/rand"
+	"math"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bespokv/internal/coordinator"
@@ -65,6 +67,25 @@ type Config struct {
 	// copy on a rehashed shard, and eventual reads spread across primary
 	// and shadow. 0 disables it.
 	HotKeyThreshold int
+	// DirectReads lets SC-safe reads (MS+SC tail reads, MS+EC head reads,
+	// eventual-level reads) skip the controlet hop and hit the owning
+	// datalet directly, fenced by a coordinator-granted map lease on this
+	// side and an epoch lease on the datalet's. Any miss (stale epoch,
+	// expired lease, unreachable datalet) falls back through the controlet
+	// path transparently.
+	DirectReads bool
+	// DataletNetwork carries direct-read traffic to datalets; nil uses
+	// Network.
+	DataletNetwork transport.Network
+	// HedgeAfter enables hedged reads: an eventual-level read with a
+	// replica choice that has not answered within max(HedgeAfter, the
+	// client's running p99 read latency) is raced against a second
+	// replica, first response wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// HedgeBudgetPct caps hedges at this percentage of reads (default 10;
+	// a degenerate cluster where every read hedges would double load and
+	// make the tail worse for everyone).
+	HedgeBudgetPct int
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -90,10 +111,24 @@ type Client struct {
 	watchMu   sync.Mutex
 	watchConn *coordinator.Client
 
-	rndMu sync.Mutex
-	rnd   *rand.Rand
-
 	hot *hotTracker // nil unless HotKeyThreshold > 0
+
+	// leaseUntil is the unix-nano instant through which the current map
+	// may be trusted for direct datalet reads (math.MaxInt64 for static
+	// maps, whose epoch never moves). Renewed by the watch loop's
+	// LeaseMap long-polls.
+	leaseUntil atomic.Int64
+	leaseTTL   atomic.Int64 // last granted TTL (ns); paces watch long-polls
+
+	// dpools are direct connections to datalets, keyed by addr+codec;
+	// dpoolDown records per-address dial-failure cooldowns so a
+	// collocated (in-process) datalet the client's network cannot reach
+	// is not re-dialed on every read.
+	dpoolsMu  sync.RWMutex
+	dpools    map[string]*datalet.Pool
+	dpoolDown map[string]time.Time
+
+	hedge *hedgeState // nil unless HedgeAfter > 0
 
 	refreshing sync.Mutex // serializes map refreshes
 
@@ -122,19 +157,31 @@ func New(cfg Config) (*Client, error) {
 	if cfg.TimeoutRetries <= 0 {
 		cfg.TimeoutRetries = 3
 	}
+	if cfg.HedgeBudgetPct <= 0 {
+		cfg.HedgeBudgetPct = 10
+	}
+	if cfg.DataletNetwork == nil {
+		cfg.DataletNetwork = cfg.Network
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 	c := &Client{
-		cfg:    cfg,
-		pools:  map[string]*datalet.Pool{},
-		rnd:    rand.New(rand.NewSource(time.Now().UnixNano())),
-		stopCh: make(chan struct{}),
+		cfg:       cfg,
+		pools:     map[string]*datalet.Pool{},
+		dpools:    map[string]*datalet.Pool{},
+		dpoolDown: map[string]time.Time{},
+		stopCh:    make(chan struct{}),
 	}
 	if cfg.HotKeyThreshold > 0 {
 		c.hot = newHotTracker(cfg.HotKeyThreshold)
 	}
+	if cfg.HedgeAfter > 0 {
+		c.hedge = newHedgeState(cfg.HedgeAfter, cfg.HedgeBudgetPct)
+	}
 	if cfg.StaticMap != nil {
+		// A static map's epoch never moves; the lease is perpetual.
+		c.leaseUntil.Store(math.MaxInt64)
 		c.installMap(cfg.StaticMap)
 		return c, nil
 	}
@@ -152,6 +199,13 @@ func New(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("client: fetch map: %w", err)
 	}
 	c.installMap(m)
+	if cfg.DirectReads {
+		// Seed the map lease now; the watch loop keeps it renewed.
+		if lm, ttl, err := coordClient.LeaseMap(0, time.Second); err == nil && lm != nil {
+			c.installMap(lm)
+			c.extendLease(ttl)
+		}
+	}
 	if !cfg.DisableWatch {
 		c.wg.Add(1)
 		go c.watchLoop()
@@ -196,6 +250,11 @@ func (c *Client) Close() error {
 		_ = p.Close()
 	}
 	c.poolsMu.Unlock()
+	c.dpoolsMu.Lock()
+	for _, p := range c.dpools {
+		_ = p.Close()
+	}
+	c.dpoolsMu.Unlock()
 	return nil
 }
 
@@ -210,11 +269,42 @@ func (c *Client) installMap(m *topology.Map) {
 	clone := m.Clone()
 	ring := topology.BuildRing(clone)
 	c.mu.Lock()
+	advanced := c.m != nil && clone.Epoch > c.m.Epoch
 	if c.m == nil || clone.Epoch >= c.m.Epoch {
 		c.m = clone
 		c.ring = ring
 	}
 	c.mu.Unlock()
+	if advanced && c.hot != nil {
+		// The map moved under us (failover, transition, migration
+		// cutover): shadow copies written under the old map may now be
+		// stale or on the wrong shard, so stop serving reads from them
+		// until this client re-establishes each one with a fresh write.
+		c.hot.invalidate()
+	}
+}
+
+// extendLease pushes the direct-read trust window ttl past now; zero or
+// negative grants are ignored (no lease). The granted TTL is remembered so
+// the watch loop can pace its long-polls faster than the lease expires.
+func (c *Client) extendLease(ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.leaseTTL.Store(int64(ttl))
+	until := time.Now().Add(ttl).UnixNano()
+	for {
+		cur := c.leaseUntil.Load()
+		if until <= cur || c.leaseUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// leaseLive reports whether the current map may still be trusted for
+// coordinator-free direct reads.
+func (c *Client) leaseLive() bool {
+	return time.Now().UnixNano() < c.leaseUntil.Load()
 }
 
 // watchLoop keeps the map fresh with long-polls; transitions and failovers
@@ -266,7 +356,27 @@ func (c *Client) watchOnce(watch *coordinator.Client) {
 		if cur != nil {
 			since = cur.Epoch
 		}
-		m, err := watch.WatchMap(since, 2*time.Second)
+		var m *topology.Map
+		var err error
+		if c.cfg.DirectReads {
+			// Lease renewal rides the watch long-poll: every return —
+			// even a timeout handing back the same map — re-arms the
+			// direct-read trust window. The poll window stays under half
+			// the granted TTL, or renewals on a quiet map (no epoch
+			// changes waking the poll) would land after the lease had
+			// already lapsed and direct reads would flap.
+			poll := 2 * time.Second
+			if ttl := time.Duration(c.leaseTTL.Load()); ttl > 0 && ttl/2 < poll {
+				poll = ttl / 2
+			}
+			var ttl time.Duration
+			m, ttl, err = watch.LeaseMap(since, poll)
+			if err == nil {
+				c.extendLease(ttl)
+			}
+		} else {
+			m, err = watch.WatchMap(since, 2*time.Second)
+		}
 		if err != nil {
 			if fails++; fails >= 2 {
 				return // hand back for a re-dial
@@ -355,11 +465,11 @@ func (c *Client) dropPool(addr string) {
 	c.poolsMu.Unlock()
 }
 
+// randInt draws from math/rand/v2's per-P sharded global source, so
+// replica picks on the read hot path never serialize behind a mutex the
+// way a shared *rand.Rand would (see BenchmarkRandIntParallel).
 func (c *Client) randInt(n int) int {
-	c.rndMu.Lock()
-	v := c.rnd.Intn(n)
-	c.rndMu.Unlock()
-	return v
+	return rand.IntN(n)
 }
 
 // shardFor routes a key under the current map.
@@ -585,18 +695,28 @@ func (c *Client) Get(table string, key []byte) ([]byte, bool, error) {
 // GetLevel reads with an explicit per-request consistency level (§IV-C).
 func (c *Client) GetLevel(table string, key []byte, level wire.Level) ([]byte, bool, error) {
 	// Hot keys spread eventual reads over the shadow shard too. Strong
-	// reads always use the primary (shadow copies are asynchronous).
+	// reads always use the primary (shadow copies are asynchronous), and
+	// only shadows this client has re-written since the last map change
+	// are trusted (see hotTracker.invalidate).
 	if c.hot != nil && level != wire.LevelStrong {
 		m := c.Map()
 		eventualByDefault := m != nil && m.Mode.Consistency == topology.Eventual
-		if (level == wire.LevelEventual || eventualByDefault) && c.hot.touch(key) && c.randInt(2) == 0 {
+		if (level == wire.LevelEventual || eventualByDefault) && c.hot.touch(key) && c.hot.isFresh(key) && c.randInt(2) == 0 {
 			if v, ok := c.hotGet(table, key); ok {
 				return v, true, nil
 			}
 		}
 	}
+	// Wire-speed path: an SC-safe read under a live map lease goes
+	// straight to the owning datalet, zero controlet/coordinator hops.
+	if v, found, ok := c.directGet(table, key, level); ok {
+		return v, found, nil
+	}
 	req := wire.Request{Op: wire.OpGet, Table: table, Key: key, Level: level}
 	var resp wire.Response
+	if v, found, ok := c.hedgedControletGet(&req, level); ok {
+		return v, found, nil
+	}
 	err := c.execute(&req, &resp, func() (string, uint64, error) {
 		shard, m, err := c.shardFor(key)
 		if err != nil {

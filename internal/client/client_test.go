@@ -307,3 +307,16 @@ func TestShardForRoutesConsistently(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkRandIntParallel exercises the replica-pick path from many
+// goroutines at once — the shape of a fan-out MultiGet. math/rand/v2's
+// per-P sharded global source keeps this contention-free; the old shared
+// *rand.Rand behind a mutex serialized every pick.
+func BenchmarkRandIntParallel(b *testing.B) {
+	c := &Client{}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = c.randInt(3)
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package client
+
+import (
+	"time"
+
+	"bespokv/internal/datalet"
+	"bespokv/internal/topology"
+	"bespokv/internal/wire"
+)
+
+// Direct reads: with a live coordinator-granted map lease, SC-safe reads
+// skip the controlet and hit the owning datalet itself — zero metadata hops
+// on the hot path. Both ends are fenced: the client trusts its map only for
+// the lease TTL (renewed over the existing watch long-poll), and the
+// datalet checks the request's epoch against its own controlet-granted
+// epoch lease, answering StatusWrongEpoch on any mismatch so a stale
+// reader falls back through the controlet and refreshes.
+//
+// SC-safe cases (reads whose answer a datalet can give without the
+// controlet's mode logic):
+//   - eventual-level reads: any readable replica's datalet
+//   - MS+SC strong reads: the chain tail's datalet — the tail stores only
+//     fully-replicated writes, so its local answer is the same
+//     linearizable answer its controlet would give
+//   - MS+EC default reads: the master's datalet (freshest copy)
+//
+// AA+SC strong reads stay on the controlet path (they must win a DLM
+// lease), as does everything during a transition.
+
+// dpoolCooldown is how long a datalet address that failed to dial is left
+// alone before direct reads try it again (a collocated in-process datalet
+// is permanently unreachable from a remote client; re-dialing it on every
+// read would tax the path this feature exists to speed up).
+const dpoolCooldown = 2 * time.Second
+
+// dataletPool returns a direct connection pool to n's datalet, or nil when
+// the datalet is unreachable/cooling down (the caller falls back).
+func (c *Client) dataletPool(n topology.Node) *datalet.Pool {
+	if n.DataletAddr == "" {
+		return nil
+	}
+	// Fast path: the pool exists (every read after the first). Kept off
+	// the exclusive lock so concurrent bucket fan-outs don't serialize
+	// here.
+	c.dpoolsMu.RLock()
+	p, ok := c.dpools[n.DataletAddr]
+	c.dpoolsMu.RUnlock()
+	if ok {
+		return p
+	}
+	c.dpoolsMu.Lock()
+	defer c.dpoolsMu.Unlock()
+	if p, ok := c.dpools[n.DataletAddr]; ok {
+		return p
+	}
+	if until, ok := c.dpoolDown[n.DataletAddr]; ok && time.Now().Before(until) {
+		return nil
+	}
+	codec := c.cfg.Codec
+	if n.DataletCodec != "" {
+		if dc, err := wire.LookupCodec(n.DataletCodec); err == nil {
+			codec = dc
+		}
+	}
+	dialed, err := datalet.DialPool(c.cfg.DataletNetwork, n.DataletAddr, codec, c.cfg.PoolSize)
+	if err != nil {
+		c.dpoolDown[n.DataletAddr] = time.Now().Add(dpoolCooldown)
+		return nil
+	}
+	p = dialed
+	delete(c.dpoolDown, n.DataletAddr)
+	if c.cfg.OpTimeout > 0 {
+		p.SetCallTimeout(c.cfg.OpTimeout)
+	}
+	c.dpools[n.DataletAddr] = p
+	return p
+}
+
+// dropDataletPool discards a direct pool after a transport failure.
+func (c *Client) dropDataletPool(addr string) {
+	c.dpoolsMu.Lock()
+	if p, ok := c.dpools[addr]; ok {
+		delete(c.dpools, addr)
+		_ = p.Close()
+	}
+	c.dpoolDown[addr] = time.Now().Add(dpoolCooldown)
+	c.dpoolsMu.Unlock()
+}
+
+// directCandidates returns the datalet owners that may serve a direct read
+// of shard at level, in no particular order; nil means the read is not
+// SC-safe to serve directly under m's mode.
+func directCandidates(m *topology.Map, shard topology.Shard, level wire.Level) []topology.Node {
+	if level == wire.LevelDefault {
+		if m.Mode.Consistency == topology.Strong {
+			level = wire.LevelStrong
+		} else {
+			level = wire.LevelEventual
+		}
+	}
+	switch {
+	case level == wire.LevelEventual:
+		return shard.ReadReplicas()
+	case m.Mode.Topology == topology.AA:
+		return nil // AA strong reads need the DLM; controlet path only
+	case m.Mode.Consistency == topology.Strong:
+		return []topology.Node{shard.ReadTail()}
+	default:
+		return []topology.Node{shard.Head()}
+	}
+}
+
+// directReadable reports whether direct reads are even on the table right
+// now, returning the routing snapshot when they are.
+func (c *Client) directReadable(key []byte) (topology.Shard, *topology.Map, bool) {
+	if !c.cfg.DirectReads || !c.leaseLive() {
+		return topology.Shard{}, nil, false
+	}
+	shard, m, err := c.shardFor(key)
+	if err != nil || m.Transition != nil {
+		// Mid-transition routing is the controlet's business (handoffs,
+		// draining); direct reads resume after the cutover's epoch bump.
+		return topology.Shard{}, nil, false
+	}
+	return shard, m, true
+}
+
+// directGet serves one key straight from the owning datalet. ok=false means
+// the caller should take the controlet path (ineligible, unreachable
+// datalet, stale epoch, expired datalet lease — all fall back, never fail).
+func (c *Client) directGet(table string, key []byte, level wire.Level) (val []byte, found, ok bool) {
+	shard, m, eligible := c.directReadable(key)
+	if !eligible {
+		return nil, false, false
+	}
+	cands := directCandidates(m, shard, level)
+	if len(cands) == 0 {
+		return nil, false, false
+	}
+	primary := c.dataletPool(cands[c.randInt(len(cands))])
+	if primary == nil {
+		clientDirectFallbacks.Inc()
+		return nil, false, false
+	}
+	// Hedge only reads with a genuine replica choice.
+	var alt *datalet.Pool
+	if c.hedge != nil && len(cands) > 1 && eventualEffective(m, level) {
+		alt = c.dataletPool(cands[c.randInt(len(cands))])
+		if alt == primary {
+			alt = nil
+		}
+	}
+	start := time.Now()
+	resp, release, err := c.hedgedRace(primary, alt, func(r *wire.Request) {
+		r.Op = wire.OpDirectGet
+		r.Table = table
+		r.Epoch = m.Epoch
+		r.Level = level
+		r.Pairs = append(r.Pairs, wire.KV{Key: key})
+	})
+	if err != nil {
+		clientDirectFallbacks.Inc()
+		return nil, false, false
+	}
+	defer release()
+	if c.hedge != nil {
+		c.hedge.observe(time.Since(start))
+	}
+	if resp.Status != wire.StatusOK || len(resp.Pairs) != 1 || len(resp.Statuses) != 1 {
+		if resp.Status == wire.StatusWrongEpoch {
+			go c.refreshMap() // the datalet outed our stale map
+		}
+		clientDirectFallbacks.Inc()
+		return nil, false, false
+	}
+	clientDirectReads.Inc()
+	recordClientOp(wire.OpDirectGet, time.Since(start))
+	switch resp.Statuses[0] {
+	case wire.StatusOK:
+		return append([]byte(nil), resp.Pairs[0].Value...), true, true
+	case wire.StatusNotFound:
+		return nil, false, true
+	default:
+		return nil, false, false
+	}
+}
+
+// pendingMGet is one shard's in-flight direct multi-get frame.
+type pendingMGet struct {
+	si    int
+	b     *bucket
+	req   *wire.Request
+	resp  *wire.Response
+	errc  <-chan error
+	start time.Time
+}
+
+// submitDirectMGet fires one bucket's OpDirectGet frame without waiting for
+// the reply, so a MultiGet's shard fan-out pipelines every frame before the
+// first response is read. ok=false means the bucket is not direct-eligible
+// and should go through the controlet path.
+func (c *Client) submitDirectMGet(table string, level wire.Level, si int, b *bucket) (pendingMGet, bool) {
+	shard, m, eligible := c.directReadable(b.keys[0])
+	if !eligible {
+		return pendingMGet{}, false
+	}
+	cands := directCandidates(m, shard, level)
+	if len(cands) == 0 {
+		return pendingMGet{}, false
+	}
+	pool := c.dataletPool(cands[c.randInt(len(cands))])
+	if pool == nil {
+		clientDirectFallbacks.Inc()
+		return pendingMGet{}, false
+	}
+	req := wire.GetRequest()
+	resp := wire.GetResponse()
+	req.Op = wire.OpDirectGet
+	req.Table = table
+	req.Epoch = m.Epoch
+	req.Level = level
+	for _, k := range b.keys {
+		req.Pairs = append(req.Pairs, wire.KV{Key: k})
+	}
+	return pendingMGet{
+		si: si, b: b, req: req, resp: resp,
+		errc:  pool.Get().DoAsync(req, resp),
+		start: time.Now(),
+	}, true
+}
+
+// awaitDirectMGet collects one in-flight direct frame and fills
+// out[b.idxs[i]] for every key it answered. ok=false means the frame was
+// bounced (stale epoch, dead datalet) and the bucket needs the controlet
+// fallback.
+func (c *Client) awaitDirectMGet(pd pendingMGet, out []MultiResult) bool {
+	err := <-pd.errc
+	defer wire.PutRequest(pd.req)
+	defer wire.PutResponse(pd.resp)
+	resp, keys := pd.resp, pd.b.keys
+	if err != nil {
+		clientDirectFallbacks.Inc()
+		return false
+	}
+	if resp.Status != wire.StatusOK || len(resp.Pairs) != len(keys) || len(resp.Statuses) != len(keys) {
+		if resp.Status == wire.StatusWrongEpoch {
+			go c.refreshMap()
+		}
+		clientDirectFallbacks.Inc()
+		return false
+	}
+	clientDirectReads.Inc()
+	recordClientOp(wire.OpDirectGet, time.Since(pd.start))
+	for i, idx := range pd.b.idxs {
+		switch resp.Statuses[i] {
+		case wire.StatusOK:
+			out[idx] = MultiResult{Value: append([]byte(nil), resp.Pairs[i].Value...), Found: true}
+		case wire.StatusNotFound:
+			out[idx] = MultiResult{}
+		default:
+			out[idx] = MultiResult{Err: statusErr(resp.Statuses[i])}
+		}
+	}
+	return true
+}

@@ -29,15 +29,50 @@ const (
 	hotTableCap = 4096
 )
 
-// hotTracker counts key popularity; safe for concurrent use.
+// hotTracker counts key popularity; safe for concurrent use. Besides the
+// counts it tracks which shadow copies are fresh — written by this client
+// under the current cluster map. A map change (failover, transition,
+// migration cutover) invalidates every entry: the shadow's shard placement
+// and content can no longer be trusted, so reads use the primary until the
+// client re-establishes each shadow with a fresh write.
 type hotTracker struct {
 	mu        sync.Mutex
 	counts    map[string]int
+	fresh     map[string]struct{}
 	threshold int
 }
 
 func newHotTracker(threshold int) *hotTracker {
-	return &hotTracker{counts: make(map[string]int), threshold: threshold}
+	return &hotTracker{
+		counts:    make(map[string]int),
+		fresh:     make(map[string]struct{}),
+		threshold: threshold,
+	}
+}
+
+// markFresh records that key's shadow copy was just written under the
+// current map.
+func (h *hotTracker) markFresh(key []byte) {
+	h.mu.Lock()
+	h.fresh[string(key)] = struct{}{}
+	h.mu.Unlock()
+}
+
+// isFresh reports whether key's shadow copy may serve reads.
+func (h *hotTracker) isFresh(key []byte) bool {
+	h.mu.Lock()
+	_, ok := h.fresh[string(key)]
+	h.mu.Unlock()
+	return ok
+}
+
+// invalidate drops every shadow's freshness (called on map epoch advance);
+// popularity counts survive, so re-warming a shadow takes one write, not a
+// threshold's worth of accesses.
+func (h *hotTracker) invalidate() {
+	h.mu.Lock()
+	clear(h.fresh)
+	h.mu.Unlock()
 }
 
 // touch records one access and reports whether the key is now hot.
@@ -87,7 +122,9 @@ func (c *Client) hotPut(table string, key, value []byte) {
 	sk := shadowKey(key)
 	req := wire.Request{Op: wire.OpPut, Table: table, Key: sk, Value: value}
 	var resp wire.Response
-	_ = c.execute(&req, &resp, c.routeWrite(sk))
+	if err := c.execute(&req, &resp, c.routeWrite(sk)); err == nil && resp.Status == wire.StatusOK {
+		c.hot.markFresh(key)
+	}
 }
 
 // hotDel removes the shadow copy alongside the primary delete.
@@ -96,6 +133,10 @@ func (c *Client) hotDel(table string, key []byte) {
 	req := wire.Request{Op: wire.OpDel, Table: table, Key: sk}
 	var resp wire.Response
 	_ = c.execute(&req, &resp, c.routeWrite(sk))
+	h := c.hot
+	h.mu.Lock()
+	delete(h.fresh, string(key))
+	h.mu.Unlock()
 }
 
 // hotGet tries the shadow copy of a hot key; ok reports a usable answer

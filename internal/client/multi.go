@@ -1,0 +1,222 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bespokv/internal/wire"
+)
+
+// Shard-coalesced batch API: MultiGet/MultiPut bucket keys by destination
+// shard under the current map, ship one multi-op frame per shard (decoded
+// server-side into a single engine pass), fan the buckets out concurrently
+// over the existing pipelined connections, and reassemble answers in the
+// caller's key order with per-key error reporting. A batch of N keys
+// touching S shards costs S frames instead of N round trips.
+
+// MultiResult is the per-key outcome of a batch operation.
+type MultiResult struct {
+	// Value is the value read (MultiGet only; nil when !Found).
+	Value []byte
+	// Found reports whether the key existed.
+	Found bool
+	// Err is the per-key failure, nil on success. A shard-wide failure
+	// (unreachable, out of retries) lands on every key of that bucket.
+	Err error
+}
+
+// statusErr converts a non-OK per-key status into a per-key error.
+func statusErr(st wire.Status) error {
+	return fmt.Errorf("client: %s", st)
+}
+
+// bucket is one shard's slice of a batch.
+type bucket struct {
+	keys [][]byte // batch keys, same order as idxs
+	idxs []int    // positions in the caller's slice
+}
+
+// bucketByShard groups batch positions by owning shard index.
+func (c *Client) bucketByShard(keys [][]byte) (map[int]*bucket, error) {
+	c.mu.RLock()
+	m, ring := c.m, c.ring
+	c.mu.RUnlock()
+	if m == nil || len(m.Shards) == 0 {
+		return nil, errors.New("client: no cluster map")
+	}
+	buckets := make(map[int]*bucket)
+	for i, k := range keys {
+		si := m.ShardFor(k, ring)
+		b := buckets[si]
+		if b == nil {
+			b = &bucket{}
+			buckets[si] = b
+		}
+		b.keys = append(b.keys, k)
+		b.idxs = append(b.idxs, i)
+	}
+	return buckets, nil
+}
+
+// MultiGet reads every key in one coalesced sweep at the mode's default
+// consistency. The returned slice is index-aligned with keys; the error is
+// non-nil only when the batch could not be attempted at all.
+func (c *Client) MultiGet(table string, keys [][]byte) ([]MultiResult, error) {
+	return c.MultiGetLevel(table, keys, wire.LevelDefault)
+}
+
+// MultiGetLevel is MultiGet with an explicit consistency level.
+func (c *Client) MultiGetLevel(table string, keys [][]byte, level wire.Level) ([]MultiResult, error) {
+	out := make([]MultiResult, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	buckets, err := c.bucketByShard(keys)
+	if err != nil {
+		return nil, err
+	}
+	// Direct-eligible buckets ride the pipelined DoAsync machinery: every
+	// frame is submitted before any response is awaited, so the shard
+	// fan-out overlaps on the connections' write loops and costs no
+	// goroutine spawns. Ineligible buckets (no lease, AA strong reads,
+	// mid-transition) take the retrying controlet path concurrently.
+	var (
+		pend []pendingMGet
+		wg   sync.WaitGroup
+	)
+	for si, b := range buckets {
+		if pd, ok := c.submitDirectMGet(table, level, si, b); ok {
+			pend = append(pend, pd)
+			continue
+		}
+		wg.Add(1)
+		go func(si int, b *bucket) {
+			defer wg.Done()
+			c.mgetBucket(table, level, si, b, out)
+		}(si, b)
+	}
+	for _, pd := range pend {
+		if !c.awaitDirectMGet(pd, out) {
+			// The direct frame failed (stale epoch, dead datalet, short
+			// reply): this bucket falls back through the controlet.
+			c.mgetBucket(table, level, pd.si, pd.b, out)
+		}
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// mgetBucket resolves one shard's keys through the ordinary retrying
+// controlet path (the fallback when a direct frame is ineligible or
+// bounced).
+func (c *Client) mgetBucket(table string, level wire.Level, si int, b *bucket, out []MultiResult) {
+	req := wire.Request{Op: wire.OpMGet, Table: table, Level: level}
+	for _, k := range b.keys {
+		req.Pairs = append(req.Pairs, wire.KV{Key: k})
+	}
+	var resp wire.Response
+	err := c.execute(&req, &resp, func() (string, uint64, error) {
+		// Re-derive the shard from a member key each attempt so a
+		// failover or migration observed mid-retry re-routes the bucket.
+		shard, m, err := c.shardFor(b.keys[0])
+		if err != nil {
+			return "", 0, err
+		}
+		return c.readTarget(m, shard, level).ControletAddr, m.Epoch, nil
+	})
+	if err == nil {
+		err = resp.ErrValue()
+	}
+	if err != nil {
+		for _, idx := range b.idxs {
+			out[idx] = MultiResult{Err: err}
+		}
+		return
+	}
+	for i, idx := range b.idxs {
+		if i >= len(resp.Statuses) || i >= len(resp.Pairs) {
+			out[idx] = MultiResult{Err: errors.New("client: short multi-get response")}
+			continue
+		}
+		switch resp.Statuses[i] {
+		case wire.StatusOK:
+			out[idx] = MultiResult{Value: append([]byte(nil), resp.Pairs[i].Value...), Found: true}
+		case wire.StatusNotFound:
+			out[idx] = MultiResult{}
+		default:
+			out[idx] = MultiResult{Err: statusErr(resp.Statuses[i])}
+		}
+	}
+}
+
+// MultiPut writes every pair in one coalesced sweep. The returned slice is
+// index-aligned with pairs: errs[i] is nil when pairs[i] was durably
+// accepted. The error is non-nil only when the batch could not be
+// attempted at all — per-shard failures (one shard down, the rest healthy)
+// surface as per-key errors, and the healthy shards' writes stand.
+func (c *Client) MultiPut(table string, pairs []wire.KV) ([]error, error) {
+	errs := make([]error, len(pairs))
+	if len(pairs) == 0 {
+		return errs, nil
+	}
+	keys := make([][]byte, len(pairs))
+	for i := range pairs {
+		keys[i] = pairs[i].Key
+	}
+	buckets, err := c.bucketByShard(keys)
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	for _, b := range buckets {
+		wg.Add(1)
+		go func(b *bucket) {
+			defer wg.Done()
+			c.mputBucket(table, pairs, b, errs)
+		}(b)
+	}
+	wg.Wait()
+	if c.hot != nil {
+		for i := range pairs {
+			if errs[i] == nil && c.hot.touch(pairs[i].Key) {
+				c.hotPut(table, pairs[i].Key, pairs[i].Value)
+			}
+		}
+	}
+	return errs, nil
+}
+
+// mputBucket writes one shard's pairs through the retrying controlet path.
+func (c *Client) mputBucket(table string, pairs []wire.KV, b *bucket, errs []error) {
+	req := wire.Request{Op: wire.OpMPut, Table: table}
+	for _, idx := range b.idxs {
+		req.Pairs = append(req.Pairs, wire.KV{Key: pairs[idx].Key, Value: pairs[idx].Value})
+	}
+	var resp wire.Response
+	err := c.execute(&req, &resp, func() (string, uint64, error) {
+		shard, m, err := c.shardFor(b.keys[0])
+		if err != nil {
+			return "", 0, err
+		}
+		return c.writeTarget(m, shard).ControletAddr, m.Epoch, nil
+	})
+	if err == nil {
+		err = resp.ErrValue()
+	}
+	if err != nil {
+		for _, idx := range b.idxs {
+			errs[idx] = err
+		}
+		return
+	}
+	for i, idx := range b.idxs {
+		if i >= len(resp.Statuses) {
+			errs[idx] = errors.New("client: short multi-put response")
+			continue
+		}
+		if resp.Statuses[i] != wire.StatusOK {
+			errs[idx] = statusErr(resp.Statuses[i])
+		}
+	}
+}

@@ -10,24 +10,34 @@ import (
 // Client-side op metrics, pre-resolved per op so execute's hot path never
 // takes a registry lookup (see the contract in internal/metrics).
 var (
-	clientOpCount [wire.OpHandoff + 1]*metrics.Counter
-	clientOpLat   [wire.OpHandoff + 1]*metrics.Histogram
+	clientOpCount [wire.OpMax + 1]*metrics.Counter
+	clientOpLat   [wire.OpMax + 1]*metrics.Histogram
 
 	clientRetries   = metrics.Default.Counter("bespokv_client_retries_total")
 	clientRedirects = metrics.Default.Counter("bespokv_client_redirects_total")
 	clientErrors    = metrics.Default.Counter("bespokv_client_errors_total")
 	clientRefused   = metrics.Default.Counter("bespokv_client_refused_total")
+
+	// Wire-speed read path: reads served straight from a datalet under a
+	// live map lease, and reads that had to fall back to the controlet
+	// path (unreachable datalet, stale epoch, expired lease).
+	clientDirectReads     = metrics.Default.Counter("bespokv_client_direct_reads_total")
+	clientDirectFallbacks = metrics.Default.Counter("bespokv_client_direct_fallbacks_total")
+
+	// Hedging: second legs fired, and races the hedge leg won.
+	clientHedgedReads = metrics.Default.Counter("bespokv_client_hedged_reads_total")
+	clientHedgeWins   = metrics.Default.Counter("bespokv_client_hedge_wins_total")
 )
 
 func init() {
-	for op := wire.OpNop; op <= wire.OpHandoff; op++ {
+	for op := wire.OpNop; op <= wire.OpMax; op++ {
 		clientOpCount[op] = metrics.Default.Counter("bespokv_client_ops_total", "op", op.String())
 		clientOpLat[op] = metrics.Default.Histogram("bespokv_client_op_seconds", "op", op.String())
 	}
 }
 
 func clampClientOp(op wire.Op) wire.Op {
-	if op > wire.OpHandoff {
+	if op > wire.OpMax {
 		return wire.OpNop
 	}
 	return op

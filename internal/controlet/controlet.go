@@ -358,11 +358,17 @@ func (s *Server) SetMap(m *topology.Map) {
 	clone := m.Clone()
 	ring := topology.BuildRing(clone)
 	s.mapMu.Lock()
-	if s.curMap == nil || m.Epoch >= s.curMap.Epoch {
+	installed := s.curMap == nil || m.Epoch >= s.curMap.Epoch
+	if installed {
 		s.curMap = clone
 		s.curRing = ring
 	}
 	s.mapMu.Unlock()
+	if installed {
+		// Grant the local datalet its epoch lease so it can fence direct
+		// client reads against the map that just took effect.
+		s.pushEpochLease(clone.Epoch)
+	}
 }
 
 // Map returns the controlet's current cluster map (may be nil).
@@ -653,6 +659,10 @@ func (s *Server) heartbeatLoop() {
 			if m, err := coordClient.GetMap(); err == nil {
 				s.SetMap(m)
 			}
+		} else {
+			// Same epoch: refresh the datalet's lease TTL so direct reads
+			// keep flowing exactly as long as this controlet is unfenced.
+			s.pushEpochLease(cur.Epoch)
 		}
 	}
 }

@@ -28,6 +28,12 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response) {
 		s.localCall(req, resp)
 	case wire.OpCreateTable, wire.OpDeleteTable:
 		s.handleTableOp(req, resp)
+	case wire.OpMGet:
+		s.handleMGet(req, resp)
+	case wire.OpMPut:
+		s.handleMPut(req, resp)
+	case wire.OpChainMPut:
+		s.handleChainMPut(req, resp)
 	case wire.OpChainPut, wire.OpChainDel:
 		s.handleChain(req, resp)
 	case wire.OpReplPut, wire.OpReplDel:

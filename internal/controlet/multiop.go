@@ -1,0 +1,439 @@
+package controlet
+
+import (
+	"errors"
+
+	"bespokv/internal/topology"
+	"bespokv/internal/wire"
+)
+
+// Shard-coalesced multi-operations. The client library buckets keys by
+// destination shard and ships one frame per shard; this file is the
+// controlet side: route the whole frame under the same mode rules as the
+// single-key paths, touch the local datalet once, and report per-key
+// outcomes in Response.Statuses (index-aligned with Request.Pairs).
+
+// handleMGet is the client-facing multi-read path. Routing mirrors
+// handleGet exactly — the batch stands or falls as one unit, because every
+// key in it was bucketed to this shard by the sender.
+func (s *Server) handleMGet(req *wire.Request, resp *wire.Response) {
+	m := s.Map()
+	shard, pos := s.myShard(m)
+
+	level := req.Level
+	if level == wire.LevelDefault {
+		if s.cfg.Mode.Consistency == topology.Strong {
+			level = wire.LevelStrong
+		} else {
+			level = wire.LevelEventual
+		}
+	}
+
+	if m == nil {
+		s.localCall(req, resp)
+		return
+	}
+	if m.Transition != nil {
+		// Reads observe EC during a transition, as §V-A describes.
+		s.localCall(req, resp)
+		return
+	}
+	if pos < 0 {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: node not in current map"
+		return
+	}
+
+	switch {
+	case level == wire.LevelEventual:
+		s.localCall(req, resp)
+	case s.cfg.Mode.Topology == topology.AA && s.cfg.Mode.Consistency == topology.Strong:
+		s.lockedMGet(req, resp)
+	case s.cfg.Mode.Topology == topology.AA:
+		s.localCall(req, resp)
+	default:
+		owner := shard.ReadTail()
+		if s.cfg.Mode.Consistency == topology.Eventual {
+			owner = shard.Head()
+		}
+		if owner.ID != s.cfg.NodeID {
+			resp.Status = wire.StatusRedirect
+			resp.Err = owner.ControletAddr
+			return
+		}
+		if s.fenced() {
+			ctlFencedRejects.Inc()
+			resp.Status = wire.StatusUnavailable
+			resp.Err = "controlet: fenced (no coordinator contact)"
+			return
+		}
+		s.localCall(req, resp)
+	}
+}
+
+// lockedMGet serves an AA+SC batch read key by key under the DLM (strong
+// reads there must win the per-key lock; there is no batched lock
+// primitive), merging the answers back into one frame.
+func (s *Server) lockedMGet(req *wire.Request, resp *wire.Response) {
+	kreq := wire.GetRequest()
+	kresp := wire.GetResponse()
+	defer wire.PutRequest(kreq)
+	defer wire.PutResponse(kresp)
+	resp.Status = wire.StatusOK
+	for i := range req.Pairs {
+		kreq.Reset()
+		kreq.Op = wire.OpGet
+		kreq.Table = req.Table
+		kreq.Key = req.Pairs[i].Key
+		kreq.Level = req.Level
+		kreq.TraceID = req.TraceID
+		kresp.Reset()
+		s.lockedGet(kreq, kresp)
+		switch kresp.Status {
+		case wire.StatusOK:
+			resp.Pairs = append(resp.Pairs, wire.KV{
+				Value:   append([]byte(nil), kresp.Value...),
+				Version: kresp.Version,
+			})
+		default:
+			resp.Pairs = append(resp.Pairs, wire.KV{})
+		}
+		resp.Statuses = append(resp.Statuses, kresp.Status)
+	}
+}
+
+// handleMPut is the client-facing multi-write path. Mode guards mirror
+// handleWrite; the MS modes then apply the whole frame to the local datalet
+// in one pass, while the AA modes (per-key DLM locks, per-record shared-log
+// sequencing) degrade to a per-pair loop over their single-key paths.
+func (s *Server) handleMPut(req *wire.Request, resp *wire.Response) {
+	s.inflight.RLock()
+	defer s.inflight.RUnlock()
+	m := s.Map()
+
+	if m == nil && s.cfg.CoordinatorAddr != "" {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: no cluster map yet"
+		return
+	}
+	shard, pos := s.myShard(m)
+
+	if s.draining.Load() || (m != nil && m.Transition != nil && pos >= 0) {
+		// Single-key writes are forwarded to the new-mode controlet one
+		// by one; a batch is simply bounced — the client retries after
+		// the transition's epoch bump and re-buckets under the new map.
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: transition in progress"
+		return
+	}
+	if m != nil && pos < 0 {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: node not in current map"
+		return
+	}
+	if ms := s.migration(); ms != nil {
+		for i := range req.Pairs {
+			if ms.mover.Blocks(req.Pairs[i].Key) {
+				resp.Status = wire.StatusUnavailable
+				resp.Err = "controlet: shard migration cutover in progress"
+				return
+			}
+		}
+	}
+	if s.cfg.Mode.Topology == topology.MS && s.fenced() {
+		ctlFencedRejects.Inc()
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: fenced (no coordinator contact)"
+		return
+	}
+
+	switch {
+	case s.cfg.Mode.Topology == topology.MS && s.cfg.Mode.Consistency == topology.Strong:
+		s.chainMPut(m, shard, pos, req, resp)
+	case s.cfg.Mode.Topology == topology.MS:
+		s.asyncMPut(m, shard, pos, req, resp)
+	default:
+		s.pairLoopWrite(m, shard, req, resp)
+	}
+}
+
+// multiWriteLocal assigns fresh LWW versions to every pair, applies the
+// whole frame to the local datalet at once, and retries any pair that lost
+// a version race (possible right after a transition out of AA+EC, whose
+// log-derived versions live above the Lamport range). It returns the
+// per-pair assigned versions and statuses, index-aligned with pairs.
+func (s *Server) multiWriteLocal(table string, pairs []wire.KV, tid uint64) ([]uint64, []wire.Status, error) {
+	versions := make([]uint64, len(pairs))
+	statuses := make([]wire.Status, len(pairs))
+	pending := make([]int, len(pairs))
+	for i := range pending {
+		pending[i] = i
+	}
+	lreq := wire.GetRequest()
+	lresp := wire.GetResponse()
+	defer wire.PutRequest(lreq)
+	defer wire.PutResponse(lresp)
+	for attempt := 0; attempt < 8 && len(pending) > 0; attempt++ {
+		lreq.Reset()
+		lreq.Op = wire.OpMPut
+		lreq.Table = table
+		lreq.TraceID = tid
+		for _, idx := range pending {
+			versions[idx] = s.nextVersion()
+			lreq.Pairs = append(lreq.Pairs, wire.KV{
+				Key:     pairs[idx].Key,
+				Value:   pairs[idx].Value,
+				Version: versions[idx],
+			})
+		}
+		lresp.Reset()
+		if err := s.local.Do(lreq, lresp); err != nil {
+			return nil, nil, err
+		}
+		if lresp.Status != wire.StatusOK {
+			return nil, nil, lresp.ErrValue()
+		}
+		var racing []int
+		for j, idx := range pending {
+			if j < len(lresp.Statuses) && lresp.Statuses[j] != wire.StatusOK {
+				statuses[idx] = wire.StatusErr
+				continue
+			}
+			if j < len(lresp.Pairs) && lresp.Pairs[j].Version > versions[idx] {
+				s.observeVersion(lresp.Pairs[j].Version)
+				racing = append(racing, idx)
+				continue
+			}
+			statuses[idx] = wire.StatusOK
+		}
+		pending = racing
+	}
+	if len(pending) > 0 {
+		return nil, nil, errors.New("controlet: local write kept losing version races")
+	}
+	return versions, statuses, nil
+}
+
+// chainMPut is the MS+SC batch write: the head applies the whole frame
+// locally with assigned versions, then forwards one OpChainMPut frame down
+// the chain and answers only after the tail's ack — per-key semantics
+// identical to N chainWrites, at one frame per hop.
+func (s *Server) chainMPut(m *topology.Map, shard topology.Shard, pos int, req *wire.Request, resp *wire.Response) {
+	if m != nil && pos != 0 {
+		resp.Status = wire.StatusRedirect
+		resp.Err = shard.Head().ControletAddr
+		return
+	}
+	versions, statuses, err := s.multiWriteLocal(req.Table, req.Pairs, req.TraceID)
+	if err != nil {
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return
+	}
+	fwd := wire.GetRequest()
+	defer wire.PutRequest(fwd)
+	fwd.Op = wire.OpChainMPut
+	fwd.Table = req.Table
+	fwd.Epoch = epochOf(m)
+	fwd.TraceID = req.TraceID
+	for i := range req.Pairs {
+		if statuses[i] != wire.StatusOK {
+			continue // pairs the local engine rejected are not replicated
+		}
+		fwd.Pairs = append(fwd.Pairs, wire.KV{
+			Key:     req.Pairs[i].Key,
+			Value:   req.Pairs[i].Value,
+			Version: versions[i],
+		})
+	}
+	if len(fwd.Pairs) > 0 && m != nil && pos+1 < len(shard.Replicas) {
+		next := shard.Replicas[pos+1]
+		pool, err := s.peerPool(next.ControletAddr)
+		if err == nil {
+			presp := wire.GetResponse()
+			err = pool.Do(fwd, presp)
+			if err == nil {
+				err = presp.ErrValue()
+			} else {
+				s.dropPeer(next.ControletAddr)
+			}
+			wire.PutResponse(presp)
+		}
+		if err != nil {
+			// A broken chain fails the whole batch; the coordinator
+			// repairs the chain and the client retries (LWW re-apply is
+			// idempotent).
+			resp.Status = wire.StatusUnavailable
+			resp.Err = "chain: " + err.Error()
+			return
+		}
+	}
+	for i := range req.Pairs {
+		if statuses[i] == wire.StatusOK {
+			s.mirrorWrite(false, req.Table, req.Pairs[i].Key, req.Pairs[i].Value, versions[i])
+		}
+		resp.Pairs = append(resp.Pairs, wire.KV{Version: versions[i]})
+	}
+	resp.Statuses = append(resp.Statuses[:0], statuses...)
+	resp.Status = wire.StatusOK
+}
+
+// handleChainMPut is the mid/tail side: forward the frame downstream,
+// apply the whole frame locally while it travels (same overlap as
+// handleChain), ack upstream only after both complete.
+func (s *Server) handleChainMPut(req *wire.Request, resp *wire.Response) {
+	for i := range req.Pairs {
+		s.observeVersion(req.Pairs[i].Version)
+	}
+	m := s.Map()
+	shard, pos := s.myShard(m)
+	if m != nil && pos < 0 {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "controlet: node not in current map"
+		return
+	}
+	var ack *chainAck
+	if m != nil && pos+1 < len(shard.Replicas) {
+		next := shard.Replicas[pos+1]
+		ack = &chainAck{addr: next.ControletAddr}
+		pool, err := s.peerPool(next.ControletAddr)
+		if err != nil {
+			ack.err = err
+		} else {
+			fwd := wire.GetRequest()
+			fwd.Op = wire.OpChainMPut
+			fwd.Table = req.Table
+			fwd.Epoch = req.Epoch
+			fwd.TraceID = req.TraceID
+			fwd.Pairs = append(fwd.Pairs, req.Pairs...)
+			ack.fwd = fwd
+			ctlChainForwards.Inc()
+			ack.presp = wire.GetResponse()
+			ack.errc = pool.DoAsync(fwd, ack.presp)
+		}
+	}
+	err := s.applyLocalM(req)
+	if err != nil {
+		_ = ack.wait(s) // drain; the write still fails upstream
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return
+	}
+	if err := ack.wait(s); err != nil {
+		resp.Status = wire.StatusUnavailable
+		resp.Err = "chain: " + err.Error()
+		return
+	}
+	resp.Status = wire.StatusOK
+}
+
+// applyLocalM applies a version-carrying multi-put frame to the local
+// datalet verbatim; any per-pair engine failure fails the frame (chain
+// replication cannot ack a write a replica did not store).
+func (s *Server) applyLocalM(req *wire.Request) error {
+	lreq := wire.GetRequest()
+	lresp := wire.GetResponse()
+	defer wire.PutRequest(lreq)
+	defer wire.PutResponse(lresp)
+	lreq.Op = wire.OpMPut
+	lreq.Table = req.Table
+	lreq.TraceID = req.TraceID
+	lreq.Pairs = append(lreq.Pairs, req.Pairs...)
+	if err := s.local.Do(lreq, lresp); err != nil {
+		return err
+	}
+	if lresp.Status != wire.StatusOK {
+		return lresp.ErrValue()
+	}
+	for _, st := range lresp.Statuses {
+		if st != wire.StatusOK {
+			return errors.New("controlet: replica rejected a chained pair")
+		}
+	}
+	return nil
+}
+
+// asyncMPut is the MS+EC batch write: the master applies the frame locally
+// in one pass, acks, and enqueues per-pair asynchronous propagation (the
+// propagator's per-slave FIFO queues keep convergence).
+func (s *Server) asyncMPut(m *topology.Map, shard topology.Shard, pos int, req *wire.Request, resp *wire.Response) {
+	if m != nil && pos != 0 {
+		resp.Status = wire.StatusRedirect
+		resp.Err = shard.Head().ControletAddr
+		return
+	}
+	versions, statuses, err := s.multiWriteLocal(req.Table, req.Pairs, req.TraceID)
+	if err != nil {
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return
+	}
+	for i := range req.Pairs {
+		if statuses[i] != wire.StatusOK {
+			resp.Pairs = append(resp.Pairs, wire.KV{})
+			continue
+		}
+		if s.prop != nil && m != nil {
+			s.prop.enqueue(shard, propRecord{
+				op:      wire.OpReplPut,
+				table:   req.Table,
+				key:     append([]byte(nil), req.Pairs[i].Key...),
+				value:   append([]byte(nil), req.Pairs[i].Value...),
+				version: versions[i],
+				traceID: req.TraceID,
+			})
+		}
+		s.mirrorWrite(false, req.Table, req.Pairs[i].Key, req.Pairs[i].Value, versions[i])
+		resp.Pairs = append(resp.Pairs, wire.KV{Version: versions[i]})
+	}
+	resp.Statuses = append(resp.Statuses[:0], statuses...)
+	resp.Status = wire.StatusOK
+}
+
+// pairLoopWrite degrades an AA-mode batch to its single-key write path per
+// pair (AA+SC must win one DLM lease per key; AA+EC sequences one shared-log
+// record per write), still saving the client the per-op framing and
+// round-trips.
+func (s *Server) pairLoopWrite(m *topology.Map, shard topology.Shard, req *wire.Request, resp *wire.Response) {
+	kreq := wire.GetRequest()
+	kresp := wire.GetResponse()
+	defer wire.PutRequest(kreq)
+	defer wire.PutResponse(kresp)
+	resp.Status = wire.StatusOK
+	for i := range req.Pairs {
+		kreq.Reset()
+		kreq.Op = wire.OpPut
+		kreq.Table = req.Table
+		kreq.Key = req.Pairs[i].Key
+		kreq.Value = req.Pairs[i].Value
+		kreq.TraceID = req.TraceID
+		kresp.Reset()
+		if s.cfg.Mode.Consistency == topology.Strong {
+			s.lockedWrite(m, shard, kreq, kresp)
+		} else {
+			s.loggedWrite(kreq, kresp)
+		}
+		resp.Pairs = append(resp.Pairs, wire.KV{Version: kresp.Version})
+		resp.Statuses = append(resp.Statuses, kresp.Status)
+	}
+}
+
+// pushEpochLease grants (or refreshes) the local datalet's epoch lease so
+// it can fence direct client reads. The TTL is tied to FenceTimeout: a
+// partitioned pair's datalet stops serving direct reads in the same window
+// its controlet self-fences. Coordinator-less static setups get a
+// non-expiring lease — their epoch never moves.
+func (s *Server) pushEpochLease(epoch uint64) {
+	var ttl uint64
+	if s.cfg.FenceTimeout > 0 && s.cfg.CoordinatorAddr != "" {
+		ttl = uint64(s.cfg.FenceTimeout)
+	}
+	req := wire.GetRequest()
+	resp := wire.GetResponse()
+	defer wire.PutRequest(req)
+	defer wire.PutResponse(resp)
+	req.Op = wire.OpEpochSet
+	req.Epoch = epoch
+	req.Version = ttl
+	_ = s.local.Do(req, resp) // best effort; refreshed every heartbeat
+}

@@ -50,6 +50,19 @@ func (c *Client) WatchMap(since uint64, timeout time.Duration) (*topology.Map, e
 	return &m, nil
 }
 
+// LeaseMap is WatchMap plus a lease grant: the returned map may be trusted
+// for direct datalet reads for the returned TTL. A zero TTL (or an error —
+// e.g. a read-only follower that does not grant leases) means no lease;
+// the caller must route reads through controlets.
+func (c *Client) LeaseMap(since uint64, timeout time.Duration) (*topology.Map, time.Duration, error) {
+	var reply LeaseReply
+	args := WatchArgs{Since: since, TimeoutMs: int(timeout / time.Millisecond)}
+	if err := c.c.Call("LeaseMap", args, &reply); err != nil {
+		return nil, 0, err
+	}
+	return reply.Map, time.Duration(reply.TTLMs) * time.Millisecond, nil
+}
+
 // SetMap installs a map (bootstrap / admin), returning the assigned epoch.
 func (c *Client) SetMap(m *topology.Map) (uint64, error) {
 	var reply HeartbeatReply

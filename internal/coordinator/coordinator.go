@@ -33,6 +33,10 @@ type Config struct {
 	// DisableFailover turns the failure detector off (benchmarks that
 	// kill nodes deliberately re-enable it per-experiment).
 	DisableFailover bool
+	// LeaseTTL is how long a client may trust a map granted via LeaseMap
+	// for direct datalet reads without renewing (default HeartbeatTimeout:
+	// a client's trust window never outlives the failure detector's).
+	LeaseTTL time.Duration
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -86,6 +90,13 @@ type WatchArgs struct {
 	TimeoutMs int    `json:"timeout_ms"`
 }
 
+// LeaseReply carries a map plus the window during which the recipient may
+// trust it for coordinator-free direct datalet reads.
+type LeaseReply struct {
+	Map   *topology.Map `json:"map"`
+	TTLMs int           `json:"ttl_ms"`
+}
+
 // TransitionArgs starts a topology/consistency switch.
 type TransitionArgs struct {
 	To topology.Mode `json:"to"`
@@ -105,6 +116,9 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.CheckInterval <= 0 {
 		cfg.CheckInterval = cfg.HeartbeatTimeout / 4
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = cfg.HeartbeatTimeout
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -122,6 +136,7 @@ func Serve(cfg Config) (*Server, error) {
 	s.rpc.Name = "coordinator"
 	rpc.HandleFunc(s.rpc, "GetMap", s.handleGetMap)
 	rpc.HandleFunc(s.rpc, "WatchMap", s.handleWatchMap)
+	rpc.HandleFunc(s.rpc, "LeaseMap", s.handleLeaseMap)
 	rpc.HandleFunc(s.rpc, "SetMap", s.handleSetMap)
 	rpc.HandleFunc(s.rpc, "Heartbeat", s.handleHeartbeat)
 	rpc.HandleFunc(s.rpc, "RegisterStandby", s.handleRegisterStandby)
@@ -198,6 +213,19 @@ func (s *Server) handleWatchMap(args WatchArgs) (*topology.Map, error) {
 			return nil, errors.New("coordinator: shutting down")
 		}
 	}
+}
+
+// handleLeaseMap is WatchMap plus a lease grant: the reply's map comes with
+// a TTL during which the client may read datalets directly (epoch-fenced at
+// the datalet) without consulting the coordinator. Renewal rides the same
+// long-poll the watch loop already runs, so leased clients cost the
+// coordinator nothing beyond their existing watch.
+func (s *Server) handleLeaseMap(args WatchArgs) (LeaseReply, error) {
+	m, err := s.handleWatchMap(args)
+	if err != nil {
+		return LeaseReply{}, err
+	}
+	return LeaseReply{Map: m, TTLMs: int(s.cfg.LeaseTTL / time.Millisecond)}, nil
 }
 
 func (s *Server) handleSetMap(m *topology.Map) (HeartbeatReply, error) {

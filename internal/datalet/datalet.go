@@ -53,6 +53,15 @@ type Server struct {
 	active map[transport.Conn]struct{}
 	closed bool
 
+	// Epoch lease for direct client reads, granted and refreshed by the
+	// fronting controlet via OpEpochSet (see handleEpochSet). The datalet
+	// itself is distribution-unaware; the lease is the one piece of
+	// cluster state it holds, and only to fence OpDirectGet.
+	epochMu  sync.RWMutex
+	epoch    uint64
+	epochExp time.Time // zero = no expiry (static setups)
+	epochSet bool      // an OpEpochSet has landed at least once
+
 	conns sync.WaitGroup
 }
 
@@ -329,6 +338,38 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		resp.Status = wire.StatusOK
 		resp.Version = deleted
 
+	case wire.OpEpochSet:
+		s.handleEpochSet(req, resp)
+
+	case wire.OpMGet:
+		s.multiGet(req, resp)
+
+	case wire.OpDirectGet:
+		// Direct reads bypass the controlet, so the epoch fence moves
+		// here: the request must carry exactly the lease epoch, and the
+		// lease must be live. Anything else sends the client back through
+		// its controlet to refresh.
+		epoch, live, granted := s.leaseEpoch()
+		if !granted {
+			resp.Status = wire.StatusUnavailable
+			resp.Err = "datalet: no epoch lease granted"
+			return
+		}
+		if !live {
+			resp.Status = wire.StatusUnavailable
+			resp.Err = "datalet: epoch lease expired"
+			return
+		}
+		if req.Epoch != epoch {
+			resp.Status = wire.StatusWrongEpoch
+			resp.Epoch = epoch
+			return
+		}
+		s.multiGet(req, resp)
+
+	case wire.OpMPut:
+		s.multiPut(req, resp)
+
 	case wire.OpStats:
 		s.mu.RLock()
 		names := make([]string, 0, len(s.tables))
@@ -360,6 +401,93 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 	default:
 		resp.Status = wire.StatusErr
 		resp.Err = fmt.Sprintf("datalet: unsupported op %s", req.Op)
+	}
+}
+
+// handleEpochSet installs (or refreshes) the controlet-granted epoch lease.
+// Request.Epoch is the cluster-map epoch; Request.Version carries the TTL in
+// nanoseconds, 0 meaning no expiry. Regressions are ignored so a lagging
+// controlet push can never roll the fence backwards.
+func (s *Server) handleEpochSet(req *wire.Request, resp *wire.Response) {
+	s.epochMu.Lock()
+	if !s.epochSet || req.Epoch >= s.epoch {
+		s.epoch = req.Epoch
+		s.epochSet = true
+		if req.Version > 0 {
+			s.epochExp = time.Now().Add(time.Duration(req.Version))
+		} else {
+			s.epochExp = time.Time{}
+		}
+	}
+	s.epochMu.Unlock()
+	resp.Status = wire.StatusOK
+}
+
+// leaseEpoch reports the current lease epoch, whether it is still live, and
+// whether a lease was ever granted.
+func (s *Server) leaseEpoch() (epoch uint64, live, granted bool) {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	if !s.epochSet {
+		return 0, false, false
+	}
+	live = s.epochExp.IsZero() || time.Now().Before(s.epochExp)
+	return s.epoch, live, true
+}
+
+// LeaseEpoch exposes the lease for tests and the in-process harness.
+func (s *Server) LeaseEpoch() (epoch uint64, live bool) {
+	epoch, live, _ = s.leaseEpoch()
+	return epoch, live
+}
+
+// multiGet answers one frame of point reads in a single engine pass:
+// response Pairs and Statuses are index-aligned with the request's Pairs.
+func (s *Server) multiGet(req *wire.Request, resp *wire.Response) {
+	e, ok := s.engineFor(req.Table)
+	if !ok {
+		resp.Status = wire.StatusNotFound
+		resp.Err = "no such table: " + req.Table
+		return
+	}
+	resp.Status = wire.StatusOK
+	for i := range req.Pairs {
+		v, ver, found, err := e.Get(req.Pairs[i].Key)
+		switch {
+		case err != nil:
+			resp.Pairs = append(resp.Pairs, wire.KV{})
+			resp.Statuses = append(resp.Statuses, wire.StatusErr)
+		case !found:
+			resp.Pairs = append(resp.Pairs, wire.KV{})
+			resp.Statuses = append(resp.Statuses, wire.StatusNotFound)
+		default:
+			resp.Pairs = append(resp.Pairs, wire.KV{Value: append([]byte(nil), v...), Version: ver})
+			resp.Statuses = append(resp.Statuses, wire.StatusOK)
+		}
+	}
+}
+
+// multiPut applies one frame of writes in a single engine pass. Each pair
+// carries its controlet-assigned LWW version; the response returns the
+// winning stored version per pair (so the caller can detect lost races) and
+// a per-pair status.
+func (s *Server) multiPut(req *wire.Request, resp *wire.Response) {
+	e, ok := s.engineFor(req.Table)
+	if !ok {
+		resp.Status = wire.StatusNotFound
+		resp.Err = "no such table: " + req.Table
+		return
+	}
+	resp.Status = wire.StatusOK
+	for i := range req.Pairs {
+		ver, err := e.Put(req.Pairs[i].Key, req.Pairs[i].Value, req.Pairs[i].Version)
+		if err != nil {
+			resp.Pairs = append(resp.Pairs, wire.KV{})
+			resp.Statuses = append(resp.Statuses, wire.StatusErr)
+			continue
+		}
+		resp.Pairs = append(resp.Pairs, wire.KV{Version: ver})
+		resp.Statuses = append(resp.Statuses, wire.StatusOK)
 	}
 }
 

@@ -307,12 +307,15 @@ func TestDirectedRules(t *testing.T) {
 	if _, err := cb.Write([]byte("resp")); err != nil {
 		t.Fatal(err)
 	}
-	expectNothing(t, readAsync(ca), "b→a drop-all")
+	// Keep one reader for both assertions: a second readAsync would race
+	// the first (still parked in Read) for the post-clear delivery.
+	ra := readAsync(ca)
+	expectNothing(t, ra, "b→a drop-all")
 	f.ClearLinks()
 	if _, err := cb.Write([]byte("resp2")); err != nil {
 		t.Fatal(err)
 	}
-	expect(t, readAsync(ca), "resp2", "b→a after clearing rules")
+	expect(t, ra, "resp2", "b→a after clearing rules")
 }
 
 // TestIsolateSparesLoopback: an isolated host still reaches itself

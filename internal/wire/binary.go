@@ -163,14 +163,27 @@ func encodeRequestFields(f *frameWriter, req *Request) {
 	// TraceID is an optional trailing field, emitted only for sampled
 	// requests: pre-trace decoders discard unread frame bytes, and its
 	// absence decodes as 0 below, so both directions stay compatible.
-	if req.TraceID != 0 {
+	// Pairs (multi-op key sets) trail TraceID; a frame carrying them must
+	// emit TraceID too — even when zero — to keep the field order fixed.
+	if req.TraceID != 0 || len(req.Pairs) > 0 {
 		f.uvarint(req.TraceID)
+	}
+	if len(req.Pairs) > 0 {
+		f.uvarint(uint64(len(req.Pairs)))
+		for i := range req.Pairs {
+			f.bytes(req.Pairs[i].Key)
+			f.bytes(req.Pairs[i].Value)
+			f.uvarint(req.Pairs[i].Version)
+		}
 	}
 }
 
 // EncodeRequest serializes req into w without flushing (BufferedCodec).
 func (BinaryCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
 	est := 64 + len(req.Table) + len(req.Key) + len(req.Value) + len(req.EndKey)
+	for i := range req.Pairs {
+		est += 24 + len(req.Pairs[i].Key) + len(req.Pairs[i].Value)
+	}
 	if buf := w.AvailableBuffer(); cap(buf) >= 4+est {
 		// Frame straight into the writer's own buffer: reserve the
 		// 4-byte length header, append the fields behind it, patch the
@@ -305,9 +318,34 @@ func parseRequestFields(f *frameReader, req *Request) error {
 		return err
 	}
 	req.TraceID = 0
+	req.Pairs = req.Pairs[:0]
 	if f.pos < len(f.buf) {
 		if req.TraceID, err = f.uvarint(); err != nil {
 			return err
+		}
+	}
+	if f.pos < len(f.buf) {
+		np, err := f.uvarint()
+		if err != nil {
+			return err
+		}
+		if np > uint64(len(f.buf)) {
+			return fmt.Errorf("wire: pair count %d exceeds frame", np)
+		}
+		if cap(req.Pairs) < int(np) {
+			req.Pairs = make([]KV, np)
+		}
+		req.Pairs = req.Pairs[:np]
+		for i := range req.Pairs {
+			if req.Pairs[i].Key, err = f.bytes(req.Pairs[i].Key); err != nil {
+				return err
+			}
+			if req.Pairs[i].Value, err = f.bytes(req.Pairs[i].Value); err != nil {
+				return err
+			}
+			if req.Pairs[i].Version, err = f.uvarint(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -327,11 +365,19 @@ func encodeResponseFields(f *frameWriter, resp *Response) {
 	f.uvarint(resp.Version)
 	f.uvarint(resp.Epoch)
 	f.string(resp.Err)
+	// Statuses (per-key multi-op outcomes) are an optional trailing field,
+	// emitted only when present; old frames decode with an empty slice.
+	if len(resp.Statuses) > 0 {
+		f.uvarint(uint64(len(resp.Statuses)))
+		for _, st := range resp.Statuses {
+			f.uvarint(uint64(st))
+		}
+	}
 }
 
 // EncodeResponse serializes resp into w without flushing (BufferedCodec).
 func (BinaryCodec) EncodeResponse(w *bufio.Writer, resp *Response) error {
-	est := 64 + len(resp.Value) + len(resp.Err)
+	est := 64 + len(resp.Value) + len(resp.Err) + 2*len(resp.Statuses)
 	for i := range resp.Pairs {
 		est += 24 + len(resp.Pairs[i].Key) + len(resp.Pairs[i].Value)
 	}
@@ -414,6 +460,26 @@ func parseResponseFields(f *frameReader, resp *Response) error {
 	}
 	if resp.Err, err = f.string(); err != nil {
 		return err
+	}
+	resp.Statuses = resp.Statuses[:0]
+	if f.pos < len(f.buf) {
+		ns, err := f.uvarint()
+		if err != nil {
+			return err
+		}
+		if ns > uint64(len(f.buf)) {
+			return fmt.Errorf("wire: status count %d exceeds frame", ns)
+		}
+		for i := uint64(0); i < ns; i++ {
+			st, err := f.uvarint()
+			if err != nil {
+				return err
+			}
+			if st > math.MaxUint8 {
+				return fmt.Errorf("wire: bad status %d", st)
+			}
+			resp.Statuses = append(resp.Statuses, Status(st))
+		}
 	}
 	return nil
 }

@@ -193,3 +193,136 @@ func FuzzTraceHeader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMultiOp round-trips the optional trailing Pairs/Statuses fields of
+// the multi-op frames through both codecs: whatever pair set the encoder
+// writes must decode identically, truncated frames must be rejected (never
+// mis-decoded), and oversized pair counts must error instead of
+// allocating.
+func FuzzMultiOp(f *testing.F) {
+	f.Add(uint64(1), []byte("k1"), []byte("v1"), []byte("k2"), []byte("v2"), uint64(7))
+	f.Add(uint64(0), []byte(""), []byte(""), []byte("x"), []byte(nil), uint64(0))
+	f.Add(uint64(9), []byte("a"), bytes.Repeat([]byte("b"), 300), []byte("c"), []byte("d"), uint64(1)<<62)
+
+	f.Fuzz(func(t *testing.T, epoch uint64, k1, v1, k2, v2 []byte, ver uint64) {
+		req := Request{
+			ID:    3,
+			Op:    OpMPut,
+			Table: "t",
+			Epoch: epoch,
+			Pairs: []KV{
+				{Key: k1, Value: v1, Version: ver},
+				{Key: k2, Value: v2},
+			},
+		}
+		for _, name := range Codecs() {
+			codec, err := LookupCodec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			bw := bufio.NewWriter(&buf)
+			if err := codec.WriteRequest(bw, &req); err != nil {
+				t.Fatalf("%s encode: %v", name, err)
+			}
+			frame := append([]byte(nil), buf.Bytes()...)
+
+			var got Request
+			if err := codec.ReadRequest(bufio.NewReader(bytes.NewReader(frame)), &got); err != nil {
+				t.Fatalf("%s decode: %v", name, err)
+			}
+			if len(got.Pairs) != len(req.Pairs) {
+				t.Fatalf("%s pair count %d, want %d", name, len(got.Pairs), len(req.Pairs))
+			}
+			for i := range req.Pairs {
+				if string(got.Pairs[i].Key) != string(req.Pairs[i].Key) ||
+					string(got.Pairs[i].Value) != string(req.Pairs[i].Value) ||
+					got.Pairs[i].Version != req.Pairs[i].Version {
+					t.Fatalf("%s pair %d mismatch: %+v vs %+v", name, i, req.Pairs[i], got.Pairs[i])
+				}
+			}
+			if got.Epoch != epoch || got.Op != OpMPut {
+				t.Fatalf("%s header mismatch: %+v", name, got)
+			}
+
+			// Truncation at every boundary must error, never mis-decode
+			// into a shorter-but-valid pair set.
+			for cut := 1; cut < len(frame); cut++ {
+				var part Request
+				if err := codec.ReadRequest(bufio.NewReader(bytes.NewReader(frame[:cut])), &part); err == nil {
+					if len(part.Pairs) == len(req.Pairs) {
+						ok := true
+						for i := range req.Pairs {
+							if string(part.Pairs[i].Key) != string(req.Pairs[i].Key) ||
+								string(part.Pairs[i].Value) != string(req.Pairs[i].Value) {
+								ok = false
+							}
+						}
+						if ok {
+							continue // a self-delimiting prefix that still decodes fully is fine
+						}
+					}
+					t.Fatalf("%s accepted truncated frame (%d of %d bytes) as %+v", name, cut, len(frame), part)
+				}
+			}
+		}
+
+		// Response side: Statuses must ride along index-aligned.
+		resp := Response{
+			ID:     3,
+			Status: StatusOK,
+			Pairs: []KV{
+				{Value: v1, Version: ver},
+				{Value: v2},
+			},
+			Statuses: []Status{StatusOK, StatusNotFound},
+		}
+		for _, name := range Codecs() {
+			codec, _ := LookupCodec(name)
+			var buf bytes.Buffer
+			bw := bufio.NewWriter(&buf)
+			if err := codec.WriteResponse(bw, &resp); err != nil {
+				t.Fatalf("%s encode response: %v", name, err)
+			}
+			var got Response
+			if err := codec.ReadResponse(bufio.NewReader(&buf), &got); err != nil {
+				t.Fatalf("%s decode response: %v", name, err)
+			}
+			if len(got.Statuses) != 2 || got.Statuses[0] != StatusOK || got.Statuses[1] != StatusNotFound {
+				t.Fatalf("%s statuses mismatch: %v", name, got.Statuses)
+			}
+			if len(got.Pairs) != 2 || string(got.Pairs[0].Value) != string(v1) || got.Pairs[0].Version != ver {
+				t.Fatalf("%s response pairs mismatch: %+v", name, got.Pairs)
+			}
+		}
+	})
+}
+
+// TestMultiOpOversizedPairCountRejected hand-builds a binary frame whose
+// pair count claims more pairs than the frame could hold; the decoder must
+// reject it rather than allocate for it.
+func TestMultiOpOversizedPairCountRejected(t *testing.T) {
+	var body []byte
+	put := func(v uint64) { body = binary.AppendUvarint(body, v) }
+	putBytes := func(b []byte) { put(uint64(len(b))); body = append(body, b...) }
+	put(1)                 // ID
+	put(uint64(OpMPut))    // Op
+	putBytes([]byte("t"))  // Table
+	putBytes(nil)          // Key
+	putBytes(nil)          // Value
+	putBytes(nil)          // EndKey
+	put(0)                 // Limit
+	put(0)                 // Version
+	put(0)                 // Level
+	put(0)                 // Epoch
+	put(0)                 // TraceID
+	put(uint64(1) << 40)   // pair count: absurd
+	frame := make([]byte, 4, 4+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+
+	var req Request
+	if err := (BinaryCodec{}).ReadRequest(bufio.NewReader(bytes.NewReader(frame)), &req); err == nil {
+		t.Fatalf("oversized pair count accepted: %+v", req)
+	}
+}

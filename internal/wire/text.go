@@ -18,11 +18,16 @@ import (
 //
 // optionally followed by a tenth element, the trace ID of a sampled
 // request (readers accept 9 or 10 elements, so old and new peers
-// interoperate),
+// interoperate). Multi-op requests (MGET/MPUT/DIRECTGET/CHAINMPUT) append
+// the pair set after the trace ID — a count then key/value/version
+// triples — making an (11+3n)-element array,
 //
 // and a response is the (6+3n)-element array
 //
 //	[status, value, version, epoch, err, npairs, k1, v1, ver1, ...]
+//
+// optionally followed by the multi-op per-key outcomes: a count then one
+// status element each ((7+3n+s) elements in total).
 //
 // The text protocol carries no request ID: it relies on FIFO ordering per
 // connection, as Redis pipelining does. Servers process each connection
@@ -147,6 +152,11 @@ func (TextCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
 	if req.TraceID != 0 {
 		elems = 10
 	}
+	if len(req.Pairs) > 0 {
+		// The pair set trails the trace ID, which must then be present
+		// (even when zero) to keep the element order fixed.
+		elems = 11 + 3*len(req.Pairs)
+	}
 	if err := writeArrayHeader(w, elems); err != nil {
 		return err
 	}
@@ -177,8 +187,26 @@ func (TextCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
 	if err := writeBulkUint(w, req.Epoch); err != nil {
 		return err
 	}
-	if req.TraceID != 0 {
-		return writeBulkUint(w, req.TraceID)
+	if req.TraceID != 0 || len(req.Pairs) > 0 {
+		if err := writeBulkUint(w, req.TraceID); err != nil {
+			return err
+		}
+	}
+	if len(req.Pairs) > 0 {
+		if err := writeBulkUint(w, uint64(len(req.Pairs))); err != nil {
+			return err
+		}
+		for i := range req.Pairs {
+			if err := writeBulk(w, req.Pairs[i].Key); err != nil {
+				return err
+			}
+			if err := writeBulk(w, req.Pairs[i].Value); err != nil {
+				return err
+			}
+			if err := writeBulkUint(w, req.Pairs[i].Version); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -197,8 +225,8 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 	if err != nil {
 		return err
 	}
-	if n != 9 && n != 10 {
-		return fmt.Errorf("wire: text request has %d elements, want 9 or 10", n)
+	if n != 9 && n != 10 && (n < 11 || (n-11)%3 != 0) {
+		return fmt.Errorf("wire: text request has %d elements, want 9, 10 or 11+3n", n)
 	}
 	verb, err := readBulk(r, nil)
 	if err != nil {
@@ -240,9 +268,34 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 		return err
 	}
 	req.TraceID = 0
-	if n == 10 {
+	if n >= 10 {
 		if req.TraceID, err = readBulkUint(r); err != nil {
 			return err
+		}
+	}
+	req.Pairs = req.Pairs[:0]
+	if n >= 11 {
+		np, err := readBulkUint(r)
+		if err != nil {
+			return err
+		}
+		if int(np) != (n-11)/3 {
+			return fmt.Errorf("wire: pair count %d disagrees with array length %d", np, n)
+		}
+		if cap(req.Pairs) < int(np) {
+			req.Pairs = make([]KV, np)
+		}
+		req.Pairs = req.Pairs[:np]
+		for i := range req.Pairs {
+			if req.Pairs[i].Key, err = readBulk(r, req.Pairs[i].Key); err != nil {
+				return err
+			}
+			if req.Pairs[i].Value, err = readBulk(r, req.Pairs[i].Value); err != nil {
+				return err
+			}
+			if req.Pairs[i].Version, err = readBulkUint(r); err != nil {
+				return err
+			}
 		}
 	}
 	req.ID = 0
@@ -251,7 +304,11 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 
 // EncodeResponse serializes resp into w without flushing (BufferedCodec).
 func (TextCodec) EncodeResponse(w *bufio.Writer, resp *Response) error {
-	if err := writeArrayHeader(w, 6+3*len(resp.Pairs)); err != nil {
+	elems := 6 + 3*len(resp.Pairs)
+	if len(resp.Statuses) > 0 {
+		elems += 1 + len(resp.Statuses)
+	}
+	if err := writeArrayHeader(w, elems); err != nil {
 		return err
 	}
 	if err := writeBulkUint(w, uint64(resp.Status)); err != nil {
@@ -283,6 +340,16 @@ func (TextCodec) EncodeResponse(w *bufio.Writer, resp *Response) error {
 			return err
 		}
 	}
+	if len(resp.Statuses) > 0 {
+		if err := writeBulkUint(w, uint64(len(resp.Statuses))); err != nil {
+			return err
+		}
+		for _, st := range resp.Statuses {
+			if err := writeBulkUint(w, uint64(st)); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -300,7 +367,7 @@ func (TextCodec) ReadResponse(r *bufio.Reader, resp *Response) error {
 	if err != nil {
 		return err
 	}
-	if n < 6 || (n-6)%3 != 0 {
+	if n < 6 {
 		return fmt.Errorf("wire: text response has %d elements", n)
 	}
 	st, err := readBulkUint(r)
@@ -326,8 +393,13 @@ func (TextCodec) ReadResponse(r *bufio.Reader, resp *Response) error {
 	if err != nil {
 		return err
 	}
-	if int(np) != (n-6)/3 {
+	// The pairs (3 elements each) and an optional trailing status block
+	// (count + one element per status) must exactly fill the array.
+	if np > uint64(n) || 3*int(np) > n-6 {
 		return fmt.Errorf("wire: pair count %d disagrees with array length %d", np, n)
+	}
+	if tail := n - 6 - 3*int(np); tail == 1 {
+		return fmt.Errorf("wire: text response has %d elements for %d pairs", n, np)
 	}
 	if cap(resp.Pairs) < int(np) {
 		resp.Pairs = make([]KV, np)
@@ -342,6 +414,26 @@ func (TextCodec) ReadResponse(r *bufio.Reader, resp *Response) error {
 		}
 		if resp.Pairs[i].Version, err = readBulkUint(r); err != nil {
 			return err
+		}
+	}
+	resp.Statuses = resp.Statuses[:0]
+	if rest := n - 6 - 3*int(np); rest > 0 {
+		ns, err := readBulkUint(r)
+		if err != nil {
+			return err
+		}
+		if int(ns) != rest-1 {
+			return fmt.Errorf("wire: status count %d disagrees with array length %d", ns, n)
+		}
+		for i := 0; i < int(ns); i++ {
+			st, err := readBulkUint(r)
+			if err != nil {
+				return err
+			}
+			if st > 255 {
+				return fmt.Errorf("wire: bad status %d", st)
+			}
+			resp.Statuses = append(resp.Statuses, Status(st))
 		}
 	}
 	resp.ID = 0

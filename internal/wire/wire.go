@@ -59,11 +59,33 @@ const (
 	// StatusNotFound batches; a server that cannot serve a complete delta
 	// answers StatusErr and the caller falls back to a full OpExport.
 	OpExportDelta
+
+	// OpMGet reads Request.Pairs[i].Key for every i in one frame. The
+	// response carries values in Pairs (index-aligned with the request)
+	// and a per-key Status in Statuses.
+	OpMGet
+	// OpMPut writes every Request.Pairs[i] (Key, Value, and on internal
+	// hops an explicit Version) in one frame; the response carries a
+	// per-pair Status in Statuses and winner versions in Pairs[i].Version.
+	OpMPut
+	// OpDirectGet is OpMGet served by a datalet directly (no controlet
+	// hop). Unlike OpMGet it validates Request.Epoch strictly against the
+	// datalet's controlet-granted epoch lease: a mismatch answers
+	// StatusWrongEpoch and an expired lease StatusUnavailable, so a stale
+	// client falls back through its controlet and refreshes.
+	OpDirectGet
+	// OpEpochSet is the internal controlet→datalet lease grant: Epoch
+	// carries the cluster-map epoch and Version the lease TTL in
+	// nanoseconds (0 = no expiry, for coordinator-less static setups).
+	OpEpochSet
+	// OpChainMPut forwards a whole OpMPut frame down a replication chain
+	// (MS+SC) with head-assigned versions in Pairs[i].Version.
+	OpChainMPut
 )
 
 // OpMax is the highest defined op code; per-op metric tables and verb
 // registries size and iterate off it.
-const OpMax = OpExportDelta
+const OpMax = OpChainMPut
 
 // String returns the operation mnemonic.
 func (o Op) String() string {
@@ -100,6 +122,16 @@ func (o Op) String() string {
 		return "DELRANGE"
 	case OpExportDelta:
 		return "EXPORTDELTA"
+	case OpMGet:
+		return "MGET"
+	case OpMPut:
+		return "MPUT"
+	case OpDirectGet:
+		return "DIRECTGET"
+	case OpEpochSet:
+		return "EPOCHSET"
+	case OpChainMPut:
+		return "CHAINMPUT"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
@@ -205,6 +237,11 @@ type Request struct {
 	// untraced. On the wire it is an optional trailing field: old decoders
 	// ignore it and old frames decode with TraceID 0.
 	TraceID uint64
+	// Pairs carries the key set of a multi-op (OpMGet/OpDirectGet use
+	// Key only; OpMPut/OpChainMPut use Key+Value, plus Version on
+	// internal hops). Like TraceID it is an optional trailing field:
+	// absent on single-key frames, so old and new peers interoperate.
+	Pairs []KV
 }
 
 // Response is the single message type sent back toward clients.
@@ -224,6 +261,10 @@ type Response struct {
 	// Err carries an error message (StatusErr) or redirect address
 	// (StatusRedirect).
 	Err string
+	// Statuses carries the per-key outcomes of a multi-op, index-aligned
+	// with the request's Pairs. An optional trailing field on the wire:
+	// absent on single-key responses.
+	Statuses []Status
 }
 
 // Reset clears a Request for reuse without freeing its backing arrays.
@@ -239,6 +280,7 @@ func (r *Request) Reset() {
 	r.Level = LevelDefault
 	r.Epoch = 0
 	r.TraceID = 0
+	r.Pairs = r.Pairs[:0]
 }
 
 // Reset clears a Response for reuse without freeing its backing arrays.
@@ -250,6 +292,7 @@ func (r *Response) Reset() {
 	r.Version = 0
 	r.Epoch = 0
 	r.Err = ""
+	r.Statuses = r.Statuses[:0]
 }
 
 // ErrValue returns the response's error as a Go error, or nil when OK.
@@ -295,6 +338,19 @@ func PutRequest(req *Request) {
 	req.Key = nil
 	req.Value = nil
 	req.EndKey = nil
+	// Pairs is different from the scalar buffers: its backing array is
+	// always owned by the request (grown by its user's append or resized
+	// by the codec — never assigned from a foreign slice), only its
+	// elements alias outside buffers. Clearing the elements drops those
+	// references, so the array itself can be kept and batch frames
+	// assemble allocation-free; oversized arrays are dropped like pooled
+	// response buffers.
+	if cap(req.Pairs) > 1024 {
+		req.Pairs = nil
+	} else {
+		clear(req.Pairs[:cap(req.Pairs)])
+		req.Pairs = req.Pairs[:0]
+	}
 	req.Reset()
 	requestPool.Put(req)
 }
@@ -319,6 +375,9 @@ func PutResponse(resp *Response) {
 	}
 	if cap(resp.Pairs) > 1024 {
 		resp.Pairs = nil
+	}
+	if cap(resp.Statuses) > 1024 {
+		resp.Statuses = nil
 	}
 	resp.Reset()
 	responsePool.Put(resp)

@@ -27,6 +27,12 @@ go test -run NONE -bench 'CounterAdd|HistogramObserve' -benchmem ./internal/metr
 go test -race ./internal/migrate/...
 go test -race -run 'TestJoinNodeUnderLoad|TestDrainNodeUnderLoad|TestJoinNodeAAEC' ./internal/cluster/
 
+# Wire-speed read path: multi-op wire frames (fuzz seeds), the client
+# batch scheduler and lease cache, then the cluster direct-read, batching,
+# hedging and linearizability-under-direct-reads suites, race-detected.
+go test -race -run 'Multi|Fuzz' ./internal/wire/
+go test -race -run 'TestDirectRead|TestHotKeyShadow|TestMultiGet|TestMultiPut|TestHedged|TestMSSCLinearizableWithDirectReads' ./internal/cluster/
+
 # Nemesis fault injection: faultnet fabric/schedule units, the
 # linearizability and convergence checkers, then every deployment mode
 # under seeded fault schedules. Failing runs log their seed — replay with
