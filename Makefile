@@ -9,11 +9,11 @@ RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... .
 # HTTP introspection endpoints (including the end-to-end cluster test).
 OBS_PKGS = ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 
-.PHONY: all check vet build test race obs migrate nemesis crash wirespeed bench bench-pipeline clean
+.PHONY: all check vet build test race obs telemetry migrate nemesis crash wirespeed bench bench-pipeline clean
 
 all: check
 
-check: vet build test race obs migrate nemesis crash wirespeed
+check: vet build test race obs telemetry migrate nemesis crash wirespeed
 
 # crash race-tests the storage fault story end to end: the WAL and faultfs
 # units, the durable ht/lsm/applog engine recovery suites, and the cluster
@@ -57,6 +57,21 @@ obs:
 	$(GO) test -race $(OBS_PKGS)
 	$(GO) test -run TestHotPathZeroAlloc ./internal/metrics/
 	$(GO) test -run NONE -bench 'CounterAdd|HistogramObserve' -benchmem ./internal/metrics/
+
+# telemetry race-tests the cluster telemetry plane end to end: the
+# telemetry package units (windowing, hot-key sketch, SLO burn-rate state
+# machine, aggregator merge/staleness), the label-cardinality guard, the
+# cluster e2e (skewed workload → hot shard + hot keys in /clusterz;
+# faultnet delay → SLO pending→firing→resolved without flapping), and the
+# hot-path contract: Record/Touch must stay allocation-free (asserted in
+# TestRecordZeroAllocTelemetry; the -benchmem run keeps the per-op numbers
+# visible in review output).
+telemetry:
+	$(GO) test -race ./internal/telemetry/...
+	$(GO) test -race -run 'TestLabelCardinality' ./internal/metrics/
+	$(GO) test -race -run 'TestTelemetryEndToEnd' ./internal/cluster/
+	$(GO) test -run TestRecordZeroAllocTelemetry ./internal/telemetry/
+	$(GO) test -run NONE -bench 'TelemetryRecord|SketchTouch' -benchmem ./internal/telemetry/
 
 vet:
 	$(GO) vet ./...

@@ -50,7 +50,7 @@ func main() {
 	}
 
 	switch args[0] {
-	case "map", "setmap", "transition", "join", "drain", "rebalance", "migration":
+	case "map", "setmap", "transition", "join", "drain", "rebalance", "migration", "top", "alerts":
 		admin, err := coordinator.DialCoordinator(net, *coordAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -145,6 +145,23 @@ func main() {
 
 func runAdmin(admin *coordinator.Client, args []string) {
 	switch args[0] {
+	case "top":
+		// One merged cluster snapshot, same rendering as /clusterz?format=text.
+		snap, err := admin.Telemetry()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(snap.Text())
+	case "alerts":
+		snap, err := admin.Telemetry()
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := json.MarshalIndent(map[string]any{"alerts": snap.Alerts}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
 	case "map":
 		m, err := admin.GetMap()
 		if err != nil {
@@ -272,6 +289,8 @@ commands:
   join <shard.json>        add a shard; migrate its ring share in online
   drain <shard-id>         remove a shard; migrate its keyspace out online
   rebalance <shards.json>  migrate to an arbitrary target shard set
-  migration                print the active (or last) migration run`)
+  migration                print the active (or last) migration run
+  top                      cluster telemetry: per-shard rates, hot keys, alerts
+  alerts                   SLO alert states as JSON`)
 	os.Exit(2)
 }

@@ -20,6 +20,7 @@ import (
 
 	"bespokv/internal/coordinator"
 	"bespokv/internal/obs"
+	"bespokv/internal/telemetry"
 	"bespokv/internal/transport"
 )
 
@@ -46,11 +47,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("bespokv-coordinator listening on %s (%s), heartbeat timeout %v\n", s.Addr(), *network, *hbTO)
-	o, err := obs.Start(*obsAddr, s.Status)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if o != nil {
+	if *obsAddr != "" {
+		// The coordinator is the one binary that serves the cluster-wide
+		// telemetry endpoints: /clusterz (what bespokv-cli top renders)
+		// and /alertz, on top of the standard per-process set.
+		o, err := obs.Serve(*obsAddr, obs.Options{
+			Status:   s.Status,
+			Clusterz: func() telemetry.ClusterSnapshot { return s.Telemetry().Cluster() },
+			Alertz:   func() []telemetry.Alert { return s.Telemetry().SLO().Alerts() },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("observability on http://%s/\n", o.Addr())
 		defer o.Close()
 	}

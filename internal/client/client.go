@@ -223,6 +223,9 @@ func (c *Client) Close() error {
 	c.stopped = true
 	c.mu.Unlock()
 	close(c.stopCh)
+	if c.hedge != nil {
+		unregisterHedge(c.hedge)
+	}
 	c.coordMu.Lock()
 	coord := c.coord
 	c.coordMu.Unlock()

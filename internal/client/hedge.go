@@ -50,6 +50,7 @@ func newHedgeState(floor time.Duration, pct int) *hedgeState {
 	h := &hedgeState{floor: floor, pct: pct}
 	h.tokens.Store(hedgeTokenScale) // one banked hedge at startup
 	h.p99.Store(int64(floor))
+	registerHedge(h)
 	return h
 }
 

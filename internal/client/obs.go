@@ -1,6 +1,7 @@
 package client
 
 import (
+	"sync"
 	"time"
 
 	"bespokv/internal/metrics"
@@ -34,6 +35,68 @@ func init() {
 		clientOpCount[op] = metrics.Default.Counter("bespokv_client_ops_total", "op", op.String())
 		clientOpLat[op] = metrics.Default.Histogram("bespokv_client_op_seconds", "op", op.String())
 	}
+}
+
+// Live hedge-state registry backing the hedging gauges: the p99 estimate
+// and token budget live in each client's hedgeState, so the gauges walk
+// the set at scrape time instead of charging reads for scrape-only
+// numbers (same tactic as the datalet's pipelined-client gauges).
+var (
+	hedgeMu  sync.Mutex
+	hedgeSet = map[*hedgeState]struct{}{}
+)
+
+func registerHedge(h *hedgeState) {
+	hedgeMu.Lock()
+	hedgeSet[h] = struct{}{}
+	hedgeMu.Unlock()
+}
+
+func unregisterHedge(h *hedgeState) {
+	hedgeMu.Lock()
+	delete(hedgeSet, h)
+	hedgeMu.Unlock()
+}
+
+func init() {
+	// The hedge delay IS the observed read p99 (floored at HedgeAfter);
+	// across clients the max is the honest merge — hedging is tail-driven.
+	metrics.Default.GaugeFunc("bespokv_client_hedge_p99_seconds", func() float64 {
+		hedgeMu.Lock()
+		defer hedgeMu.Unlock()
+		var worst int64
+		for h := range hedgeSet {
+			if v := h.p99.Load(); v > worst {
+				worst = v
+			}
+		}
+		return time.Duration(worst).Seconds()
+	})
+	// Banked hedges immediately affordable across live clients (tokens
+	// are hedgeTokenScale per hedge).
+	metrics.Default.GaugeFunc("bespokv_client_hedge_tokens", func() float64 {
+		hedgeMu.Lock()
+		defer hedgeMu.Unlock()
+		var t int64
+		for h := range hedgeSet {
+			t += h.tokens.Load()
+		}
+		return float64(t) / hedgeTokenScale
+	})
+	// Fraction of the total token budget still unspent (1 = idle, 0 =
+	// every client exhausted — reads are uniformly slow, not one straggler).
+	metrics.Default.GaugeFunc("bespokv_client_hedge_budget_frac", func() float64 {
+		hedgeMu.Lock()
+		defer hedgeMu.Unlock()
+		if len(hedgeSet) == 0 {
+			return 1
+		}
+		var t int64
+		for h := range hedgeSet {
+			t += h.tokens.Load()
+		}
+		return float64(t) / float64(int64(len(hedgeSet))*hedgeTokenCap)
+	})
 }
 
 func clampClientOp(op wire.Op) wire.Op {

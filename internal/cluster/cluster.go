@@ -31,6 +31,7 @@ import (
 	"bespokv/internal/store/ht"
 	"bespokv/internal/store/lsm"
 	"bespokv/internal/store/wal"
+	"bespokv/internal/telemetry"
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
@@ -76,6 +77,13 @@ type Options struct {
 	// (defaults 800ms / 100ms — scaled-down versions of the paper's 5s).
 	HeartbeatTimeout  time.Duration
 	HeartbeatInterval time.Duration
+	// SLOs installs the telemetry aggregator's alerting policy (default
+	// telemetry.DefaultObjectives()); tests shrink windows and thresholds
+	// to drive pending→firing→resolved transitions quickly.
+	SLOs []telemetry.Objective
+	// TelemetryInterval is the node-side workload-stats window width
+	// (default HeartbeatInterval, so every heartbeat ships fresh windows).
+	TelemetryInterval time.Duration
 	// DisableFailover turns the coordinator's failure detector off.
 	DisableFailover bool
 	// P2PRouting enables the §IV-E P2P-style topology: any controlet
@@ -184,6 +192,9 @@ func (o *Options) defaults() error {
 	}
 	if o.HeartbeatInterval <= 0 {
 		o.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if o.TelemetryInterval <= 0 {
+		o.TelemetryInterval = o.HeartbeatInterval
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -298,6 +309,7 @@ func Start(opts Options) (*Cluster, error) {
 		Addr:             listenAddr(opts.NetworkName),
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		DisableFailover:  opts.DisableFailover,
+		SLOs:             opts.SLOs,
 		Logf:             opts.Logf,
 	})
 	if err != nil {
@@ -463,12 +475,13 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 		return nil, err
 	}
 	d, err := datalet.Serve(datalet.Config{
-		Name:      nodeID + "-datalet",
-		Network:   c.hostNet(dataletNet, nodeID),
-		Addr:      dataletListen,
-		Codec:     dataletCodec,
-		NewEngine: newEngine,
-		Logf:      c.Opts.Logf,
+		Name:              nodeID + "-datalet",
+		Network:           c.hostNet(dataletNet, nodeID),
+		Addr:              dataletListen,
+		Codec:             dataletCodec,
+		NewEngine:         newEngine,
+		TelemetryInterval: c.Opts.TelemetryInterval,
+		Logf:              c.Opts.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -488,6 +501,7 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 		DLMAddr:           c.DLM.Addr(),
 		SharedLogAddr:     c.Log.Addr(),
 		HeartbeatInterval: c.Opts.HeartbeatInterval,
+		TelemetryInterval: c.Opts.TelemetryInterval,
 		FenceTimeout:      c.fenceTimeout(),
 		P2PRouting:        c.Opts.P2PRouting,
 		Logf:              c.Opts.Logf,
@@ -668,6 +682,7 @@ func (c *Cluster) Transition(to topology.Mode) error {
 				DLMAddr:           c.DLM.Addr(),
 				SharedLogAddr:     c.Log.Addr(),
 				HeartbeatInterval: c.Opts.HeartbeatInterval,
+				TelemetryInterval: c.Opts.TelemetryInterval,
 				FenceTimeout:      c.fenceTimeout(),
 				P2PRouting:        c.Opts.P2PRouting,
 				Logf:              c.Opts.Logf,

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bespokv/internal/client"
+	"bespokv/internal/faultnet"
+	"bespokv/internal/metrics"
+	"bespokv/internal/obs"
+	"bespokv/internal/telemetry"
+	"bespokv/internal/topology"
+)
+
+// keysByShard returns one key routed to each shard index under the
+// cluster's installed map.
+func keysByShard(t *testing.T, c *Cluster) [][]byte {
+	t.Helper()
+	admin, err := c.Admin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	m, err := admin.GetMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := topology.BuildRing(m)
+	keys := make([][]byte, len(m.Shards))
+	found := 0
+	for i := 0; found < len(keys) && i < 100_000; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		si := m.ShardFor(k, ring)
+		if keys[si] == nil {
+			keys[si] = k
+			found++
+		}
+	}
+	if found != len(keys) {
+		t.Fatalf("found keys for %d of %d shards", found, len(keys))
+	}
+	return keys
+}
+
+// findAlert returns the (objective, shard) alert from a snapshot, if any.
+func findAlert(snap telemetry.ClusterSnapshot, objective, shard string) (telemetry.Alert, bool) {
+	for _, a := range snap.Alerts {
+		if a.Objective == objective && a.Shard == shard {
+			return a, true
+		}
+	}
+	return telemetry.Alert{}, false
+}
+
+// TestTelemetryEndToEnd drives the whole telemetry plane through a live
+// cluster: a skewed workload must surface the true hot shard and hot keys
+// in the aggregator's /clusterz view, a faultnet-injected latency
+// regression must walk the SLO alert through pending → firing → resolved
+// exactly once (no flapping), and an isolated node's telemetry must be
+// flagged stale.
+func TestTelemetryEndToEnd(t *testing.T) {
+	// Time every request so per-window histogram populations are
+	// deterministic rather than 1-in-8 sampled.
+	prev := metrics.SetLatencySampleEvery(1)
+	t.Cleanup(func() { metrics.SetLatencySampleEvery(prev) })
+
+	const window = 80 * time.Millisecond
+	obj := telemetry.Objective{
+		Name:          "put-p50",
+		Class:         telemetry.ClassPut,
+		Quantile:      0.5, // budget 50%: injected delay burns at 2x, healthy at ~0
+		Threshold:     25 * time.Millisecond,
+		FastWindows:   2,
+		SlowWindows:   4,
+		BurnThreshold: 1.5,
+		HoldWindows:   2,
+		ClearWindows:  3,
+	}
+	c, f := startFaultCluster(t, 7, Options{
+		Shards:            2,
+		Replicas:          2,
+		DisableFailover:   true,
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		TelemetryInterval: window,
+		SLOs:              []telemetry.Objective{obj},
+	})
+
+	cli, err := c.ClientConfig(client.Config{OpTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	keys := keysByShard(t, c)
+	hotIdx := 0
+	hotKey, coldKey := keys[hotIdx], keys[1-hotIdx]
+	admin, err := c.Admin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { admin.Close() })
+	m, err := admin.GetMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotShard := m.Shards[hotIdx].ID
+	for _, k := range keys {
+		if err := cli.Put("", k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Skewed background workload: most traffic hammers hotKey (gets plus
+	// a steady trickle of puts, which the SLO phase degrades), the rest
+	// keeps the cold shard warm enough to appear in the view. Runs through
+	// the hot-shard and SLO phases; errors under injected faults are
+	// tolerated (counted, not fatal).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var workErrs atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := hotKey
+				if i%10 == 9 {
+					k = coldKey
+				}
+				var err error
+				if i%3 == 0 {
+					err = cli.Put("", k, []byte("v"))
+				} else {
+					_, _, err = cli.Get("", k)
+				}
+				if err != nil {
+					workErrs.Add(1)
+				}
+			}
+		}()
+	}
+	stopWork := func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+			wg.Wait()
+		}
+	}
+	t.Cleanup(stopWork)
+
+	// Phase 1: the aggregator's merged view must rank the skew's true hot
+	// shard first and surface hotKey as its top key.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err := admin.Telemetry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := len(snap.Shards) == 2 &&
+			snap.Shards[0].Shard == hotShard &&
+			snap.Shards[0].OpsPerSec > 2*snap.Shards[1].OpsPerSec &&
+			len(snap.Shards[0].HotKeys) > 0 &&
+			snap.Shards[0].HotKeys[0].Key == string(hotKey)
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			b, _ := json.Marshal(snap)
+			t.Fatalf("hot shard never surfaced; want %s hot with top key %q, got: %s",
+				hotShard, hotKey, b)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The same view over HTTP: /clusterz (JSON and text) and /alertz.
+	osrv, err := obs.Serve("127.0.0.1:0", obs.Options{
+		Clusterz: func() telemetry.ClusterSnapshot { return c.Coord.Telemetry().Cluster() },
+		Alertz:   func() []telemetry.Alert { return c.Coord.Telemetry().SLO().Alerts() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { osrv.Close() })
+	httpBody := func(path string) string {
+		resp, err := http.Get("http://" + osrv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	var clusterz telemetry.ClusterSnapshot
+	if err := json.Unmarshal([]byte(httpBody("/clusterz")), &clusterz); err != nil {
+		t.Fatalf("/clusterz is not valid JSON: %v", err)
+	}
+	if len(clusterz.Shards) == 0 || clusterz.Shards[0].Shard != hotShard {
+		t.Fatalf("/clusterz JSON does not lead with hot shard %s", hotShard)
+	}
+	text := httpBody("/clusterz?format=text")
+	if !strings.Contains(text, "SHARDS") || !strings.Contains(text, hotShard) {
+		t.Fatalf("/clusterz?format=text missing shard table:\n%s", text)
+	}
+	var alertz struct {
+		Alerts []telemetry.Alert `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(httpBody("/alertz")), &alertz); err != nil {
+		t.Fatalf("/alertz is not valid JSON: %v", err)
+	}
+
+	// Phase 2: a latency regression on the hot shard — its chain
+	// replication link (head→tail and the ack back) picks up 40ms each
+	// way, pushing every hot-shard put far past the 25ms objective — must
+	// drive the SLO alert to firing. Gets and the control plane are
+	// untouched.
+	f.SetLinkBoth(c.Shards[hotIdx][0].Node.ID, c.Shards[hotIdx][1].Node.ID,
+		faultnet.Rule{Delay: 40 * time.Millisecond})
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		snap, err := admin.Telemetry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, ok := findAlert(snap, obj.Name, hotShard); ok && a.StateName == "firing" {
+			break
+		}
+		if time.Now().After(deadline) {
+			b, _ := json.Marshal(snap.Alerts)
+			t.Fatalf("SLO alert never fired under injected delay; alerts: %s", b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Heal; with the workload still running at healthy latency the alert
+	// must resolve, having fired exactly once across the whole incident.
+	f.ClearLinks()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		snap, err := admin.Telemetry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, ok := findAlert(snap, obj.Name, hotShard)
+		if ok && a.StateName == "resolved" {
+			if a.Fired != 1 {
+				t.Fatalf("alert flapped: fired %d times, want 1", a.Fired)
+			}
+			break
+		}
+		if !ok {
+			// Retired straight past our polling — only legal from
+			// resolved, and only after it stayed clear; treat as resolved.
+			break
+		}
+		if time.Now().After(deadline) {
+			b, _ := json.Marshal(snap.Alerts)
+			t.Fatalf("SLO alert never resolved after heal; alerts: %s", b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stopWork()
+
+	// Phase 3: a partitioned node stops reporting; the aggregator must
+	// flag exactly that node's telemetry stale while the rest stay fresh.
+	lost := c.Shards[1-hotIdx][1].Node.ID
+	f.Isolate(lost)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		snap, err := admin.Telemetry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		staleLost, freshOther := false, true
+		for _, n := range snap.Nodes {
+			isLost := strings.HasPrefix(n.Node, lost)
+			if isLost && n.Stale {
+				staleLost = true
+			}
+			if !isLost && n.Stale {
+				freshOther = false
+			}
+		}
+		if staleLost && freshOther {
+			break
+		}
+		if time.Now().After(deadline) {
+			b, _ := json.Marshal(snap.Nodes)
+			t.Fatalf("isolated node %s never went stale (or others did); nodes: %s", lost, b)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	f.Heal()
+}

@@ -19,6 +19,7 @@ package controlet
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ import (
 	"bespokv/internal/metrics"
 	"bespokv/internal/migrate"
 	"bespokv/internal/rpc"
+	"bespokv/internal/telemetry"
 	"bespokv/internal/topology"
 	"bespokv/internal/trace"
 	"bespokv/internal/transport"
@@ -95,6 +97,10 @@ type Config struct {
 	// accepts requests for keys it does not own and routes them to the
 	// owning shard via the cluster map (see p2p.go).
 	P2PRouting bool
+	// TelemetryInterval is the workload-stats window width (default 1s).
+	// Snapshots (including the local datalet's, pulled over OpTelemetry)
+	// ride every heartbeat tick to the coordinator's aggregator.
+	TelemetryInterval time.Duration
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -151,6 +157,11 @@ type Server struct {
 	// coordinator acknowledged; fenced() compares it against FenceTimeout.
 	lastBeat atomic.Int64
 
+	// tele accumulates this node's workload stats (client-entry ops only;
+	// internal replication traffic lands in ClassOther so shard merges
+	// never double-count).
+	tele *telemetry.Recorder
+
 	connsMu sync.Mutex
 	conns   map[transport.Conn]struct{}
 	wg      sync.WaitGroup
@@ -199,6 +210,7 @@ func Serve(cfg Config) (*Server, error) {
 		dPeers: map[string]*datalet.Pool{},
 		conns:  map[transport.Conn]struct{}{},
 		stopCh: make(chan struct{}),
+		tele:   telemetry.NewRecorder(telemetry.Options{Interval: cfg.TelemetryInterval}),
 	}
 	// Seed the clock so fresh controlets never reissue old versions
 	// after recovery (coarse wall-clock epoch in the high bits, Lamport
@@ -557,8 +569,9 @@ func (s *Server) serveConn(conn transport.Conn) {
 			start = time.Now()
 		}
 		s.dispatch(&req, &resp)
+		dur := time.Duration(-1)
 		if timed {
-			dur := time.Since(start)
+			dur = time.Since(start)
 			recordCtlOp(req.Op, dur)
 			if req.TraceID != 0 {
 				trace.Record(req.TraceID, s.cfg.NodeID, "controlet."+req.Op.String(), start, dur, resp.Err)
@@ -566,6 +579,7 @@ func (s *Server) serveConn(conn transport.Conn) {
 		} else {
 			countCtlOp(req.Op)
 		}
+		s.recordTelemetry(&req, &resp, dur)
 		// dispatch may have decoded nested peer/datalet responses into
 		// resp, overwriting its ID; stamp it after the fact so the reply
 		// always echoes the request it answers.
@@ -664,7 +678,48 @@ func (s *Server) heartbeatLoop() {
 			// keep flowing exactly as long as this controlet is unfenced.
 			s.pushEpochLease(cur.Epoch)
 		}
+		// Telemetry rides the already-open heartbeat connection; a failed
+		// report costs nothing but this tick's freshness at the aggregator.
+		if err := coordClient.TelemetryReport(s.telemetrySnapshots()); err != nil {
+			ctlTelemetryErrs.Inc()
+		} else {
+			ctlTelemetryReports.Inc()
+		}
 	}
+}
+
+// telemetrySnapshots assembles this tick's report: the controlet's own
+// snapshot plus the local datalet's (pulled over OpTelemetry — direct-path
+// reads bypass the controlet, so only the datalet can count them). The
+// controlet stamps shard/mode/epoch onto the datalet snapshot because the
+// datalet is distribution-unaware by design.
+func (s *Server) telemetrySnapshots() []telemetry.NodeSnapshot {
+	now := time.Now()
+	var mode string
+	var epoch uint64
+	if m := s.Map(); m != nil {
+		mode = m.Mode.String()
+		epoch = m.Epoch
+	}
+	snaps := []telemetry.NodeSnapshot{s.tele.Snapshot(now, telemetry.Info{
+		Node: s.cfg.NodeID, Shard: s.cfg.ShardID, Role: "controlet",
+		Mode: mode, Epoch: epoch,
+	})}
+	req := wire.GetRequest()
+	req.Op = wire.OpTelemetry
+	resp := wire.GetResponse()
+	if err := s.local.Do(req, resp); err == nil && resp.Status == wire.StatusOK {
+		var ds telemetry.NodeSnapshot
+		if json.Unmarshal(resp.Value, &ds) == nil && ds.Node != "" {
+			ds.Shard = s.cfg.ShardID
+			ds.Mode = mode
+			ds.Epoch = epoch
+			snaps = append(snaps, ds)
+		}
+	}
+	wire.PutRequest(req)
+	wire.PutResponse(resp)
+	return snaps
 }
 
 // --- control RPC handlers -------------------------------------------------

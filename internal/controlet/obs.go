@@ -5,6 +5,7 @@ import (
 
 	"bespokv/internal/datalet"
 	"bespokv/internal/metrics"
+	"bespokv/internal/telemetry"
 	"bespokv/internal/wire"
 )
 
@@ -38,6 +39,10 @@ var (
 	// Requests rejected because the node self-fenced (lost coordinator
 	// contact past FenceTimeout).
 	ctlFencedRejects = metrics.Default.Counter("bespokv_controlet_fenced_rejects_total")
+
+	// Telemetry reports shipped to (or lost on the way to) the aggregator.
+	ctlTelemetryReports = metrics.Default.Counter("bespokv_controlet_telemetry_reports_total")
+	ctlTelemetryErrs    = metrics.Default.Counter("bespokv_controlet_telemetry_errors_total")
 )
 
 func init() {
@@ -61,6 +66,43 @@ func recordCtlOp(op wire.Op, d time.Duration) {
 	op = clampCtlOp(op)
 	ctlOpCount[op].Inc()
 	ctlOpLat[op].Observe(d)
+}
+
+// recordTelemetry accounts one dispatched frame into the workload recorder:
+// class counters always (internal replication ops collapse to ClassOther),
+// per-key sizes and sketch touches for client-entry classes only, latency
+// when the op was timed (d >= 0). All of it is atomics plus a sampled
+// sketch touch — safe on the hot path.
+func (s *Server) recordTelemetry(req *wire.Request, resp *wire.Response, d time.Duration) {
+	class := telemetry.ClassOf(req.Op)
+	isErr := resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable
+	switch class {
+	case telemetry.ClassGet:
+		s.tele.Record(class, len(req.Key), len(resp.Value), d, isErr)
+		s.tele.Touch(req.Key)
+	case telemetry.ClassPut:
+		s.tele.Record(class, len(req.Key), len(req.Value), d, isErr)
+		s.tele.Touch(req.Key)
+	case telemetry.ClassDel:
+		s.tele.Record(class, len(req.Key), -1, d, isErr)
+		s.tele.Touch(req.Key)
+	case telemetry.ClassScan:
+		s.tele.Record(class, len(req.Key), -1, d, isErr)
+	case telemetry.ClassMGet:
+		s.tele.Record(class, -1, -1, d, isErr)
+		for i := range req.Pairs {
+			s.tele.RecordKV(len(req.Pairs[i].Key), -1)
+			s.tele.Touch(req.Pairs[i].Key)
+		}
+	case telemetry.ClassMPut:
+		s.tele.Record(class, -1, -1, d, isErr)
+		for i := range req.Pairs {
+			s.tele.RecordKV(len(req.Pairs[i].Key), len(req.Pairs[i].Value))
+			s.tele.Touch(req.Pairs[i].Key)
+		}
+	default:
+		s.tele.Record(class, -1, -1, d, isErr)
+	}
 }
 
 // poolStats sums Stats over a pool map under its lock.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"bespokv/internal/rpc"
+	"bespokv/internal/telemetry"
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
 )
@@ -143,6 +144,19 @@ func (c *Client) Rebalance(shards []topology.Shard) (MigrationStartReply, error)
 	var reply MigrationStartReply
 	err := c.c.Call("Rebalance", RebalanceArgs{Shards: shards}, &reply)
 	return reply, err
+}
+
+// TelemetryReport ships node telemetry snapshots to the aggregator;
+// controlets call it on every heartbeat tick over the same connection.
+func (c *Client) TelemetryReport(reports []telemetry.NodeSnapshot) error {
+	return c.c.Call("TelemetryReport", TelemetryReportArgs{Reports: reports}, nil)
+}
+
+// Telemetry fetches the merged cluster-wide view (`bespokv-cli top`).
+func (c *Client) Telemetry() (telemetry.ClusterSnapshot, error) {
+	var snap telemetry.ClusterSnapshot
+	err := c.c.Call("Telemetry", struct{}{}, &snap)
+	return snap, err
 }
 
 // MigrationStatus reports the active (or most recent) rebalance run.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"bespokv/internal/rpc"
+	"bespokv/internal/telemetry"
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
 )
@@ -37,6 +38,13 @@ type Config struct {
 	// for direct datalet reads without renewing (default HeartbeatTimeout:
 	// a client's trust window never outlives the failure detector's).
 	LeaseTTL time.Duration
+	// SLOs is the alerting policy the telemetry aggregator enforces
+	// (nil installs telemetry.DefaultObjectives; empty non-nil disables).
+	SLOs []telemetry.Objective
+	// TelemetryStaleAfter marks a node's telemetry stale after this
+	// silence (default HeartbeatTimeout: telemetry staleness tracks the
+	// failure detector's view of liveness).
+	TelemetryStaleAfter time.Duration
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -63,6 +71,10 @@ type Server struct {
 	// dialCtl lets tests fake controlet control connections; defaults to
 	// rpc.DialClient over cfg.Network.
 	dialCtl func(addr string) (ctlConn, error)
+
+	// agg collects node telemetry reports into the cluster-wide view
+	// (/clusterz, `bespokv-cli top`) and drives SLO alerting.
+	agg *telemetry.Aggregator
 }
 
 // ctlConn is the subset of rpc.Client the coordinator needs.
@@ -122,6 +134,12 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.SLOs == nil {
+		cfg.SLOs = telemetry.DefaultObjectives()
+	}
+	if cfg.TelemetryStaleAfter <= 0 {
+		cfg.TelemetryStaleAfter = cfg.HeartbeatTimeout
+	}
 	s := &Server{
 		cfg:       cfg,
 		rpc:       rpc.NewServer(),
@@ -129,6 +147,10 @@ func Serve(cfg Config) (*Server, error) {
 		suspended: map[string]bool{},
 		epochCh:   make(chan struct{}),
 		stopCh:    make(chan struct{}),
+		agg: telemetry.NewAggregator(telemetry.AggregatorOptions{
+			StaleAfter: cfg.TelemetryStaleAfter,
+			Objectives: cfg.SLOs,
+		}),
 	}
 	s.dialCtl = func(addr string) (ctlConn, error) {
 		return rpc.DialClient(cfg.Network, addr)
@@ -148,6 +170,8 @@ func Serve(cfg Config) (*Server, error) {
 	rpc.HandleFunc(s.rpc, "DrainNode", s.handleDrainNode)
 	rpc.HandleFunc(s.rpc, "Rebalance", s.handleRebalance)
 	rpc.HandleFunc(s.rpc, "MigrationStatus", s.handleMigrationStatus)
+	rpc.HandleFunc(s.rpc, "TelemetryReport", s.handleTelemetryReport)
+	rpc.HandleFunc(s.rpc, "Telemetry", s.handleTelemetry)
 	addr, err := s.rpc.Serve(cfg.Network, cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -162,6 +186,24 @@ func Serve(cfg Config) (*Server, error) {
 
 // Addr returns the coordinator's RPC address.
 func (s *Server) Addr() string { return s.addr }
+
+// Telemetry exposes the aggregator (obs endpoints, tests).
+func (s *Server) Telemetry() *telemetry.Aggregator { return s.agg }
+
+// TelemetryReportArgs carries one controlet's telemetry tick: its own
+// snapshot plus (usually) its local datalet's.
+type TelemetryReportArgs struct {
+	Reports []telemetry.NodeSnapshot `json:"reports"`
+}
+
+func (s *Server) handleTelemetryReport(args TelemetryReportArgs) (struct{}, error) {
+	s.agg.Report(args.Reports...)
+	return struct{}{}, nil
+}
+
+func (s *Server) handleTelemetry(struct{}) (telemetry.ClusterSnapshot, error) {
+	return s.agg.Cluster(), nil
+}
 
 // Close stops the coordinator.
 func (s *Server) Close() error {

@@ -7,6 +7,7 @@ package datalet
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"bespokv/internal/metrics"
 	"bespokv/internal/store"
+	"bespokv/internal/telemetry"
 	"bespokv/internal/trace"
 	"bespokv/internal/transport"
 	"bespokv/internal/wire"
@@ -41,6 +43,11 @@ type Config struct {
 	NewEngine func(table string) (store.Engine, error)
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
+	// TelemetryInterval is the workload-stats window width (default 1s).
+	// The datalet records only direct-path reads — everything else is
+	// counted at the fronting controlet, so shard merges never
+	// double-count — and serves its snapshot over OpTelemetry.
+	TelemetryInterval time.Duration
 }
 
 // Server is a running datalet.
@@ -61,6 +68,10 @@ type Server struct {
 	epoch    uint64
 	epochExp time.Time // zero = no expiry (static setups)
 	epochSet bool      // an OpEpochSet has landed at least once
+
+	// tele counts direct-path reads (the one op class that bypasses the
+	// controlet) and answers OpTelemetry with its snapshot.
+	tele *telemetry.Recorder
 
 	conns sync.WaitGroup
 }
@@ -87,6 +98,7 @@ func Serve(cfg Config) (*Server, error) {
 		listener: l,
 		tables:   map[string]store.Engine{"": def},
 		active:   map[transport.Conn]struct{}{},
+		tele:     telemetry.NewRecorder(telemetry.Options{Interval: cfg.TelemetryInterval}),
 	}
 	go s.acceptLoop()
 	return s, nil
@@ -192,14 +204,18 @@ func (s *Server) serveConn(conn transport.Conn) {
 			start = time.Now()
 		}
 		s.handle(&req, &resp)
+		dur := time.Duration(-1)
 		if timed {
-			dur := time.Since(start)
+			dur = time.Since(start)
 			recordServerOp(req.Op, dur)
 			if req.TraceID != 0 {
 				trace.Record(req.TraceID, s.cfg.Name, "datalet."+req.Op.String(), start, dur, resp.Err)
 			}
 		} else {
 			countServerOp(req.Op)
+		}
+		if req.Op == wire.OpDirectGet {
+			s.recordDirectGet(&req, &resp, dur)
 		}
 		if bcd != nil && br.Buffered() > 0 {
 			if err := bcd.EncodeResponse(bw, &resp); err != nil {
@@ -370,6 +386,19 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 	case wire.OpMPut:
 		s.multiPut(req, resp)
 
+	case wire.OpTelemetry:
+		// The fronting controlet pulls this each heartbeat and forwards it
+		// to the coordinator; identity beyond the datalet name (shard,
+		// mode, epoch) is the controlet's to fill in.
+		snap := s.tele.Snapshot(time.Now(), telemetry.Info{Node: s.cfg.Name, Role: "datalet"})
+		buf, err := json.Marshal(snap)
+		if err != nil {
+			fail(resp, err)
+			return
+		}
+		resp.Status = wire.StatusOK
+		resp.Value = append(resp.Value[:0], buf...)
+
 	case wire.OpStats:
 		s.mu.RLock()
 		names := make([]string, 0, len(s.tables))
@@ -402,6 +431,25 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		resp.Status = wire.StatusErr
 		resp.Err = fmt.Sprintf("datalet: unsupported op %s", req.Op)
 	}
+}
+
+// recordDirectGet accounts one direct-path read frame: one op of class
+// direct-get (with latency when the op was timed), per-key sizes and
+// hot-key sketch touches. WrongEpoch is a routing miss that self-heals via
+// the controlet fallback, not an error; Unavailable and Err spend the
+// availability budget.
+func (s *Server) recordDirectGet(req *wire.Request, resp *wire.Response, dur time.Duration) {
+	isErr := resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable
+	if len(req.Pairs) > 0 {
+		s.tele.Record(telemetry.ClassDirectGet, -1, -1, dur, isErr)
+		for i := range req.Pairs {
+			s.tele.RecordKV(len(req.Pairs[i].Key), -1)
+			s.tele.Touch(req.Pairs[i].Key)
+		}
+		return
+	}
+	s.tele.Record(telemetry.ClassDirectGet, len(req.Key), len(resp.Value), dur, isErr)
+	s.tele.Touch(req.Key)
 }
 
 // handleEpochSet installs (or refreshes) the controlet-granted epoch lease.

@@ -23,7 +23,24 @@ import (
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry // key = name + rendered label set
+	// Label-cardinality guard: at most maxLabelSets distinct labeled
+	// series per metric name. Once a name hits the cap, further new label
+	// sets collapse into a single overflow series (label overflow="true")
+	// and bespokv_metrics_label_overflow_total{metric=name} counts the
+	// collapsed lookups — so an unbounded label (a key, a peer address)
+	// degrades metric fidelity instead of growing the registry without
+	// bound. Unlabeled series are never capped.
+	maxLabelSets int
+	labelSets    map[string]int // metric name -> distinct labeled series
 }
+
+// DefaultMaxLabelSets is the per-metric cap on distinct label sets. Legit
+// label spaces here (ops, shards, RPC methods, objectives) are dozens; the
+// cap only exists to stop accidents.
+const DefaultMaxLabelSets = 256
+
+// overflowLabels marks the collapsed series a capped metric routes to.
+var overflowLabels = []string{"overflow", "true"}
 
 type metricKind int
 
@@ -38,10 +55,14 @@ type entry struct {
 	name   string // bare metric name, for # TYPE grouping
 	series string // name{k="v",...} or bare name
 	kind   metricKind
-	c      *Counter
-	g      *Gauge
-	fn     func() float64
-	h      *Histogram
+	// counted marks labeled series that hold a slot in the name's
+	// label-set budget (overflow series don't), so Unregister can return
+	// the slot.
+	counted bool
+	c       *Counter
+	g       *Gauge
+	fn      func() float64
+	h       *Histogram
 }
 
 // Default is the process-wide registry that instrumentation across the
@@ -50,7 +71,22 @@ var Default = NewRegistry()
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: map[string]*entry{}}
+	return &Registry{
+		entries:      map[string]*entry{},
+		labelSets:    map[string]int{},
+		maxLabelSets: DefaultMaxLabelSets,
+	}
+}
+
+// SetMaxLabelSets adjusts the per-metric label-set cap (tests; 0 or
+// negative restores the default). Already-registered series stay.
+func (r *Registry) SetMaxLabelSets(n int) {
+	if n <= 0 {
+		n = DefaultMaxLabelSets
+	}
+	r.mu.Lock()
+	r.maxLabelSets = n
+	r.mu.Unlock()
 }
 
 // Counter is a monotonically increasing count. The zero value is ready to
@@ -136,7 +172,34 @@ func (r *Registry) lookup(name string, kind metricKind, labels []string) *entry 
 		}
 		return e
 	}
-	e = &entry{name: name, series: key, kind: kind}
+	// Cardinality guard: a new labeled series past the cap collapses into
+	// the metric's overflow series (which itself never counts toward the
+	// cap, and the overflow counter below is unlabeled-safe by recursion:
+	// it has exactly one label value per capped metric name).
+	if len(labels) > 0 && r.labelSets[name] >= r.maxLabelSets && name != "bespokv_metrics_label_overflow_total" {
+		r.createLocked("bespokv_metrics_label_overflow_total", kindCounter, []string{"metric", name}).c.Inc()
+		return r.createLocked(name, kind, overflowLabels)
+	}
+	e = r.createLocked(name, kind, labels)
+	if len(labels) > 0 && !e.counted {
+		e.counted = true
+		r.labelSets[name]++
+	}
+	return e
+}
+
+// createLocked is get-or-create without the cardinality guard; callers hold
+// r.mu and account labelSets themselves (overflow series are unaccounted on
+// purpose).
+func (r *Registry) createLocked(name string, kind metricKind, labels []string) *entry {
+	key := seriesKey(name, labels)
+	if e := r.entries[key]; e != nil {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s already registered with a different type", key))
+		}
+		return e
+	}
+	e := &entry{name: name, series: key, kind: kind}
 	switch kind {
 	case kindCounter:
 		e.c = &Counter{}
@@ -175,10 +238,18 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
 	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e := r.entries[key]; e != nil && e.kind != kindGaugeFunc {
+	prev := r.entries[key]
+	if prev != nil && prev.kind != kindGaugeFunc {
 		panic(fmt.Sprintf("metrics: %s already registered with a different type", key))
 	}
-	r.entries[key] = &entry{name: name, series: key, kind: kindGaugeFunc, fn: fn}
+	e := &entry{name: name, series: key, kind: kindGaugeFunc, fn: fn}
+	if len(labels) > 0 && (prev == nil || !prev.counted) {
+		e.counted = true
+		r.labelSets[name]++
+	} else if prev != nil {
+		e.counted = prev.counted
+	}
+	r.entries[key] = e
 }
 
 // SetHistogram installs (or replaces) an externally constructed histogram
@@ -189,16 +260,28 @@ func (r *Registry) SetHistogram(name string, h *Histogram, labels ...string) {
 	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e := r.entries[key]; e != nil && e.kind != kindHistogram {
+	prev := r.entries[key]
+	if prev != nil && prev.kind != kindHistogram {
 		panic(fmt.Sprintf("metrics: %s already registered with a different type", key))
 	}
-	r.entries[key] = &entry{name: name, series: key, kind: kindHistogram, h: h}
+	e := &entry{name: name, series: key, kind: kindHistogram, h: h}
+	if len(labels) > 0 && (prev == nil || !prev.counted) {
+		e.counted = true
+		r.labelSets[name]++
+	} else if prev != nil {
+		e.counted = prev.counted
+	}
+	r.entries[key] = e
 }
 
-// Unregister removes the series identified by name and labels, if present.
+// Unregister removes the series identified by name and labels, if present,
+// returning its label-set slot to the metric's cardinality budget.
 func (r *Registry) Unregister(name string, labels ...string) {
 	key := seriesKey(name, labels)
 	r.mu.Lock()
+	if e := r.entries[key]; e != nil && e.counted {
+		r.labelSets[name]--
+	}
 	delete(r.entries, key)
 	r.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bufio"
+	"fmt"
 	"regexp"
 	"strconv"
 	"strings"
@@ -207,5 +208,84 @@ func BenchmarkRegistryLookup(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.Counter("bespokv_ops_total", "op", "PUT")
+	}
+}
+
+func TestLabelCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxLabelSets(4)
+
+	// Distinct label sets up to the cap get real series.
+	for i := 0; i < 4; i++ {
+		r.Counter("bespokv_capped_total", "key", fmt.Sprintf("k%d", i)).Inc()
+	}
+	// Everything past the cap collapses into one overflow series.
+	for i := 4; i < 10; i++ {
+		r.Counter("bespokv_capped_total", "key", fmt.Sprintf("k%d", i)).Inc()
+	}
+	over := r.Counter("bespokv_capped_total", "overflow", "true")
+	if got := over.Value(); got != 6 {
+		t.Fatalf("overflow series absorbed %d increments, want 6", got)
+	}
+	// Re-looking-up a pre-cap series still returns the real one.
+	r.Counter("bespokv_capped_total", "key", "k2").Inc()
+	var buf strings.Builder
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `bespokv_capped_total{key="k2"} 2`) {
+		t.Fatalf("pre-cap series lost:\n%s", out)
+	}
+	if strings.Contains(out, `key="k7"`) {
+		t.Fatalf("post-cap label set leaked into the registry:\n%s", out)
+	}
+	if !strings.Contains(out, `bespokv_capped_total{overflow="true"} 6`) {
+		t.Fatalf("overflow bucket missing:\n%s", out)
+	}
+	// The guard counts what it collapsed: six fresh post-cap label sets so
+	// far; another new one below routes to overflow and counts too.
+	oc := r.Counter("bespokv_metrics_label_overflow_total", "metric", "bespokv_capped_total")
+	if got := oc.Value(); got != 6 {
+		t.Fatalf("overflow counter = %d, want 6", got)
+	}
+	r.Counter("bespokv_capped_total", "key", "k99").Inc()
+	if got := oc.Value(); got != 7 {
+		t.Fatalf("overflow counter after repeat = %d, want 7", got)
+	}
+	// Series count per name stays bounded: 4 real + overflow.
+	series := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "bespokv_capped_total{") {
+			series++
+		}
+	}
+	if series != 5 {
+		t.Fatalf("rendered %d capped series, want 4 real + 1 overflow", series)
+	}
+	// Unlabeled series are never capped.
+	r.Counter("bespokv_plain_total").Inc()
+
+	// Unregister returns the slot: a new label set becomes a real series
+	// again.
+	r.Unregister("bespokv_capped_total", "key", "k0")
+	fresh := r.Counter("bespokv_capped_total", "key", "fresh")
+	fresh.Inc()
+	if fresh == over {
+		t.Fatal("freed slot still routed to overflow")
+	}
+}
+
+func TestLabelCardinalityCapGaugeFunc(t *testing.T) {
+	// GaugeFunc registrations hold label-set slots too (they re-register
+	// in place without double counting), so lookup-created series of the
+	// same name see an honest budget.
+	r := NewRegistry()
+	r.SetMaxLabelSets(2)
+	r.GaugeFunc("bespokv_gf", func() float64 { return 1 }, "n", "a")
+	r.GaugeFunc("bespokv_gf", func() float64 { return 2 }, "n", "a") // replace, same slot
+	r.GaugeFunc("bespokv_gf", func() float64 { return 3 }, "n", "b")
+	if got := r.labelSets["bespokv_gf"]; got != 2 {
+		t.Fatalf("labelSets = %d, want 2", got)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bespokv/internal/metrics"
+	"bespokv/internal/telemetry"
 	"bespokv/internal/trace"
 )
 
@@ -30,6 +31,12 @@ type Options struct {
 	// example controlet.Server.Status). It must be safe for concurrent
 	// calls and return something json.Marshal accepts.
 	Status func() any
+	// Clusterz, if set, backs /clusterz with the cluster-wide telemetry
+	// view (coordinator only; other binaries leave it nil and /clusterz
+	// answers 404). It must be safe for concurrent calls.
+	Clusterz func() telemetry.ClusterSnapshot
+	// Alertz, if set, backs /alertz with the SLO alert list.
+	Alertz func() []telemetry.Alert
 }
 
 // Server is a running observability endpoint.
@@ -37,6 +44,8 @@ type Server struct {
 	reg      *metrics.Registry
 	rec      *trace.Recorder
 	status   func() any
+	clusterz func() telemetry.ClusterSnapshot
+	alertz   func() []telemetry.Alert
 	listener net.Listener
 	httpSrv  *http.Server
 }
@@ -45,9 +54,11 @@ type Server struct {
 // returns once it is listening.
 func Serve(addr string, opt Options) (*Server, error) {
 	s := &Server{
-		reg:    opt.Registry,
-		rec:    opt.Recorder,
-		status: opt.Status,
+		reg:      opt.Registry,
+		rec:      opt.Recorder,
+		status:   opt.Status,
+		clusterz: opt.Clusterz,
+		alertz:   opt.Alertz,
 	}
 	if s.reg == nil {
 		s.reg = metrics.Default
@@ -63,6 +74,8 @@ func Serve(addr string, opt Options) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/clusterz", s.handleClusterz)
+	mux.HandleFunc("/alertz", s.handleAlertz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -101,6 +114,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
 <li><a href="/statusz">/statusz</a> — role and topology snapshot</li>
 <li><a href="/tracez">/tracez</a> — recent and slowest request traces</li>
+<li><a href="/clusterz">/clusterz</a> — cluster telemetry (coordinator; ?format=text)</li>
+<li><a href="/alertz">/alertz</a> — SLO alert states (coordinator)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiles</li>
 </ul></body></html>`)
 }
@@ -136,6 +151,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 type tracezPayload struct {
 	SampleEvery uint64        `json:"sample_every"`
 	Total       uint64        `json:"spans_recorded"`
+	MinDur      time.Duration `json:"min_dur_ns,omitempty"`
 	Recent      []trace.Trace `json:"recent"`
 	Slowest     []trace.Span  `json:"slowest"`
 }
@@ -147,11 +163,39 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 			max = 32
 		}
 	}
+	// ?min_dur= keeps only traces/spans at or above the threshold — the
+	// slow-request filter (e.g. /tracez?min_dur=10ms).
+	var minDur time.Duration
+	if q := r.URL.Query().Get("min_dur"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad min_dur %q: %v", q, err), http.StatusBadRequest)
+			return
+		}
+		minDur = d
+	}
 	p := tracezPayload{
 		SampleEvery: trace.SampleEvery(),
 		Total:       s.rec.Total(),
+		MinDur:      minDur,
 		Recent:      s.rec.Traces(max),
 		Slowest:     s.rec.Slowest(max),
+	}
+	if minDur > 0 {
+		recent := p.Recent[:0]
+		for _, tr := range p.Recent {
+			if tr.Dur >= minDur {
+				recent = append(recent, tr)
+			}
+		}
+		p.Recent = recent
+		slowest := p.Slowest[:0]
+		for _, sp := range p.Slowest {
+			if sp.Dur >= minDur {
+				slowest = append(slowest, sp)
+			}
+		}
+		p.Slowest = slowest
 	}
 	// Deterministic span ordering inside each trace simplifies both eyeballs
 	// and tests (Traces already sorts by start; keep it explicit here).
@@ -160,6 +204,34 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 		sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
 	}
 	writeJSON(w, p)
+}
+
+// handleClusterz serves the merged cluster telemetry view; ?format=text
+// renders the same table `bespokv-cli top` prints.
+func (s *Server) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	if s.clusterz == nil {
+		http.Error(w, "clusterz: not a coordinator", http.StatusNotFound)
+		return
+	}
+	snap := s.clusterz()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, snap.Text())
+		return
+	}
+	writeJSON(w, snap)
+}
+
+func (s *Server) handleAlertz(w http.ResponseWriter, _ *http.Request) {
+	if s.alertz == nil {
+		http.Error(w, "alertz: not a coordinator", http.StatusNotFound)
+		return
+	}
+	alerts := s.alertz()
+	if alerts == nil {
+		alerts = []telemetry.Alert{}
+	}
+	writeJSON(w, map[string]any{"alerts": alerts})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

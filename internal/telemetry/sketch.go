@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sketch is a SpaceSaving heavy-hitter summary (Metwally et al.): at most
+// cap monitored keys; an unmonitored key evicts the current minimum and
+// inherits its count as over-estimation error. Guarantees: every key with
+// true frequency > N/cap is monitored, and a reported count overestimates
+// the true count by at most its Err field (≤ N/cap), where N is the total
+// weight touched. Memory is O(cap) regardless of keyspace size.
+//
+// Touch is mutex-guarded but allocation-free in steady state: lookups use
+// the compiler's map[string(bytes)] optimization and eviction reuses the
+// evicted slot, so the only allocation is the key copy when a brand-new
+// key is admitted.
+type Sketch struct {
+	mu      sync.Mutex
+	cap     int
+	total   int64
+	entries []sketchEntry
+	index   map[string]int // key -> position in entries
+}
+
+type sketchEntry struct {
+	key   string
+	count int64
+	err   int64 // over-estimation carried from the evicted minimum
+}
+
+// HotKey is one reported heavy hitter. Count overestimates the true
+// frequency by at most Err.
+type HotKey struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err,omitempty"`
+}
+
+// NewSketch returns a sketch monitoring at most cap keys.
+func NewSketch(cap int) *Sketch {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Sketch{
+		cap:     cap,
+		entries: make([]sketchEntry, 0, cap),
+		index:   make(map[string]int, cap),
+	}
+}
+
+// Touch credits key with weight w (samplers pass their sampling period so
+// heavy hitters keep their relative mass).
+func (s *Sketch) Touch(key []byte, w int64) {
+	if w <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.total += w
+	if i, ok := s.index[string(key)]; ok { // no alloc: map lookup by []byte
+		s.entries[i].count += w
+		s.mu.Unlock()
+		return
+	}
+	if len(s.entries) < s.cap {
+		s.entries = append(s.entries, sketchEntry{key: string(key), count: w})
+		s.index[string(key)] = len(s.entries) - 1
+		s.mu.Unlock()
+		return
+	}
+	// Evict the minimum; the newcomer inherits its count as error.
+	min := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].count < s.entries[min].count {
+			min = i
+		}
+	}
+	e := &s.entries[min]
+	delete(s.index, e.key)
+	e.err = e.count
+	e.count += w
+	e.key = string(key)
+	s.index[e.key] = min
+	s.mu.Unlock()
+}
+
+// Total returns the total weight touched.
+func (s *Sketch) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// TopK returns the k largest monitored keys, count-descending.
+func (s *Sketch) TopK(k int) []HotKey {
+	s.mu.Lock()
+	out := make([]HotKey, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, HotKey{Key: e.key, Count: e.count, Err: e.err})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// MergeHotKeys combines top-K lists from several sketches (e.g. the
+// replicas of one shard) by summing counts per key and re-ranking. The
+// result keeps SpaceSaving's error semantics per contributor (Err fields
+// sum), but keys that fell outside some contributor's top-K undercount.
+func MergeHotKeys(k int, lists ...[]HotKey) []HotKey {
+	merged := make(map[string]HotKey)
+	for _, list := range lists {
+		for _, hk := range list {
+			m := merged[hk.Key]
+			m.Key = hk.Key
+			m.Count += hk.Count
+			m.Err += hk.Err
+			merged[hk.Key] = m
+		}
+	}
+	out := make([]HotKey, 0, len(merged))
+	for _, hk := range merged {
+		out = append(out, hk)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestSketchExactWhenUnderCapacity(t *testing.T) {
+	s := NewSketch(8)
+	for i := 0; i < 5; i++ {
+		s.Touch([]byte("a"), 1)
+	}
+	for i := 0; i < 3; i++ {
+		s.Touch([]byte("b"), 1)
+	}
+	s.Touch([]byte("c"), 2) // weighted touch
+	top := s.TopK(0)
+	if len(top) != 3 {
+		t.Fatalf("want 3 entries, got %d", len(top))
+	}
+	if top[0].Key != "a" || top[0].Count != 5 || top[0].Err != 0 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Key != "b" || top[1].Count != 3 {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+	if top[2].Key != "c" || top[2].Count != 2 {
+		t.Fatalf("top[2] = %+v", top[2])
+	}
+	if s.Total() != 10 {
+		t.Fatalf("total = %d", s.Total())
+	}
+}
+
+func TestSketchHeavyHitterGuarantee(t *testing.T) {
+	// SpaceSaving guarantee: any key with true frequency > N/cap is
+	// monitored, and reported counts overestimate by at most N/cap.
+	const cap = 32
+	s := NewSketch(cap)
+	rng := rand.New(rand.NewSource(7))
+	trueCount := map[string]int64{}
+	var n int64
+	touch := func(k string) {
+		s.Touch([]byte(k), 1)
+		trueCount[k]++
+		n++
+	}
+	for i := 0; i < 20000; i++ {
+		// 3 heavy keys get ~60% of traffic; the rest spreads over 2000.
+		r := rng.Intn(100)
+		switch {
+		case r < 30:
+			touch("hot-A")
+		case r < 50:
+			touch("hot-B")
+		case r < 60:
+			touch("hot-C")
+		default:
+			touch(fmt.Sprintf("cold-%04d", rng.Intn(2000)))
+		}
+	}
+	bound := n / cap
+	top := s.TopK(3)
+	seen := map[string]HotKey{}
+	for _, hk := range s.TopK(0) {
+		seen[hk.Key] = hk
+	}
+	for _, hot := range []string{"hot-A", "hot-B", "hot-C"} {
+		hk, ok := seen[hot]
+		if !ok {
+			t.Fatalf("heavy hitter %s evicted (true=%d bound=%d)", hot, trueCount[hot], bound)
+		}
+		if hk.Count < trueCount[hot] {
+			t.Errorf("%s undercounted: %d < true %d", hot, hk.Count, trueCount[hot])
+		}
+		if hk.Count > trueCount[hot]+bound {
+			t.Errorf("%s over error bound: %d > %d+%d", hot, hk.Count, trueCount[hot], bound)
+		}
+		if hk.Err > bound {
+			t.Errorf("%s err %d exceeds bound %d", hot, hk.Err, bound)
+		}
+	}
+	if top[0].Key != "hot-A" {
+		t.Errorf("rank 1 = %s, want hot-A", top[0].Key)
+	}
+}
+
+func TestSketchBoundedMemory(t *testing.T) {
+	s := NewSketch(16)
+	for i := 0; i < 10000; i++ {
+		s.Touch([]byte(fmt.Sprintf("k%05d", i)), 1)
+	}
+	if got := len(s.TopK(0)); got != 16 {
+		t.Fatalf("monitored %d keys, cap 16", got)
+	}
+	if len(s.index) != 16 {
+		t.Fatalf("index holds %d keys", len(s.index))
+	}
+}
+
+func TestMergeHotKeys(t *testing.T) {
+	a := []HotKey{{Key: "x", Count: 10}, {Key: "y", Count: 5, Err: 1}}
+	b := []HotKey{{Key: "y", Count: 7}, {Key: "z", Count: 6}}
+	m := MergeHotKeys(2, a, b)
+	if len(m) != 2 {
+		t.Fatalf("len = %d", len(m))
+	}
+	if m[0].Key != "y" || m[0].Count != 12 || m[0].Err != 1 {
+		t.Fatalf("m[0] = %+v", m[0])
+	}
+	if m[1].Key != "x" || m[1].Count != 10 {
+		t.Fatalf("m[1] = %+v", m[1])
+	}
+}

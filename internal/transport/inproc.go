@@ -55,16 +55,20 @@ func (Inproc) Dial(addr string) (Conn, error) {
 	b2a := newRing()
 	client := &inprocConn{rd: b2a, wr: a2b, local: "client", remote: addr}
 	server := &inprocConn{rd: a2b, wr: b2a, local: addr, remote: "client"}
+	// The enqueue happens under l.mu, the same lock Close holds while it
+	// closes the backlog — otherwise a dial racing Close could send on a
+	// closed channel and panic.
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return nil, fmt.Errorf("transport: inproc address %q not bound (connection refused)", addr)
 	}
-	l.mu.Unlock()
 	select {
 	case l.backlog <- server:
+		l.mu.Unlock()
 		return client, nil
 	default:
+		l.mu.Unlock()
 		return nil, fmt.Errorf("transport: inproc backlog full for %q", addr)
 	}
 }
@@ -91,11 +95,21 @@ func (l *inprocListener) Close() error {
 		return nil
 	}
 	l.closed = true
+	close(l.backlog)
 	l.mu.Unlock()
 	inprocMu.Lock()
 	delete(inprocListeners, l.addr)
 	inprocMu.Unlock()
-	close(l.backlog)
+	// Tear down conns still queued for accept, as TCP resets its SYN
+	// backlog when a listener closes. Abandoning them would leave each
+	// dialer blocked in its first read forever: servers that observe
+	// their stop flag right after Accept close that one conn and exit
+	// their accept loop, so nothing else would ever serve or close the
+	// rest of the queue. Accept may be draining concurrently; a conn
+	// goes to exactly one receiver and closing is idempotent.
+	for c := range l.backlog {
+		_ = c.Close()
+	}
 	return nil
 }
 

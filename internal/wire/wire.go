@@ -81,11 +81,15 @@ const (
 	// OpChainMPut forwards a whole OpMPut frame down a replication chain
 	// (MS+SC) with head-assigned versions in Pairs[i].Version.
 	OpChainMPut
+	// OpTelemetry asks a datalet for its telemetry NodeSnapshot (JSON in
+	// Response.Value); controlets attach it to their coordinator reports
+	// so direct-path reads that bypass the controlet still get counted.
+	OpTelemetry
 )
 
 // OpMax is the highest defined op code; per-op metric tables and verb
 // registries size and iterate off it.
-const OpMax = OpChainMPut
+const OpMax = OpTelemetry
 
 // String returns the operation mnemonic.
 func (o Op) String() string {
@@ -132,6 +136,8 @@ func (o Op) String() string {
 		return "EPOCHSET"
 	case OpChainMPut:
 		return "CHAINMPUT"
+	case OpTelemetry:
+		return "TELEMETRY"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}

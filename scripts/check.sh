@@ -22,6 +22,16 @@ go test -race ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 go test -run TestHotPathZeroAlloc ./internal/metrics/
 go test -run NONE -bench 'CounterAdd|HistogramObserve' -benchmem ./internal/metrics/
 
+# Cluster telemetry plane: windowing/sketch/SLO/aggregator units, the
+# metrics label-cardinality guard, the cluster e2e (hot-shard detection
+# plus the SLO alert lifecycle under a faultnet delay rule), and the
+# zero-alloc recording contract with its per-op numbers.
+go test -race ./internal/telemetry/...
+go test -race -run 'TestLabelCardinality' ./internal/metrics/
+go test -race -run 'TestTelemetryEndToEnd' ./internal/cluster/
+go test -run TestRecordZeroAllocTelemetry ./internal/telemetry/
+go test -run NONE -bench 'TelemetryRecord|SketchTouch' -benchmem ./internal/telemetry/
+
 # Online shard migration: planner/mover units plus the cluster
 # join/drain/AA+EC-floor scenarios under client load, race-detected.
 go test -race ./internal/migrate/...
