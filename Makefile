@@ -9,11 +9,24 @@ RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... .
 # HTTP introspection endpoints (including the end-to-end cluster test).
 OBS_PKGS = ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 
-.PHONY: all check vet build test race obs telemetry migrate nemesis crash wirespeed bench bench-pipeline clean
+.PHONY: all check vet build test race obs telemetry migrate nemesis crash wirespeed rsm bench bench-pipeline clean
 
 all: check
 
-check: vet build test race obs telemetry migrate nemesis crash wirespeed
+check: vet build test race obs telemetry migrate nemesis crash wirespeed rsm
+
+# rsm race-tests the replicated control plane end to end: the Raft-style
+# core (election, replication, persistence, snapshots — fuzz seeds
+# included), the replicated coordinator/DLM/sequencer services, and the
+# cluster control-plane nemesis suites (leader kill and partition under
+# MS+SC load, checked for zero acked-write loss and linearizability).
+# The apply path must stay allocation-free (TestApplyZeroAlloc). A failing
+# nemesis run logs its seed; replay with BESPOKV_NEMESIS_SEED=<seed>.
+rsm:
+	$(GO) test -race ./internal/rsm/...
+	$(GO) test -race -run 'Replicated|Sequencer|Follower|TestLockTableClock|TestTakeDeltaCap|TestClientBackoff|TestSplitAddrs|TestCloseAborts' ./internal/coordinator/ ./internal/dlm/ ./internal/sharedlog/
+	$(GO) test -race -run 'TestControlPlane' ./internal/cluster/
+	$(GO) test -run TestApplyZeroAlloc ./internal/rsm/
 
 # crash race-tests the storage fault story end to end: the WAL and faultfs
 # units, the durable ht/lsm/applog engine recovery suites, and the cluster

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 
 	"bespokv/internal/client"
 	"bespokv/internal/coordinator"
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	switch args[0] {
-	case "map", "setmap", "transition", "join", "drain", "rebalance", "migration", "top", "alerts":
+	case "map", "setmap", "transition", "join", "drain", "rebalance", "migration", "top", "alerts", "rsm":
 		admin, err := coordinator.DialCoordinator(net, *coordAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -250,6 +251,28 @@ func runAdmin(admin *coordinator.Client, args []string) {
 		}
 		fmt.Printf("migration %s started: sources=%v moved≈%.1f%%\n",
 			start.ID, start.Sources, start.MovedFraction*100)
+	case "rsm":
+		st, err := admin.RSMStatus()
+		if err != nil {
+			// A standalone coordinator has no RSM group and so no handler.
+			if strings.Contains(err.Error(), "unknown method") {
+				fmt.Println("control plane runs standalone (no replication group)")
+				return
+			}
+			log.Fatal(err)
+		}
+		fmt.Printf("member  %s (%s)\n", st.ID, st.State)
+		fmt.Printf("leader  %s term %d\n", st.Leader, st.Term)
+		fmt.Printf("log     commit=%d applied=%d last=%d snapshot=%d\n",
+			st.CommitIndex, st.AppliedIndex, st.LastIndex, st.SnapshotIndex)
+		for _, m := range st.Members {
+			if m.Self {
+				fmt.Printf("  %-8s %-20s self\n", m.ID, m.Addr)
+				continue
+			}
+			fmt.Printf("  %-8s %-20s match=%d next=%d lag=%d ack_age=%dms\n",
+				m.ID, m.Addr, m.Match, m.Next, m.LagEntries, m.AckAgeMS)
+		}
 	case "migration":
 		st, err := admin.MigrationStatus()
 		if err != nil {
@@ -291,6 +314,7 @@ commands:
   rebalance <shards.json>  migrate to an arbitrary target shard set
   migration                print the active (or last) migration run
   top                      cluster telemetry: per-shard rates, hot keys, alerts
-  alerts                   SLO alert states as JSON`)
+  alerts                   SLO alert states as JSON
+  rsm                      control-plane replication: leader, term, member lag`)
 	os.Exit(2)
 }

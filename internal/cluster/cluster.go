@@ -86,6 +86,19 @@ type Options struct {
 	TelemetryInterval time.Duration
 	// DisableFailover turns the coordinator's failure detector off.
 	DisableFailover bool
+	// ReplicatedControl, when > 0, runs each control-plane service —
+	// coordinator, DLM, and shared-log sequencer — as an N-member RSM
+	// group instead of a single process (3 is the useful value). Members
+	// appear to the fault fabric as hosts "coord-0".."coord-N-1",
+	// "dlm-0".. and "log-0".., so nemesis schedules can kill or partition
+	// the current leader specifically. Clients and controlets get the
+	// full member list and rotate on NotLeader. Inproc transport only
+	// (RSM peers need fixed addresses known before any member starts).
+	ReplicatedControl int
+	// ControlElectionTimeout tunes the control-plane RSM groups' election
+	// timeout (default 150ms); re-election after a leader kill lands
+	// within a few multiples of this.
+	ControlElectionTimeout time.Duration
 	// P2PRouting enables the §IV-E P2P-style topology: any controlet
 	// accepts any key and routes it to the owning shard.
 	P2PRouting bool
@@ -144,13 +157,24 @@ func (p *Pair) Killed() bool { return p.killed.Load() }
 
 // Cluster is a running in-process deployment.
 type Cluster struct {
-	Opts     Options
-	Net      transport.Network
-	Codec    wire.Codec
-	Coord    *coordinator.Server
-	DLM      *dlm.Server
-	Log      *sharedlog.Server
-	Shards   [][]*Pair // [shard][replica]
+	Opts  Options
+	Net   transport.Network
+	Codec wire.Codec
+	Coord *coordinator.Server
+	DLM   *dlm.Server
+	Log   *sharedlog.Server
+	// Replicated control plane (Options.ReplicatedControl > 0): all
+	// members of each group, aligned with their fabric host names. Coord,
+	// DLM and Log then point at member 0 for back-compat; prefer the
+	// leader helpers, member 0 may be killed or a follower.
+	Coords   []*coordinator.Server
+	DLMs     []*dlm.Server
+	Logs     []*sharedlog.Server
+	coordIDs []string
+	dlmIDs   []string
+	logIDs   []string
+	ctlAddrs map[string]string // fabric host -> listen address
+	Shards   [][]*Pair         // [shard][replica]
 	Standbys []*Pair
 	oldPairs []*Pair // pre-transition controlets kept until Close
 	nameSeq  atomic.Uint64
@@ -195,6 +219,12 @@ func (o *Options) defaults() error {
 	}
 	if o.TelemetryInterval <= 0 {
 		o.TelemetryInterval = o.HeartbeatInterval
+	}
+	if o.ControlElectionTimeout <= 0 {
+		o.ControlElectionTimeout = 150 * time.Millisecond
+	}
+	if o.ReplicatedControl > 0 && o.NetworkName != "inproc" {
+		return fmt.Errorf("cluster: ReplicatedControl requires the inproc transport")
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -304,24 +334,30 @@ func Start(opts Options) (*Cluster, error) {
 	}
 
 	// Control services.
-	c.Coord, err = coordinator.Serve(coordinator.Config{
-		Network:          c.hostNet(net, "coord"),
-		Addr:             listenAddr(opts.NetworkName),
-		HeartbeatTimeout: opts.HeartbeatTimeout,
-		DisableFailover:  opts.DisableFailover,
-		SLOs:             opts.SLOs,
-		Logf:             opts.Logf,
-	})
-	if err != nil {
-		return fail(err)
-	}
-	c.DLM, err = dlm.Serve(dlm.Config{Network: c.hostNet(net, "dlm"), Addr: listenAddr(opts.NetworkName)})
-	if err != nil {
-		return fail(err)
-	}
-	c.Log, err = sharedlog.Serve(sharedlog.Config{Network: c.hostNet(net, "log"), Addr: listenAddr(opts.NetworkName)})
-	if err != nil {
-		return fail(err)
+	if opts.ReplicatedControl > 0 {
+		if err := c.startReplicatedControl(net); err != nil {
+			return fail(err)
+		}
+	} else {
+		c.Coord, err = coordinator.Serve(coordinator.Config{
+			Network:          c.hostNet(net, "coord"),
+			Addr:             listenAddr(opts.NetworkName),
+			HeartbeatTimeout: opts.HeartbeatTimeout,
+			DisableFailover:  opts.DisableFailover,
+			SLOs:             opts.SLOs,
+			Logf:             opts.Logf,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		c.DLM, err = dlm.Serve(dlm.Config{Network: c.hostNet(net, "dlm"), Addr: listenAddr(opts.NetworkName)})
+		if err != nil {
+			return fail(err)
+		}
+		c.Log, err = sharedlog.Serve(sharedlog.Config{Network: c.hostNet(net, "log"), Addr: listenAddr(opts.NetworkName)})
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	// Data plane.
@@ -354,7 +390,7 @@ func Start(opts Options) (*Cluster, error) {
 
 	// Install the map and give every controlet its first copy directly
 	// (faster and more deterministic than waiting for the first push).
-	admin, err := coordinator.DialCoordinator(c.hostNet(net, "admin"), c.Coord.Addr())
+	admin, err := coordinator.DialCoordinator(c.hostNet(net, "admin"), c.coordAddr())
 	if err != nil {
 		return fail(err)
 	}
@@ -497,9 +533,9 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 		DataletAddr:       d.Addr(),
 		DataletCodec:      dataletCodec,
 		Mode:              mode,
-		CoordinatorAddr:   c.Coord.Addr(),
-		DLMAddr:           c.DLM.Addr(),
-		SharedLogAddr:     c.Log.Addr(),
+		CoordinatorAddr:   c.coordAddr(),
+		DLMAddr:           c.dlmAddr(),
+		SharedLogAddr:     c.logAddr(),
 		HeartbeatInterval: c.Opts.HeartbeatInterval,
 		TelemetryInterval: c.Opts.TelemetryInterval,
 		FenceTimeout:      c.fenceTimeout(),
@@ -534,7 +570,7 @@ func (c *Cluster) ClientTuned(retries int, backoff time.Duration) (*client.Clien
 func (c *Cluster) ClientConfig(cfg client.Config) (*client.Client, error) {
 	cfg.Network = c.hostNet(c.Net, "client")
 	cfg.Codec = c.Codec
-	cfg.CoordinatorAddr = c.Coord.Addr()
+	cfg.CoordinatorAddr = c.coordAddr()
 	if cfg.Logf == nil {
 		cfg.Logf = c.Opts.Logf
 	}
@@ -543,7 +579,7 @@ func (c *Cluster) ClientConfig(cfg client.Config) (*client.Client, error) {
 
 // Admin opens a coordinator client for map inspection and transitions.
 func (c *Cluster) Admin() (*coordinator.Client, error) {
-	return coordinator.DialCoordinator(c.hostNet(c.Net, "admin"), c.Coord.Addr())
+	return coordinator.DialCoordinator(c.hostNet(c.Net, "admin"), c.coordAddr())
 }
 
 // Pair returns the pair at (shard, replica) as originally deployed.
@@ -678,9 +714,9 @@ func (c *Cluster) Transition(to topology.Mode) error {
 				DataletAddr:       old.DataletAddr,
 				DataletCodec:      dataletCodec,
 				Mode:              to,
-				CoordinatorAddr:   c.Coord.Addr(),
-				DLMAddr:           c.DLM.Addr(),
-				SharedLogAddr:     c.Log.Addr(),
+				CoordinatorAddr:   c.coordAddr(),
+				DLMAddr:           c.dlmAddr(),
+				SharedLogAddr:     c.logAddr(),
 				HeartbeatInterval: c.Opts.HeartbeatInterval,
 				TelemetryInterval: c.Opts.TelemetryInterval,
 				FenceTimeout:      c.fenceTimeout(),
@@ -903,6 +939,15 @@ func (c *Cluster) Close() {
 	}
 	for _, p := range c.oldPairs {
 		_ = p // controlets already closed in Transition; datalets shared
+	}
+	for _, s := range c.Logs {
+		_ = s.Close()
+	}
+	for _, s := range c.DLMs {
+		_ = s.Close()
+	}
+	for _, s := range c.Coords {
+		_ = s.Close()
 	}
 	if c.Log != nil {
 		_ = c.Log.Close()

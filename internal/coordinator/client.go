@@ -1,26 +1,104 @@
 package coordinator
 
 import (
+	"errors"
+	"io"
+	"math/rand/v2"
+	"strings"
+	"sync"
 	"time"
 
 	"bespokv/internal/rpc"
+	"bespokv/internal/rsm"
 	"bespokv/internal/telemetry"
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
 )
 
-// Client is a typed connection to the coordinator.
+// Client is a typed connection to the coordinator control plane. It may
+// be configured with several addresses (a replicated control-plane group):
+// calls rotate to the next member on dial or connection failure, follow
+// the rsm.NotLeaderError redirect hint when a follower rejects a mutation,
+// and back off with capped jitter between attempts. Application errors
+// (including rpc.ErrCallTimeout, where the call may have executed) are
+// returned to the caller untouched.
 type Client struct {
-	c *rpc.Client
+	network transport.Network
+
+	mu          sync.Mutex
+	addrs       []string
+	cur         int    // index of the member the connection targets
+	redirect    string // leader hint to try next, overriding addrs[cur]
+	conn        *rpc.Client
+	callTimeout time.Duration
+	closed      bool
 }
 
-// DialCoordinator connects to a coordinator.
-func DialCoordinator(network transport.Network, addr string) (*Client, error) {
-	c, err := rpc.DialClient(network, addr)
-	if err != nil {
-		return nil, err
+// ErrClientClosed fails calls on a closed client. Without it, Close racing
+// an in-flight call is useless as an abort: the call sees its connection
+// die, treats that as a member failure, and re-dials — turning every
+// teardown of a long-poll into a full fresh poll window.
+var ErrClientClosed = errors.New("coordinator: client closed")
+
+// Backoff between failed control-plane attempts: exponential from
+// clientBackoffBase, capped at clientBackoffMax, jittered to [d/2, d] so a
+// cluster of clients re-dialing a failed coordinator doesn't stampede.
+const (
+	clientBackoffBase = 10 * time.Millisecond
+	clientBackoffMax  = 500 * time.Millisecond
+)
+
+// clientBackoff returns the delay before retry attempt n (0-based).
+func clientBackoff(n int) time.Duration {
+	d := clientBackoffBase
+	for i := 0; i < n && d < clientBackoffMax; i++ {
+		d *= 2
 	}
-	return &Client{c: c}, nil
+	if d > clientBackoffMax {
+		d = clientBackoffMax
+	}
+	half := d / 2
+	return half + rand.N(half+1)
+}
+
+// SplitAddrs splits a comma-separated address list, so every single-string
+// config surface (flags, Config fields) can carry a replicated control
+// plane without changing shape.
+func SplitAddrs(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// DialCoordinator connects to a coordinator. addr may be one address or a
+// comma-separated list of replicated control-plane members.
+func DialCoordinator(network transport.Network, addr string) (*Client, error) {
+	return DialCoordinators(network, SplitAddrs(addr))
+}
+
+// DialCoordinators connects to the first reachable member of a
+// control-plane group; later calls keep rotating as members fail.
+func DialCoordinators(network transport.Network, addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("coordinator: no addresses to dial")
+	}
+	c := &Client{
+		network:     network,
+		addrs:       append([]string(nil), addrs...),
+		callTimeout: rpc.DefaultCallTimeout,
+	}
+	var err error
+	for range addrs {
+		if _, err = c.connect(); err == nil {
+			return c, nil
+		}
+		c.rotate("")
+	}
+	return nil, err
 }
 
 // SetCallTimeout caps how long each RPC may wait for its response. Control
@@ -28,13 +106,159 @@ func DialCoordinator(network transport.Network, addr string) (*Client, error) {
 // refreshes) set this well below the default; note WatchMap long-polls, so
 // its timeout must stay under the call timeout.
 func (c *Client) SetCallTimeout(d time.Duration) {
-	c.c.CallTimeout = d
+	c.mu.Lock()
+	c.callTimeout = d
+	if c.conn != nil {
+		c.conn.CallTimeout = d
+	}
+	c.mu.Unlock()
+}
+
+// Addr reports the member the client currently targets (tests, logs).
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.redirect != "" {
+		return c.redirect
+	}
+	return c.addrs[c.cur]
+}
+
+// connect returns the live connection, dialing the current target if
+// needed. The dial happens outside the lock; a racing winner is reused.
+func (c *Client) connect() (*rpc.Client, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		conn := c.conn
+		c.mu.Unlock()
+		return conn, nil
+	}
+	addr := c.addrs[c.cur]
+	if c.redirect != "" {
+		addr = c.redirect
+	}
+	timeout := c.callTimeout
+	c.mu.Unlock()
+	nc, err := rpc.DialClient(c.network, addr)
+	if err != nil {
+		return nil, err
+	}
+	nc.CallTimeout = timeout
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		return nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		cur := c.conn
+		c.mu.Unlock()
+		nc.Close()
+		return cur, nil
+	}
+	c.conn = nc
+	c.mu.Unlock()
+	return nc, nil
+}
+
+// drop forgets conn (if still current) so the next call re-dials.
+func (c *Client) drop(conn *rpc.Client) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// rotate moves to the next member, or straight to the redirect hint when a
+// follower named the leader.
+func (c *Client) rotate(hint string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.redirect = ""
+	if hint != "" {
+		for i, a := range c.addrs {
+			if a == hint {
+				c.cur = i
+				return
+			}
+		}
+		// A leader outside the configured list (e.g. a member added after
+		// this client was built): trust the hint for the next dial.
+		c.redirect = hint
+		return
+	}
+	c.cur = (c.cur + 1) % len(c.addrs)
+}
+
+// isConnErr reports errors that mean this member is unreachable (vs.
+// application errors, which every member would answer identically).
+func isConnErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+		return true
+	}
+	return strings.Contains(err.Error(), "rpc: connection failed")
+}
+
+// call runs one RPC with rotation: on an unreachable member or a
+// NotLeader redirect it moves on (with capped jittered backoff) until the
+// attempt budget is spent. Timeouts and application errors return
+// immediately — the call may have executed, so retrying is the caller's
+// decision.
+func (c *Client) call(method string, args, reply any) error {
+	attempts := 3 * len(c.addrs)
+	if attempts < 4 {
+		attempts = 4
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(clientBackoff(i - 1))
+		}
+		conn, err := c.connect()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return err
+			}
+			lastErr = err
+			c.rotate("")
+			continue
+		}
+		if err = conn.Call(method, args, reply); err == nil {
+			return nil
+		}
+		lastErr = err
+		switch {
+		case rsm.IsNotLeader(err):
+			c.drop(conn)
+			c.rotate(rsm.LeaderHint(err))
+		case isConnErr(err):
+			c.drop(conn)
+			c.rotate("")
+		case errors.Is(err, rpc.ErrCallTimeout):
+			// The member is silent (blackholed, or wedged): the call may
+			// have executed, so surface the ambiguity to the caller — but
+			// move off this member first, or a stale redirect hint pointing
+			// into a partition would pin every subsequent call there.
+			c.drop(conn)
+			c.rotate("")
+			return err
+		default:
+			return err
+		}
+	}
+	return lastErr
 }
 
 // GetMap fetches the current cluster map.
 func (c *Client) GetMap() (*topology.Map, error) {
 	var m topology.Map
-	if err := c.c.Call("GetMap", struct{}{}, &m); err != nil {
+	if err := c.call("GetMap", struct{}{}, &m); err != nil {
 		return nil, err
 	}
 	return &m, nil
@@ -45,7 +269,7 @@ func (c *Client) GetMap() (*topology.Map, error) {
 func (c *Client) WatchMap(since uint64, timeout time.Duration) (*topology.Map, error) {
 	var m topology.Map
 	args := WatchArgs{Since: since, TimeoutMs: int(timeout / time.Millisecond)}
-	if err := c.c.Call("WatchMap", args, &m); err != nil {
+	if err := c.call("WatchMap", args, &m); err != nil {
 		return nil, err
 	}
 	return &m, nil
@@ -58,7 +282,7 @@ func (c *Client) WatchMap(since uint64, timeout time.Duration) (*topology.Map, e
 func (c *Client) LeaseMap(since uint64, timeout time.Duration) (*topology.Map, time.Duration, error) {
 	var reply LeaseReply
 	args := WatchArgs{Since: since, TimeoutMs: int(timeout / time.Millisecond)}
-	if err := c.c.Call("LeaseMap", args, &reply); err != nil {
+	if err := c.call("LeaseMap", args, &reply); err != nil {
 		return nil, 0, err
 	}
 	return reply.Map, time.Duration(reply.TTLMs) * time.Millisecond, nil
@@ -67,7 +291,7 @@ func (c *Client) LeaseMap(since uint64, timeout time.Duration) (*topology.Map, t
 // SetMap installs a map (bootstrap / admin), returning the assigned epoch.
 func (c *Client) SetMap(m *topology.Map) (uint64, error) {
 	var reply HeartbeatReply
-	if err := c.c.Call("SetMap", m, &reply); err != nil {
+	if err := c.call("SetMap", m, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
@@ -76,7 +300,7 @@ func (c *Client) SetMap(m *topology.Map) (uint64, error) {
 // Heartbeat reports liveness for a node pair and learns the current epoch.
 func (c *Client) Heartbeat(nodeID string, dataletOK bool) (uint64, error) {
 	var reply HeartbeatReply
-	if err := c.c.Call("Heartbeat", Heartbeat{NodeID: nodeID, DataletOK: dataletOK}, &reply); err != nil {
+	if err := c.call("Heartbeat", Heartbeat{NodeID: nodeID, DataletOK: dataletOK}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
@@ -84,13 +308,13 @@ func (c *Client) Heartbeat(nodeID string, dataletOK bool) (uint64, error) {
 
 // RegisterStandby adds a spare controlet–datalet pair to the failover pool.
 func (c *Client) RegisterStandby(n topology.Node) error {
-	return c.c.Call("RegisterStandby", n, nil)
+	return c.call("RegisterStandby", n, nil)
 }
 
 // LeaderElect promotes a new master for the shard, excluding a failed node.
 func (c *Client) LeaderElect(shardID, exclude string) (topology.Node, error) {
 	var n topology.Node
-	err := c.c.Call("LeaderElect", LeaderElectArgs{ShardID: shardID, Exclude: exclude}, &n)
+	err := c.call("LeaderElect", LeaderElectArgs{ShardID: shardID, Exclude: exclude}, &n)
 	return n, err
 }
 
@@ -98,7 +322,7 @@ func (c *Client) LeaderElect(shardID, exclude string) (topology.Node, error) {
 // given new-mode controlets.
 func (c *Client) BeginTransition(to topology.Mode, newShards []topology.Shard) (uint64, error) {
 	var reply HeartbeatReply
-	if err := c.c.Call("BeginTransition", TransitionArgs{To: to, NewShards: newShards}, &reply); err != nil {
+	if err := c.call("BeginTransition", TransitionArgs{To: to, NewShards: newShards}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
@@ -107,7 +331,7 @@ func (c *Client) BeginTransition(to topology.Mode, newShards []topology.Shard) (
 // CompleteTransition forces the in-flight transition to finish.
 func (c *Client) CompleteTransition() (uint64, error) {
 	var reply HeartbeatReply
-	if err := c.c.Call("CompleteTransition", struct{}{}, &reply); err != nil {
+	if err := c.call("CompleteTransition", struct{}{}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Epoch, nil
@@ -118,7 +342,7 @@ func (c *Client) CompleteTransition() (uint64, error) {
 // was an incremental delta.
 func (c *Client) Rejoin(shardID string, n topology.Node) (RejoinReply, error) {
 	var reply RejoinReply
-	err := c.c.Call("Rejoin", RejoinArgs{Node: n, ShardID: shardID}, &reply)
+	err := c.call("Rejoin", RejoinArgs{Node: n, ShardID: shardID}, &reply)
 	return reply, err
 }
 
@@ -127,7 +351,7 @@ func (c *Client) Rejoin(shardID string, n topology.Node) (RejoinReply, error) {
 // MigrationStatus for completion.
 func (c *Client) JoinNode(shard topology.Shard) (MigrationStartReply, error) {
 	var reply MigrationStartReply
-	err := c.c.Call("JoinNode", JoinArgs{Shard: shard}, &reply)
+	err := c.call("JoinNode", JoinArgs{Shard: shard}, &reply)
 	return reply, err
 }
 
@@ -135,36 +359,54 @@ func (c *Client) JoinNode(shard topology.Shard) (MigrationStartReply, error) {
 // its keyspace over the survivors.
 func (c *Client) DrainNode(shardID string) (MigrationStartReply, error) {
 	var reply MigrationStartReply
-	err := c.c.Call("DrainNode", DrainArgs{ShardID: shardID}, &reply)
+	err := c.call("DrainNode", DrainArgs{ShardID: shardID}, &reply)
 	return reply, err
 }
 
 // Rebalance starts an online migration to an arbitrary target shard set.
 func (c *Client) Rebalance(shards []topology.Shard) (MigrationStartReply, error) {
 	var reply MigrationStartReply
-	err := c.c.Call("Rebalance", RebalanceArgs{Shards: shards}, &reply)
+	err := c.call("Rebalance", RebalanceArgs{Shards: shards}, &reply)
 	return reply, err
+}
+
+// RSMStatus reports the control-plane replication state of the member the
+// client currently targets (the bespokv-cli rsm verb).
+func (c *Client) RSMStatus() (rsm.Status, error) {
+	var st rsm.Status
+	err := c.call("RSM.Status", struct{}{}, &st)
+	return st, err
 }
 
 // TelemetryReport ships node telemetry snapshots to the aggregator;
 // controlets call it on every heartbeat tick over the same connection.
 func (c *Client) TelemetryReport(reports []telemetry.NodeSnapshot) error {
-	return c.c.Call("TelemetryReport", TelemetryReportArgs{Reports: reports}, nil)
+	return c.call("TelemetryReport", TelemetryReportArgs{Reports: reports}, nil)
 }
 
 // Telemetry fetches the merged cluster-wide view (`bespokv-cli top`).
 func (c *Client) Telemetry() (telemetry.ClusterSnapshot, error) {
 	var snap telemetry.ClusterSnapshot
-	err := c.c.Call("Telemetry", struct{}{}, &snap)
+	err := c.call("Telemetry", struct{}{}, &snap)
 	return snap, err
 }
 
 // MigrationStatus reports the active (or most recent) rebalance run.
 func (c *Client) MigrationStatus() (MigrationStatusReply, error) {
 	var reply MigrationStatusReply
-	err := c.c.Call("MigrationStatus", struct{}{}, &reply)
+	err := c.call("MigrationStatus", struct{}{}, &reply)
 	return reply, err
 }
 
 // Close tears down the connection.
-func (c *Client) Close() error { return c.c.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 package coordinator
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"bespokv/internal/rpc"
+	"bespokv/internal/rsm"
 	"bespokv/internal/telemetry"
 	"bespokv/internal/topology"
 	"bespokv/internal/transport"
@@ -45,6 +47,10 @@ type Config struct {
 	// silence (default HeartbeatTimeout: telemetry staleness tracks the
 	// failure detector's view of liveness).
 	TelemetryStaleAfter time.Duration
+	// Replication, when set, runs this coordinator as one member of a
+	// replicated control-plane group (see ReplicationConfig); nil keeps
+	// the single-process standalone mode.
+	Replication *ReplicationConfig
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -54,6 +60,14 @@ type Server struct {
 	cfg  Config
 	rpc  *rpc.Server
 	addr string
+
+	// rsm replicates cur and standbys across the group in replicated
+	// mode; nil in standalone mode. proposeMu serializes map mutators
+	// (build-new-map then install must be atomic against each other,
+	// and the install may block on a replicated round trip, so s.mu
+	// cannot cover it).
+	rsm       *rsm.Node
+	proposeMu sync.Mutex
 
 	mu        sync.Mutex
 	cur       *topology.Map
@@ -177,6 +191,14 @@ func Serve(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.addr = addr
+	if rc := cfg.Replication; rc != nil {
+		node, err := rsm.StartGroup(*rc, s.rpc, cfg.Network, coordSM{s}, s.onLeaderChange, cfg.Logf)
+		if err != nil {
+			s.rpc.Close()
+			return nil, err
+		}
+		s.rsm = node
+	}
 	if !cfg.DisableFailover {
 		s.wg.Add(1)
 		go s.failureDetector()
@@ -197,6 +219,11 @@ type TelemetryReportArgs struct {
 }
 
 func (s *Server) handleTelemetryReport(args TelemetryReportArgs) (struct{}, error) {
+	// Telemetry rides the heartbeat tick; keep the aggregated view on the
+	// leader so /clusterz and SLO alerting see the whole cluster.
+	if err := s.leaderCheck(); err != nil {
+		return struct{}{}, err
+	}
 	s.agg.Report(args.Reports...)
 	return struct{}{}, nil
 }
@@ -215,6 +242,11 @@ func (s *Server) Close() error {
 	s.stopped = true
 	close(s.stopCh)
 	s.mu.Unlock()
+	if s.rsm != nil {
+		if err := s.rsm.Close(); err != nil {
+			s.cfg.Logf("coordinator: rsm close: %v", err)
+		}
+	}
 	err := s.rpc.Close()
 	s.wg.Wait()
 	return err
@@ -222,11 +254,18 @@ func (s *Server) Close() error {
 
 func (s *Server) handleGetMap(struct{}) (*topology.Map, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cur == nil {
+	cur := s.cur
+	s.mu.Unlock()
+	if cur == nil {
+		// A replicated follower that hasn't applied any map yet redirects
+		// instead of claiming the cluster is empty — the leader may have
+		// committed an install this member hasn't caught up to.
+		if err := s.leaderCheck(); err != nil {
+			return nil, err
+		}
 		return nil, errors.New("coordinator: no map installed")
 	}
-	return s.cur.Clone(), nil
+	return cur.Clone(), nil
 }
 
 func (s *Server) handleWatchMap(args WatchArgs) (*topology.Map, error) {
@@ -277,6 +316,11 @@ func (s *Server) handleSetMap(m *topology.Map) (HeartbeatReply, error) {
 	if !m.Mode.Valid() {
 		return HeartbeatReply{}, fmt.Errorf("coordinator: invalid mode %s", m.Mode)
 	}
+	if err := s.leaderCheck(); err != nil {
+		return HeartbeatReply{}, err
+	}
+	s.proposeMu.Lock()
+	defer s.proposeMu.Unlock()
 	s.mu.Lock()
 	// The new epoch continues past both the current history and the
 	// submitted map's own epoch, so a promoted follower seeding a
@@ -285,9 +329,13 @@ func (s *Server) handleSetMap(m *topology.Map) (HeartbeatReply, error) {
 	if s.cur != nil && s.cur.Epoch+1 > epoch {
 		epoch = s.cur.Epoch + 1
 	}
+	s.mu.Unlock()
 	m = m.Clone()
 	m.Epoch = epoch
-	s.cur = m
+	if _, err := s.installMap(m, false); err != nil {
+		return HeartbeatReply{}, err
+	}
+	s.mu.Lock()
 	now := time.Now()
 	for _, shard := range m.Shards {
 		for _, n := range shard.Replicas {
@@ -295,7 +343,6 @@ func (s *Server) handleSetMap(m *topology.Map) (HeartbeatReply, error) {
 			delete(s.suspended, n.ID)
 		}
 	}
-	s.bumpLocked()
 	s.mu.Unlock()
 	s.pushMap()
 	return HeartbeatReply{Epoch: epoch}, nil
@@ -309,6 +356,11 @@ func (s *Server) bumpLocked() {
 }
 
 func (s *Server) handleHeartbeat(hb Heartbeat) (HeartbeatReply, error) {
+	// Heartbeats must land on the leader: it runs the failure detector,
+	// and a controlet heartbeating a follower would never self-fence.
+	if err := s.leaderCheck(); err != nil {
+		return HeartbeatReply{}, err
+	}
 	coordHeartbeats.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -330,10 +382,21 @@ func (s *Server) handleRegisterStandby(n topology.Node) (struct{}, error) {
 	if n.ID == "" || n.ControletAddr == "" || n.DataletAddr == "" {
 		return struct{}{}, errors.New("coordinator: standby needs ID, controlet and datalet addresses")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.standbys = append(s.standbys, n)
-	return struct{}{}, nil
+	if err := s.leaderCheck(); err != nil {
+		return struct{}{}, err
+	}
+	if s.rsm == nil {
+		s.mu.Lock()
+		s.standbys = append(s.standbys, n)
+		s.mu.Unlock()
+		return struct{}{}, nil
+	}
+	cmd, err := json.Marshal(coordCmd{Op: opStandby, Standby: &n})
+	if err != nil {
+		return struct{}{}, err
+	}
+	_, err = s.rsm.Propose(cmd, proposeTimeout)
+	return struct{}{}, err
 }
 
 // LeaderElectArgs asks for a new master for a shard (excluding a node).
@@ -345,12 +408,18 @@ type LeaderElectArgs struct {
 // handleLeaderElect promotes the first surviving replica of the shard to
 // the head of its replica list and returns the new leader.
 func (s *Server) handleLeaderElect(args LeaderElectArgs) (topology.Node, error) {
+	if err := s.leaderCheck(); err != nil {
+		return topology.Node{}, err
+	}
+	s.proposeMu.Lock()
+	defer s.proposeMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cur == nil {
+		s.mu.Unlock()
 		return topology.Node{}, errors.New("coordinator: no map installed")
 	}
 	m := s.cur.Clone()
+	s.mu.Unlock()
 	for si := range m.Shards {
 		if m.Shards[si].ID != args.ShardID {
 			continue
@@ -365,8 +434,9 @@ func (s *Server) handleLeaderElect(args LeaderElectArgs) (topology.Node, error) 
 			copy(reps[1:ri+1], reps[:ri])
 			reps[0] = winner
 			m.Epoch++
-			s.cur = m
-			s.bumpLocked()
+			if _, err := s.installMap(m, false); err != nil {
+				return topology.Node{}, err
+			}
 			go s.pushMap()
 			return winner, nil
 		}

@@ -25,6 +25,11 @@ func (s *Server) failureDetector() {
 }
 
 func (s *Server) sweep() {
+	// In replicated mode only the leader receives heartbeats; a follower
+	// sweeping its never-refreshed lastSeen view would fail everything.
+	if s.rsm != nil && !s.rsm.IsLeader() {
+		return
+	}
 	s.mu.Lock()
 	if s.cur == nil {
 		s.mu.Unlock()
@@ -69,21 +74,29 @@ func (s *Server) sweep() {
 // and appends it as the new tail. Exposed for tests and the kill-based
 // failover experiments.
 func (s *Server) FailNode(nodeID string) error {
+	if err := s.leaderCheck(); err != nil {
+		return err
+	}
 	start := time.Now()
+	s.proposeMu.Lock()
 	s.mu.Lock()
 	if s.cur == nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return errors.New("coordinator: no map installed")
 	}
 	if s.cur.Transition != nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return errors.New("coordinator: transition in flight; failover deferred")
 	}
 	if s.migrating != nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return errors.New("coordinator: migration in flight; failover deferred")
 	}
 	m := s.cur.Clone()
+	s.mu.Unlock()
 	shardIdx := -1
 	for si := range m.Shards {
 		reps := m.Shards[si].Replicas
@@ -96,28 +109,27 @@ func (s *Server) FailNode(nodeID string) error {
 		}
 	}
 	if shardIdx == -1 {
-		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return fmt.Errorf("coordinator: node %s not in map", nodeID)
 	}
 	if len(m.Shards[shardIdx].Replicas) == 0 {
-		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return fmt.Errorf("coordinator: node %s was the last replica of %s", nodeID, m.Shards[shardIdx].ID)
 	}
-	s.suspended[nodeID] = true
 	m.Epoch++
-	s.cur = m
-	s.bumpLocked()
-
-	// Claim a standby for recovery, if any.
-	var standby *topology.Node
-	if len(s.standbys) > 0 {
-		sb := s.standbys[0]
-		s.standbys = s.standbys[1:]
-		standby = &sb
+	// The install claims the standby in the same replicated step, so a
+	// failed-over leader can never hand the same standby out twice.
+	standby, err := s.installMap(m, true)
+	if err != nil {
+		s.proposeMu.Unlock()
+		return err
 	}
+	s.mu.Lock()
+	s.suspended[nodeID] = true
+	s.mu.Unlock()
+	s.proposeMu.Unlock()
 	shardID := m.Shards[shardIdx].ID
 	source := m.Shards[shardIdx].Replicas[len(m.Shards[shardIdx].Replicas)-1]
-	s.mu.Unlock()
 
 	s.pushMap()
 	coordFailovers.Inc()
@@ -132,9 +144,7 @@ func (s *Server) FailNode(nodeID string) error {
 		if _, err := s.recoverOnto(*standby, source, shardID); err != nil {
 			coordRecoveryFails.Inc()
 			s.cfg.Logf("coordinator: recovery of %s onto %s: %v", shardID, standby.ID, err)
-			s.mu.Lock()
-			s.standbys = append(s.standbys, *standby) // return to pool
-			s.mu.Unlock()
+			s.returnStandby(*standby)
 			return
 		}
 		coordRecoveries.Inc()
@@ -259,16 +269,23 @@ type RejoinArgs struct {
 // same two-phase join as a standby promotion, except its controlet
 // backfills incrementally from its recovered watermark when it can.
 func (s *Server) handleRejoin(args RejoinArgs) (RejoinReply, error) {
+	if err := s.leaderCheck(); err != nil {
+		return RejoinReply{}, err
+	}
+	s.proposeMu.Lock()
 	s.mu.Lock()
 	if s.cur == nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return RejoinReply{}, errors.New("coordinator: no map installed")
 	}
 	if s.cur.Transition != nil || s.migrating != nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return RejoinReply{}, errors.New("coordinator: transition or migration in flight; rejoin deferred")
 	}
 	m := s.cur.Clone()
+	s.mu.Unlock()
 	shardIdx := -1
 	for si := range m.Shards {
 		if m.Shards[si].ID == args.ShardID {
@@ -276,7 +293,7 @@ func (s *Server) handleRejoin(args RejoinArgs) (RejoinReply, error) {
 		}
 	}
 	if shardIdx == -1 {
-		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return RejoinReply{}, fmt.Errorf("coordinator: unknown shard %s", args.ShardID)
 	}
 	// Drop the stale pre-crash entry and pick a backfill source among the
@@ -296,28 +313,36 @@ func (s *Server) handleRejoin(args RejoinArgs) (RejoinReply, error) {
 		}
 	}
 	if source == nil {
-		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return RejoinReply{}, fmt.Errorf("coordinator: shard %s has no live source to rejoin from", args.ShardID)
 	}
 	src := *source
 	m.Epoch++
-	s.cur = m
+	if _, err := s.installMap(m, false); err != nil {
+		s.proposeMu.Unlock()
+		return RejoinReply{}, err
+	}
+	s.mu.Lock()
 	delete(s.suspended, args.Node.ID)
 	s.lastSeen[args.Node.ID] = time.Now()
-	s.bumpLocked()
 	s.mu.Unlock()
+	s.proposeMu.Unlock()
 	s.pushMap()
 	return s.recoverOnto(args.Node, src, args.ShardID)
 }
 
-// mutateShard applies fn to one shard under the lock, bumping the epoch.
+// mutateShard applies fn to one shard, bumping the epoch and installing
+// the result (replicated in RSM mode).
 func (s *Server) mutateShard(shardID string, fn func(*topology.Shard) error) error {
+	s.proposeMu.Lock()
+	defer s.proposeMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cur == nil {
+		s.mu.Unlock()
 		return errors.New("coordinator: no map installed")
 	}
 	m := s.cur.Clone()
+	s.mu.Unlock()
 	for si := range m.Shards {
 		if m.Shards[si].ID != shardID {
 			continue
@@ -326,9 +351,8 @@ func (s *Server) mutateShard(shardID string, fn func(*topology.Shard) error) err
 			return err
 		}
 		m.Epoch++
-		s.cur = m
-		s.bumpLocked()
-		return nil
+		_, err := s.installMap(m, false)
+		return err
 	}
 	return fmt.Errorf("coordinator: unknown shard %s", shardID)
 }
@@ -384,28 +408,42 @@ func (s *Server) handleBeginTransition(args TransitionArgs) (HeartbeatReply, err
 	if !args.To.Valid() {
 		return HeartbeatReply{}, fmt.Errorf("coordinator: invalid target mode %s", args.To)
 	}
+	if err := s.leaderCheck(); err != nil {
+		return HeartbeatReply{}, err
+	}
+	s.proposeMu.Lock()
 	s.mu.Lock()
 	if s.cur == nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return HeartbeatReply{}, errors.New("coordinator: no map installed")
 	}
 	if s.cur.Transition != nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return HeartbeatReply{}, errors.New("coordinator: transition already in flight")
 	}
 	if s.migrating != nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return HeartbeatReply{}, errors.New("coordinator: migration in flight; transition deferred")
 	}
 	if len(args.NewShards) != len(s.cur.Shards) {
+		n := len(s.cur.Shards)
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return HeartbeatReply{}, fmt.Errorf("coordinator: %d new shards for %d existing",
-			len(args.NewShards), len(s.cur.Shards))
+			len(args.NewShards), n)
 	}
 	m := s.cur.Clone()
+	s.mu.Unlock()
 	m.Transition = &topology.Transition{To: args.To, NewShards: args.NewShards}
 	m.Epoch++
-	s.cur = m
+	if _, err := s.installMap(m, false); err != nil {
+		s.proposeMu.Unlock()
+		return HeartbeatReply{}, err
+	}
+	s.mu.Lock()
 	// New-mode nodes begin heartbeating now.
 	now := time.Now()
 	for _, shard := range args.NewShards {
@@ -413,59 +451,74 @@ func (s *Server) handleBeginTransition(args TransitionArgs) (HeartbeatReply, err
 			s.lastSeen[n.ID] = now
 		}
 	}
+	s.mu.Unlock()
+	s.proposeMu.Unlock()
 	epoch := m.Epoch
 	drains := make([]topology.Node, 0, len(m.Shards))
 	for _, shard := range m.Shards {
 		drains = append(drains, shard.Replicas...)
 	}
-	s.bumpLocked()
-	s.mu.Unlock()
 	s.pushMap()
 
 	transitionMap := m.Clone()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		for _, n := range drains {
-			if n.ControlAddr == "" {
-				continue
-			}
-			ctl, err := s.dialCtl(n.ControlAddr)
-			if err != nil {
-				s.cfg.Logf("coordinator: drain dial %s: %v", n.ID, err)
-				continue
-			}
-			// The transition map rides in the Drain call: the broadcast
-			// push is asynchronous, and a controlet must know its
-			// forward target before it starts diverting writes.
-			if err := ctl.Call("Drain", transitionMap, nil); err != nil {
-				s.cfg.Logf("coordinator: drain %s: %v", n.ID, err)
-			}
-			ctl.Close()
-		}
-		if _, err := s.handleCompleteTransition(struct{}{}); err != nil {
-			s.cfg.Logf("coordinator: complete transition: %v", err)
-		}
+		s.drainTransition(transitionMap, drains)
 	}()
 	return HeartbeatReply{Epoch: epoch}, nil
 }
 
+// drainTransition pushes the Drain command to every old-mode controlet and
+// then completes the transition. It runs on the goroutine that owns the
+// transition: the begin handler's, or a freshly elected leader resuming
+// one a dead leader left in flight.
+func (s *Server) drainTransition(transitionMap *topology.Map, drains []topology.Node) {
+	for _, n := range drains {
+		if n.ControlAddr == "" {
+			continue
+		}
+		ctl, err := s.dialCtl(n.ControlAddr)
+		if err != nil {
+			s.cfg.Logf("coordinator: drain dial %s: %v", n.ID, err)
+			continue
+		}
+		// The transition map rides in the Drain call: the broadcast
+		// push is asynchronous, and a controlet must know its
+		// forward target before it starts diverting writes.
+		if err := ctl.Call("Drain", transitionMap, nil); err != nil {
+			s.cfg.Logf("coordinator: drain %s: %v", n.ID, err)
+		}
+		ctl.Close()
+	}
+	if _, err := s.handleCompleteTransition(struct{}{}); err != nil {
+		s.cfg.Logf("coordinator: complete transition: %v", err)
+	}
+}
+
 // handleCompleteTransition promotes the new-mode shards to current.
 func (s *Server) handleCompleteTransition(struct{}) (HeartbeatReply, error) {
+	if err := s.leaderCheck(); err != nil {
+		return HeartbeatReply{}, err
+	}
+	s.proposeMu.Lock()
 	s.mu.Lock()
 	if s.cur == nil || s.cur.Transition == nil {
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return HeartbeatReply{}, errors.New("coordinator: no transition in flight")
 	}
 	m := s.cur.Clone()
+	s.mu.Unlock()
 	m.Mode = m.Transition.To
 	m.Shards = m.Transition.NewShards
 	m.Transition = nil
 	m.Epoch++
-	s.cur = m
-	s.bumpLocked()
-	epoch := m.Epoch
-	s.mu.Unlock()
+	_, err := s.installMap(m, false)
+	s.proposeMu.Unlock()
+	if err != nil {
+		return HeartbeatReply{}, err
+	}
 	s.pushMap()
-	return HeartbeatReply{Epoch: epoch}, nil
+	return HeartbeatReply{Epoch: m.Epoch}, nil
 }

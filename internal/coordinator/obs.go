@@ -28,6 +28,10 @@ var (
 
 // Status reports the coordinator's cluster view for /statusz.
 func (s *Server) Status() any {
+	// Gather replication state before taking s.mu: the RSM node applies
+	// committed entries under its own lock and then takes s.mu, so the
+	// reverse order here would invert the lock hierarchy.
+	rsmStatus := s.RSMStatus()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := map[string]any{
@@ -55,6 +59,9 @@ func (s *Server) Status() any {
 		st["migration"] = *s.migrating
 	} else if s.lastRun != nil {
 		st["last_migration"] = *s.lastRun
+	}
+	if rsmStatus != nil {
+		st["rsm"] = *rsmStatus
 	}
 	return st
 }

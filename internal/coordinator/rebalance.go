@@ -94,6 +94,9 @@ func (s *Server) handleMigrationStatus(struct{}) (MigrationStatusReply, error) {
 // startMigration plans under the lock, claims the single migration slot,
 // and launches the orchestrator in the background.
 func (s *Server) startMigration(kind string, planFn func(*topology.Map) (*migrate.Plan, error)) (MigrationStartReply, error) {
+	if err := s.leaderCheck(); err != nil {
+		return MigrationStartReply{}, err
+	}
 	s.mu.Lock()
 	if s.cur == nil {
 		s.mu.Unlock()
@@ -311,6 +314,7 @@ func (s *Server) runMigration(run *migrationRun) error {
 	// Phase 5: install the target map. The epoch bump is what makes the
 	// cutover permanent: clients with the old map get WrongEpoch/redirects
 	// and refresh onto the new owners.
+	s.proposeMu.Lock()
 	s.mu.Lock()
 	if s.cur == nil || s.cur.Epoch != run.plan.BaseEpoch {
 		cur := uint64(0)
@@ -318,11 +322,17 @@ func (s *Server) runMigration(run *migrationRun) error {
 			cur = s.cur.Epoch
 		}
 		s.mu.Unlock()
+		s.proposeMu.Unlock()
 		return fmt.Errorf("map changed during migration (epoch %d, planned against %d)", cur, run.plan.BaseEpoch)
 	}
+	s.mu.Unlock()
 	m := plan.Target.Clone()
 	m.Epoch = run.plan.BaseEpoch + 1
-	s.cur = m
+	if _, err := s.installMap(m, false); err != nil {
+		s.proposeMu.Unlock()
+		return err
+	}
+	s.mu.Lock()
 	now := time.Now()
 	for _, shard := range m.Shards {
 		for _, n := range shard.Replicas {
@@ -330,8 +340,8 @@ func (s *Server) runMigration(run *migrationRun) error {
 			delete(s.suspended, n.ID)
 		}
 	}
-	s.bumpLocked()
 	s.mu.Unlock()
+	s.proposeMu.Unlock()
 	s.pushMap()
 	// Drained shards' controlets are no longer in the map; push the new
 	// map to them explicitly so they stop serving stale reads.

@@ -1,0 +1,184 @@
+package rsm
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Entry is one replicated log record. Data is the opaque state-machine
+// command; an empty Data is the no-op a fresh leader appends to commit its
+// term (never handed to the StateMachine).
+type Entry struct {
+	Term  uint64 `json:"t"`
+	Index uint64 `json:"i"`
+	Data  []byte `json:"d,omitempty"`
+}
+
+// Persistent records ride the WAL's CRC frames, tagged by a kind byte so
+// one log carries entries, hard-state updates and suffix truncations in
+// arrival order. Replay folds them back into (entries, term, votedFor).
+const (
+	recEntries   = 'E' // uvarint count, then count × entry
+	recHardState = 'H' // uvarint term, uvarint len, votedFor bytes
+	recTruncate  = 'T' // uvarint index: drop log entries at or beyond it
+)
+
+var errTruncated = errors.New("rsm: truncated record")
+
+// appendEntry encodes one entry: uvarint term, uvarint index, uvarint
+// data length, data.
+func appendEntry(dst []byte, e Entry) []byte {
+	dst = binary.AppendUvarint(dst, e.Term)
+	dst = binary.AppendUvarint(dst, e.Index)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Data)))
+	return append(dst, e.Data...)
+}
+
+// decodeEntry parses one entry from b, returning the remainder. The
+// returned Data aliases b.
+func decodeEntry(b []byte) (Entry, []byte, error) {
+	var e Entry
+	var n int
+	if e.Term, n = binary.Uvarint(b); n <= 0 {
+		return e, nil, errTruncated
+	}
+	b = b[n:]
+	if e.Index, n = binary.Uvarint(b); n <= 0 {
+		return e, nil, errTruncated
+	}
+	b = b[n:]
+	dlen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < dlen {
+		return e, nil, errTruncated
+	}
+	b = b[n:]
+	if dlen > 0 {
+		e.Data = b[:dlen:dlen]
+	}
+	return e, b[dlen:], nil
+}
+
+// EncodeEntries builds a recEntries WAL body for a batch.
+func EncodeEntries(es []Entry) []byte {
+	size := 1 + binary.MaxVarintLen64
+	for _, e := range es {
+		size += 3*binary.MaxVarintLen64 + len(e.Data)
+	}
+	dst := make([]byte, 1, size)
+	dst[0] = recEntries
+	dst = binary.AppendUvarint(dst, uint64(len(es)))
+	for _, e := range es {
+		dst = appendEntry(dst, e)
+	}
+	return dst
+}
+
+// DecodeEntries parses a recEntries body (including the kind byte). Any
+// truncation, trailing garbage, or count mismatch is an error.
+func DecodeEntries(body []byte) ([]Entry, error) {
+	if len(body) < 1 || body[0] != recEntries {
+		return nil, errors.New("rsm: not an entries record")
+	}
+	b := body[1:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, errTruncated
+	}
+	b = b[n:]
+	if count > uint64(len(b))+1 {
+		// Each entry costs at least 3 bytes when empty — a count beyond
+		// the body size is a corrupt or hostile header, not a real batch.
+		return nil, errors.New("rsm: implausible entry count")
+	}
+	es := make([]Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var e Entry
+		var err error
+		if e, b, err = decodeEntry(b); err != nil {
+			return nil, err
+		}
+		es = append(es, e)
+	}
+	if len(b) != 0 {
+		return nil, errors.New("rsm: trailing garbage in entries record")
+	}
+	return es, nil
+}
+
+// EncodeHardState builds a recHardState WAL body.
+func EncodeHardState(term uint64, votedFor string) []byte {
+	dst := make([]byte, 1, 1+2*binary.MaxVarintLen64+len(votedFor))
+	dst[0] = recHardState
+	dst = binary.AppendUvarint(dst, term)
+	dst = binary.AppendUvarint(dst, uint64(len(votedFor)))
+	return append(dst, votedFor...)
+}
+
+// DecodeHardState parses a recHardState body.
+func DecodeHardState(body []byte) (term uint64, votedFor string, err error) {
+	if len(body) < 1 || body[0] != recHardState {
+		return 0, "", errors.New("rsm: not a hard-state record")
+	}
+	b := body[1:]
+	var n int
+	if term, n = binary.Uvarint(b); n <= 0 {
+		return 0, "", errTruncated
+	}
+	b = b[n:]
+	vlen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) != vlen {
+		return 0, "", errTruncated
+	}
+	return term, string(b[n:]), nil
+}
+
+// EncodeTruncate builds a recTruncate WAL body: every log entry with
+// index >= from is discarded (an AppendEntries conflict rollback).
+func EncodeTruncate(from uint64) []byte {
+	dst := make([]byte, 1, 1+binary.MaxVarintLen64)
+	dst[0] = recTruncate
+	return binary.AppendUvarint(dst, from)
+}
+
+// DecodeTruncate parses a recTruncate body.
+func DecodeTruncate(body []byte) (uint64, error) {
+	if len(body) < 1 || body[0] != recTruncate {
+		return 0, errors.New("rsm: not a truncate record")
+	}
+	from, n := binary.Uvarint(body[1:])
+	if n <= 0 || 1+n != len(body) {
+		return 0, errTruncated
+	}
+	return from, nil
+}
+
+// SnapMeta identifies the log position a snapshot covers: the snapshot's
+// state machine image includes every entry through Index (whose term is
+// Term); the persistent log restarts after it.
+type SnapMeta struct {
+	Index uint64 `json:"index"`
+	Term  uint64 `json:"term"`
+}
+
+// EncodeSnapMeta builds the snapshot meta frame.
+func EncodeSnapMeta(m SnapMeta) []byte {
+	dst := make([]byte, 0, 2*binary.MaxVarintLen64)
+	dst = binary.AppendUvarint(dst, m.Index)
+	return binary.AppendUvarint(dst, m.Term)
+}
+
+// DecodeSnapMeta parses a snapshot meta frame; trailing bytes are rejected
+// so a torn or padded frame cannot silently alias a valid one.
+func DecodeSnapMeta(body []byte) (SnapMeta, error) {
+	var m SnapMeta
+	idx, n := binary.Uvarint(body)
+	if n <= 0 {
+		return m, errTruncated
+	}
+	term, n2 := binary.Uvarint(body[n:])
+	if n2 <= 0 || n+n2 != len(body) {
+		return m, errTruncated
+	}
+	m.Index, m.Term = idx, term
+	return m, nil
+}

@@ -1,0 +1,198 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+
+	"bespokv/internal/store/wal"
+)
+
+func mkEntries(from, to uint64, term uint64) []Entry {
+	var es []Entry
+	for i := from; i <= to; i++ {
+		es = append(es, Entry{Term: term, Index: i, Data: []byte(fmt.Sprintf("v%d", i))})
+	}
+	return es
+}
+
+func TestStorageRoundTrip(t *testing.T) {
+	fs := wal.NewMemFS()
+	st, err := openStorage(fs, "rsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.saveHardState(3, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.append(mkEntries(1, 10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.truncateFrom(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.append(mkEntries(8, 9, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := openStorage(fs, "rsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.close()
+	if st2.term != 3 || st2.votedFor != "m1" {
+		t.Fatalf("hard state = (%d, %q), want (3, m1)", st2.term, st2.votedFor)
+	}
+	if st2.lastIndex() != 9 {
+		t.Fatalf("lastIndex = %d, want 9", st2.lastIndex())
+	}
+	for i := uint64(1); i <= 7; i++ {
+		if tm, ok := st2.termAt(i); !ok || tm != 3 {
+			t.Fatalf("termAt(%d) = %d,%v want 3", i, tm, ok)
+		}
+	}
+	for i := uint64(8); i <= 9; i++ {
+		if tm, _ := st2.termAt(i); tm != 4 {
+			t.Fatalf("termAt(%d) = %d, want 4 (truncation not replayed)", i, tm)
+		}
+	}
+	if string(st2.entryAt(9).Data) != "v9" {
+		t.Fatalf("entryAt(9) = %q", st2.entryAt(9).Data)
+	}
+}
+
+func TestStorageCompactAndReopen(t *testing.T) {
+	fs := wal.NewMemFS()
+	st, err := openStorage(fs, "rsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.saveHardState(2, "m0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.append(mkEntries(1, 12, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.compact(SnapMeta{Index: 9, Term: 2}, []byte("image-9")); err != nil {
+		t.Fatal(err)
+	}
+	if st.lastIndex() != 12 || st.snap.Index != 9 {
+		t.Fatalf("post-compact last=%d snap=%d", st.lastIndex(), st.snap.Index)
+	}
+	// Entries keep flowing into the reset WAL.
+	if err := st.append(mkEntries(13, 14, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := openStorage(fs, "rsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.close()
+	if st2.snap != (SnapMeta{Index: 9, Term: 2}) || string(st2.snapData) != "image-9" {
+		t.Fatalf("snapshot = %+v %q", st2.snap, st2.snapData)
+	}
+	if st2.term != 2 || st2.votedFor != "m0" {
+		t.Fatalf("hard state lost over compaction: (%d, %q)", st2.term, st2.votedFor)
+	}
+	if st2.lastIndex() != 14 {
+		t.Fatalf("lastIndex = %d, want 14", st2.lastIndex())
+	}
+	if _, ok := st2.termAt(9); !ok {
+		t.Fatal("snapshot boundary term unavailable")
+	}
+	if _, ok := st2.termAt(8); ok {
+		t.Fatal("compacted index still resolvable")
+	}
+	if string(st2.entryAt(10).Data) != "v10" || string(st2.entryAt(14).Data) != "v14" {
+		t.Fatal("tail entries lost over compaction")
+	}
+}
+
+// TestStorageCheckpointCrashWindow simulates a crash between checkpoint
+// write and WAL reset: both the new checkpoint and the full old WAL are
+// present, and folding the stale WAL on top must converge to the same
+// state, not regress the vote or duplicate entries.
+func TestStorageCheckpointCrashWindow(t *testing.T) {
+	fs := wal.NewMemFS()
+	st, err := openStorage(fs, "rsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.saveHardState(5, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.append(mkEntries(1, 6, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Write the checkpoint exactly as compact would, but "crash" before
+	// Reset: the WAL keeps every pre-checkpoint record.
+	tail := append([]Entry(nil), st.entries[4:]...) // entries 5..6
+	err = wal.WriteSnapshotFile(fs, "rsm", snapName, func(add func([]byte) error) error {
+		if err := add(EncodeSnapMeta(SnapMeta{Index: 4, Term: 5})); err != nil {
+			return err
+		}
+		if err := add(EncodeHardState(st.term, st.votedFor)); err != nil {
+			return err
+		}
+		if err := add(EncodeEntries(tail)); err != nil {
+			return err
+		}
+		return add([]byte("image-4"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := openStorage(fs, "rsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.close()
+	if st2.term != 5 || st2.votedFor != "m2" {
+		t.Fatalf("hard state regressed: (%d, %q)", st2.term, st2.votedFor)
+	}
+	if st2.snap.Index != 4 || st2.lastIndex() != 6 {
+		t.Fatalf("snap=%d last=%d, want 4/6", st2.snap.Index, st2.lastIndex())
+	}
+	if string(st2.entryAt(5).Data) != "v5" || string(st2.entryAt(6).Data) != "v6" {
+		t.Fatal("tail wrong after crash-window recovery")
+	}
+}
+
+func TestStorageCorruptCheckpointFatal(t *testing.T) {
+	fs := wal.NewMemFS()
+	st, err := openStorage(fs, "rsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.append(mkEntries(1, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.compact(SnapMeta{Index: 4, Term: 1}, []byte("img")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the checkpoint body.
+	f, err := fs.OpenFile(wal.Join("rsm", snapName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := openStorage(fs, "rsm"); err == nil {
+		t.Fatal("corrupt checkpoint opened silently")
+	}
+}

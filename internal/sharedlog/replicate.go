@@ -1,0 +1,162 @@
+package sharedlog
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+)
+
+// proposeTimeout bounds one replicated append/trim; the shared log's data
+// path is the AA+EC write path, so this is generous — anything slower
+// means the sequencer group has no quorum.
+const proposeTimeout = 5 * time.Second
+
+const (
+	opAppend = "append"
+	opTrim   = "trim"
+)
+
+// logCmd is one replicated log entry: an appended batch (the sequencer
+// counter advances exactly by its length, in commit order, identically on
+// every member) or a trim.
+type logCmd struct {
+	Op      string   `json:"op"`
+	Stream  string   `json:"stream,omitempty"`
+	Entries [][]byte `json:"entries,omitempty"`
+	Before  uint64   `json:"before,omitempty"`
+}
+
+// trimResult carries a trim's deterministic outcome back to the proposer.
+type trimResult struct {
+	Err string `json:"err,omitempty"`
+}
+
+// streamSnapshot is one stream's checkpoint image: retained entries plus
+// the sequencer counter and trim floor.
+type streamSnapshot struct {
+	Next    uint64  `json:"next"`
+	Trimmed uint64  `json:"trimmed"`
+	Entries []Entry `json:"entries,omitempty"`
+}
+
+// leaderCheck gates appends and trims: in replicated mode only the leader
+// sequences, everyone else redirects. Callers must not hold s.mu.
+func (s *Server) leaderCheck() error {
+	if s.node == nil || s.node.IsLeader() {
+		return nil
+	}
+	return s.node.NotLeaderErr()
+}
+
+func (s *Server) proposeAppend(args AppendArgs) (AppendReply, error) {
+	b, err := json.Marshal(logCmd{Op: opAppend, Stream: args.Stream, Entries: args.Entries})
+	if err != nil {
+		return AppendReply{}, err
+	}
+	res, err := s.node.Propose(b, proposeTimeout)
+	if err != nil {
+		return AppendReply{}, err
+	}
+	reply, ok := res.(AppendReply)
+	if !ok {
+		return AppendReply{}, errors.New("sharedlog: append not applied")
+	}
+	return reply, nil
+}
+
+func (s *Server) proposeTrim(args TrimArgs) error {
+	b, err := json.Marshal(logCmd{Op: opTrim, Stream: args.Stream, Before: args.Before})
+	if err != nil {
+		return err
+	}
+	res, err := s.node.Propose(b, proposeTimeout)
+	if err != nil {
+		return err
+	}
+	if r, ok := res.(trimResult); ok && r.Err != "" {
+		return errors.New(r.Err)
+	}
+	return nil
+}
+
+// logSM adapts the stream table to the rsm.StateMachine interface. Apply
+// runs on every member with the RSM internals locked, so it only touches
+// s.mu-guarded state and never calls back into the RSM node. Each member
+// wakes its own long-pollers on apply, which is how followers serve
+// subscriptions at one-RPC propagation latency.
+type logSM struct{ s *Server }
+
+func (m logSM) Apply(index uint64, cmd []byte) any {
+	var op logCmd
+	if err := json.Unmarshal(cmd, &op); err != nil {
+		m.s.cfg.Logf("sharedlog: rsm entry %d undecodable: %v", index, err)
+		return trimResult{Err: "sharedlog: undecodable command"}
+	}
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	switch op.Op {
+	case opAppend:
+		return m.s.applyAppendLocked(op.Stream, op.Entries)
+	case opTrim:
+		if err := m.s.applyTrimLocked(op.Stream, op.Before); err != nil {
+			return trimResult{Err: err.Error()}
+		}
+		return trimResult{}
+	default:
+		m.s.cfg.Logf("sharedlog: rsm entry %d has unknown op %q", index, op.Op)
+		return trimResult{Err: "sharedlog: unknown command"}
+	}
+}
+
+func (m logSM) Snapshot() []byte {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	snap := map[string]streamSnapshot{}
+	for name, st := range m.s.streams {
+		ss := streamSnapshot{Next: st.next, Trimmed: st.trimmed}
+		for _, seg := range st.segs {
+			ss.Entries = append(ss.Entries, seg.entries...)
+		}
+		snap[name] = ss
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		m.s.cfg.Logf("sharedlog: rsm snapshot: %v", err)
+		return nil
+	}
+	return b
+}
+
+func (m logSM) Restore(data []byte) {
+	snap := map[string]streamSnapshot{}
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &snap); err != nil {
+			m.s.cfg.Logf("sharedlog: rsm restore: %v", err)
+			return
+		}
+	}
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	for name, st := range m.s.streams {
+		// Wake stranded long-pollers; they re-read the restored state.
+		close(st.tailCh)
+		st.tailCh = make(chan struct{})
+		if _, ok := snap[name]; !ok {
+			delete(m.s.streams, name)
+		}
+	}
+	for name, ss := range snap {
+		st := m.s.streamLocked(name)
+		st.next, st.trimmed, st.segs = ss.Trimmed, ss.Trimmed, nil
+		for _, e := range ss.Entries {
+			// Rebuild segments with the snapshot's offsets; entries are
+			// in order but may start above the trim floor.
+			if len(st.segs) == 0 || len(st.segs[len(st.segs)-1].entries) >= m.s.cfg.SegmentEntries {
+				st.segs = append(st.segs, &segment{base: e.Offset})
+			}
+			seg := st.segs[len(st.segs)-1]
+			seg.entries = append(seg.entries, e)
+		}
+		st.next = ss.Next
+	}
+}

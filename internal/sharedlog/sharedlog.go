@@ -12,11 +12,14 @@ package sharedlog
 import (
 	"errors"
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"time"
 
 	"bespokv/internal/metrics"
 	"bespokv/internal/rpc"
+	"bespokv/internal/rsm"
 	"bespokv/internal/transport"
 )
 
@@ -45,6 +48,12 @@ type Config struct {
 	// SegmentEntries is the per-segment capacity before a new segment
 	// starts (default 4096); Trim drops whole segments.
 	SegmentEntries int
+	// Replication, when set, replicates the sequencer counters and the
+	// entries they order on a replicated state machine: appends and trims
+	// commit through the leader (followers redirect with NotLeader),
+	// reads and long-polls serve anywhere from locally applied state.
+	Replication *rsm.GroupConfig
+	Logf        func(format string, args ...any)
 }
 
 type segment struct {
@@ -68,6 +77,7 @@ type Server struct {
 	cfg  Config
 	rpc  *rpc.Server
 	addr string
+	node *rsm.Node // nil in standalone mode
 
 	mu      sync.Mutex
 	streams map[string]*logState
@@ -127,6 +137,9 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.SegmentEntries <= 0 {
 		cfg.SegmentEntries = 4096
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
 	s := &Server{
 		cfg:     cfg,
 		rpc:     rpc.NewServer(),
@@ -143,6 +156,14 @@ func Serve(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.addr = addr
+	if rc := cfg.Replication; rc != nil {
+		node, err := rsm.StartGroup(*rc, s.rpc, cfg.Network, logSM{s}, nil, cfg.Logf)
+		if err != nil {
+			s.rpc.Close()
+			return nil, err
+		}
+		s.node = node
+	}
 	return s, nil
 }
 
@@ -159,7 +180,25 @@ func (s *Server) Close() error {
 	s.stopped = true
 	close(s.stopCh)
 	s.mu.Unlock()
+	if s.node != nil {
+		s.node.Close()
+	}
 	return s.rpc.Close()
+}
+
+// IsLeader reports whether this member currently accepts appends (always
+// true in standalone mode).
+func (s *Server) IsLeader() bool {
+	return s.node == nil || s.node.IsLeader()
+}
+
+// RSMStatus reports the replication group's state (nil in standalone mode).
+func (s *Server) RSMStatus() *rsm.Status {
+	if s.node == nil {
+		return nil
+	}
+	st := s.node.Status()
+	return &st
 }
 
 // stream returns (creating if needed) the named stream. Caller holds mu.
@@ -176,11 +215,24 @@ func (s *Server) handleAppend(args AppendArgs) (AppendReply, error) {
 	if len(args.Entries) == 0 {
 		return AppendReply{}, errors.New("sharedlog: empty append")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.streamLocked(args.Stream)
+	if err := s.leaderCheck(); err != nil {
+		return AppendReply{}, err
+	}
+	if s.node == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.applyAppendLocked(args.Stream, args.Entries), nil
+	}
+	return s.proposeAppend(args)
+}
+
+// applyAppendLocked assigns offsets from the stream's sequencer counter and
+// stores the batch; it is both the standalone append path and the
+// replicated apply body, so the two modes cannot drift. Caller holds mu.
+func (s *Server) applyAppendLocked(stream string, entries [][]byte) AppendReply {
+	st := s.streamLocked(stream)
 	first := st.next
-	for _, data := range args.Entries {
+	for _, data := range entries {
 		if len(st.segs) == 0 || len(st.segs[len(st.segs)-1].entries) >= s.cfg.SegmentEntries {
 			st.segs = append(st.segs, &segment{base: st.next})
 		}
@@ -191,9 +243,9 @@ func (s *Server) handleAppend(args AppendArgs) (AppendReply, error) {
 	close(st.tailCh)
 	st.tailCh = make(chan struct{})
 	logAppends.Inc()
-	logEntriesTotal.Add(int64(len(args.Entries)))
+	logEntriesTotal.Add(int64(len(entries)))
 	logTail.Set(int64(st.next))
-	return AppendReply{First: first, Next: st.next}, nil
+	return AppendReply{First: first, Next: st.next}
 }
 
 func (s *Server) handleRead(args ReadArgs) (ReadReply, error) {
@@ -257,30 +309,41 @@ func (s *Server) handleRead(args ReadArgs) (ReadReply, error) {
 }
 
 func (s *Server) handleTrim(args TrimArgs) (struct{}, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.streamLocked(args.Stream)
-	if args.Before > st.next {
-		return struct{}{}, fmt.Errorf("sharedlog: trim %d beyond tail %d", args.Before, st.next)
+	if err := s.leaderCheck(); err != nil {
+		return struct{}{}, err
+	}
+	if s.node == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return struct{}{}, s.applyTrimLocked(args.Stream, args.Before)
+	}
+	return struct{}{}, s.proposeTrim(args)
+}
+
+// applyTrimLocked is the deterministic trim body. Caller holds mu.
+func (s *Server) applyTrimLocked(stream string, before uint64) error {
+	st := s.streamLocked(stream)
+	if before > st.next {
+		return fmt.Errorf("sharedlog: trim %d beyond tail %d", before, st.next)
 	}
 	kept := st.segs[:0]
 	for _, seg := range st.segs {
-		if seg.base+uint64(len(seg.entries)) <= args.Before {
+		if seg.base+uint64(len(seg.entries)) <= before {
 			continue // whole segment below the trim point
 		}
 		kept = append(kept, seg)
 	}
 	st.segs = append([]*segment(nil), kept...)
 	// Trim drops whole segments only, so the true floor is the first
-	// retained segment's base (or Before itself when nothing remains).
-	floor := args.Before
+	// retained segment's base (or before itself when nothing remains).
+	floor := before
 	if len(st.segs) > 0 && st.segs[0].base < floor {
 		floor = st.segs[0].base
 	}
 	if floor > st.trimmed {
 		st.trimmed = floor
 	}
-	return struct{}{}, nil
+	return nil
 }
 
 func (s *Server) handleTail(args TailArgs) (TailReply, error) {
@@ -290,31 +353,183 @@ func (s *Server) handleTail(args TailArgs) (TailReply, error) {
 }
 
 // Client is a typed connection to the shared log, bound to one stream
-// (the zero-value default stream unless Stream is used).
+// (the zero-value default stream unless Stream is used). It accepts a
+// comma-separated address list and rotates on dial failure, connection
+// errors, and NotLeader redirects, so appenders survive sequencer
+// failovers transparently.
 type Client struct {
-	c      *rpc.Client
+	core   *clientCore
 	stream string
 }
 
-// DialClient connects to a shared log server (default stream).
+// clientCore is the rotating connection shared by all stream views.
+type clientCore struct {
+	network transport.Network
+
+	mu       sync.Mutex
+	addrs    []string
+	cur      int
+	redirect string // one-shot leader hint outside addrs
+	conn     *rpc.Client
+	closed   bool
+}
+
+// ErrClientClosed fails calls on a closed client, so Close aborts an
+// in-flight read wait instead of the call re-dialing and waiting again.
+var ErrClientClosed = errors.New("sharedlog: client closed")
+
+// DialClient connects to a shared log server (default stream). addr may be
+// a single address or a comma-separated member list.
 func DialClient(network transport.Network, addr string) (*Client, error) {
-	c, err := rpc.DialClient(network, addr)
-	if err != nil {
-		return nil, err
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
 	}
-	return &Client{c: c}, nil
+	if len(addrs) == 0 {
+		return nil, errors.New("sharedlog: no addresses")
+	}
+	core := &clientCore{network: network, addrs: addrs}
+	for range addrs {
+		if _, err := core.connect(); err == nil {
+			return &Client{core: core}, nil
+		}
+		core.mu.Lock()
+		core.cur = (core.cur + 1) % len(core.addrs)
+		core.mu.Unlock()
+	}
+	return nil, fmt.Errorf("sharedlog: no reachable server in %v", addrs)
 }
 
 // Stream returns a view of this connection bound to the named stream.
 // Views share the underlying connection; Close on any of them closes it.
 func (c *Client) Stream(name string) *Client {
-	return &Client{c: c.c, stream: name}
+	return &Client{core: c.core, stream: name}
+}
+
+// connect returns the live connection, dialing the current target if
+// needed. The dial happens outside the lock; a racing winner is reused.
+func (c *clientCore) connect() (*rpc.Client, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		conn := c.conn
+		c.mu.Unlock()
+		return conn, nil
+	}
+	target := c.addrs[c.cur]
+	if c.redirect != "" {
+		target = c.redirect
+		c.redirect = ""
+	}
+	c.mu.Unlock()
+	conn, err := rpc.DialClient(c.network, target)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		existing := c.conn
+		c.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	c.conn = conn
+	c.mu.Unlock()
+	return conn, nil
+}
+
+func (c *clientCore) drop(conn *rpc.Client) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// rotate advances to the next configured address, or jumps straight to a
+// NotLeader hint when one is given.
+func (c *clientCore) rotate(hint string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hint != "" {
+		for i, a := range c.addrs {
+			if a == hint {
+				c.cur = i
+				return
+			}
+		}
+		c.redirect = hint
+		return
+	}
+	c.cur = (c.cur + 1) % len(c.addrs)
+}
+
+func isConnErr(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, transport.ErrClosed) ||
+		strings.Contains(err.Error(), "rpc: connection failed")
+}
+
+// call runs one RPC with rotation: NotLeader redirects re-target, dead
+// connections rotate, and application errors (including call timeouts)
+// return immediately — the call may have executed.
+func (c *clientCore) call(method string, args, reply any, timeout time.Duration) error {
+	attempts := 3 * len(c.addrs)
+	if attempts < 4 {
+		attempts = 4
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(time.Duration(i) * 10 * time.Millisecond)
+		}
+		var conn *rpc.Client
+		conn, err = c.connect()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return err
+			}
+			c.rotate("")
+			continue
+		}
+		err = conn.CallTimeoutEx(method, args, reply, timeout)
+		switch {
+		case err == nil:
+			return nil
+		case rsm.IsNotLeader(err):
+			c.drop(conn)
+			c.rotate(rsm.LeaderHint(err))
+		case isConnErr(err):
+			c.drop(conn)
+			c.rotate("")
+		case errors.Is(err, rpc.ErrCallTimeout):
+			// Silent member (blackholed or wedged): return the ambiguity,
+			// but rotate first so the next call tries someone else.
+			c.drop(conn)
+			c.rotate("")
+			return err
+		default:
+			return err
+		}
+	}
+	return err
 }
 
 // Append writes the batch, returning the first assigned offset.
 func (c *Client) Append(entries ...[]byte) (uint64, error) {
 	var reply AppendReply
-	if err := c.c.Call("Append", AppendArgs{Stream: c.stream, Entries: entries}, &reply); err != nil {
+	if err := c.core.call("Append", AppendArgs{Stream: c.stream, Entries: entries}, &reply, rpc.DefaultCallTimeout); err != nil {
 		return 0, err
 	}
 	return reply.First, nil
@@ -324,7 +539,7 @@ func (c *Client) Append(entries ...[]byte) (uint64, error) {
 func (c *Client) Read(from uint64, max int, wait time.Duration) ([]Entry, uint64, error) {
 	var reply ReadReply
 	args := ReadArgs{Stream: c.stream, From: from, Max: max, WaitMs: int(wait / time.Millisecond)}
-	if err := c.c.Call("Read", args, &reply); err != nil {
+	if err := c.core.call("Read", args, &reply, wait+rpc.DefaultCallTimeout); err != nil {
 		return nil, 0, err
 	}
 	return reply.Entries, reply.Next, nil
@@ -332,20 +547,30 @@ func (c *Client) Read(from uint64, max int, wait time.Duration) ([]Entry, uint64
 
 // Trim discards entries below before.
 func (c *Client) Trim(before uint64) error {
-	return c.c.Call("Trim", TrimArgs{Stream: c.stream, Before: before}, nil)
+	return c.core.call("Trim", TrimArgs{Stream: c.stream, Before: before}, nil, rpc.DefaultCallTimeout)
 }
 
 // Tail returns the next offset the sequencer will assign.
 func (c *Client) Tail() (uint64, error) {
 	var reply TailReply
-	if err := c.c.Call("Tail", TailArgs{Stream: c.stream}, &reply); err != nil {
+	if err := c.core.call("Tail", TailArgs{Stream: c.stream}, &reply, rpc.DefaultCallTimeout); err != nil {
 		return 0, err
 	}
 	return reply.Next, nil
 }
 
 // Close tears down the connection.
-func (c *Client) Close() error { return c.c.Close() }
+func (c *Client) Close() error {
+	c.core.mu.Lock()
+	c.core.closed = true
+	conn := c.core.conn
+	c.core.conn = nil
+	c.core.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
 
 // Subscribe starts a background reader that calls fn for every entry from
 // offset from onward, in order, until stop is closed or the log dies. It

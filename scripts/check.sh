@@ -57,3 +57,13 @@ go test -race ./internal/store/wal/... ./internal/store/faultfs/...
 go test -race -run 'Durable|Crash|Torn|WAL|Recover|Snapshot|Persist|CleanClose' \
 	./internal/store/ht/ ./internal/store/lsm/ ./internal/store/applog/
 go test -race -run 'TestCrashRestart|TestRejoin' ./internal/cluster/
+
+# Replicated control plane: the Raft-style RSM core (fuzz seeds included),
+# the replicated coordinator/DLM/sequencer suites, the cluster
+# control-plane nemesis scenarios (leader kill + partition under MS+SC
+# load), and the allocation-free apply-path contract.
+go test -race ./internal/rsm/...
+go test -race -run 'Replicated|Sequencer|Follower|TestLockTableClock|TestTakeDeltaCap|TestClientBackoff|TestSplitAddrs|TestCloseAborts' \
+	./internal/coordinator/ ./internal/dlm/ ./internal/sharedlog/
+go test -race -run 'TestControlPlane' ./internal/cluster/
+go test -run TestApplyZeroAlloc ./internal/rsm/
