@@ -9,11 +9,27 @@ RACE_PKGS = ./internal/datalet/... ./internal/rpc/... ./internal/transport/... .
 # HTTP introspection endpoints (including the end-to-end cluster test).
 OBS_PKGS = ./internal/metrics/... ./internal/trace/... ./internal/obs/...
 
-.PHONY: all check vet build test race obs telemetry migrate nemesis crash wirespeed rsm bench bench-pipeline clean
+.PHONY: all check vet build test race obs telemetry migrate nemesis crash wirespeed rsm overload bench bench-pipeline clean
 
 all: check
 
-check: vet build test race obs telemetry migrate nemesis crash wirespeed rsm
+check: vet build test race obs telemetry migrate nemesis crash wirespeed rsm overload
+
+# overload race-tests the end-to-end overload-control plane: the
+# admission-gate/retry-budget/breaker units and the deadline wire-field
+# fuzz seeds, the client failure-classification and retry-discipline
+# suites, the controlet/datalet shed paths, and the cluster overload
+# nemesis acceptance — a 4x surge against slowed engines must hold
+# goodput at >= 80% of the pre-overload plateau with a bounded success
+# tail, zero spurious failovers, and a linearizable history (Overloaded
+# answers recorded as non-acked). A failing run logs its seed; replay
+# with BESPOKV_NEMESIS_SEED=<seed>.
+overload:
+	$(GO) test -race ./internal/overload/...
+	$(GO) test -race -run 'Fuzz' ./internal/wire/
+	$(GO) test -race -run 'TestClassifyFailure|TestOverloaded|TestRetryBudget|TestBreaker|TestOpBudget|TestSustainedOverload' ./internal/client/
+	$(GO) test -race -run 'Shed|Deadline|Overload' ./internal/controlet/ ./internal/datalet/
+	$(GO) test -race -run 'TestOverload' ./internal/cluster/
 
 # rsm race-tests the replicated control plane end to end: the Raft-style
 # core (election, replication, persistence, snapshots — fuzz seeds

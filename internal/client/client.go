@@ -22,6 +22,7 @@ import (
 	"bespokv/internal/coordinator"
 	"bespokv/internal/datalet"
 	"bespokv/internal/metrics"
+	"bespokv/internal/overload"
 	"bespokv/internal/rpc"
 	"bespokv/internal/topology"
 	"bespokv/internal/trace"
@@ -86,6 +87,28 @@ type Config struct {
 	// a degenerate cluster where every read hedges would double load and
 	// make the tail worse for everyone).
 	HedgeBudgetPct int
+	// OpBudget is an end-to-end time budget per operation, covering every
+	// attempt and backoff. The remaining budget rides each attempt's wire
+	// request as a deadline, so every downstream hop (controlet, chain
+	// forward, datalet) can drop work the moment this client has stopped
+	// waiting instead of finishing it into the void. 0 disables.
+	OpBudget time.Duration
+	// RetryBudgetPct caps retries at this percentage of primary requests
+	// (token bucket, the same arithmetic as HedgeBudgetPct). Unbounded
+	// retries amplify offered load exactly when the cluster is drowning;
+	// a budget bounds the amplification factor at 1+pct/100. 0 disables
+	// (unlimited retries, the pre-overload-control behavior).
+	RetryBudgetPct int
+	// BreakerThreshold trips a per-endpoint circuit breaker after this
+	// many consecutive transport failures (dial errors, call timeouts —
+	// never application statuses, which prove the endpoint is talking).
+	// A tripped endpoint fast-fails locally until a jittered cooldown
+	// admits a half-open probe. Default 8; < 0 disables.
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's base open period, jittered to
+	// [0.5c, 1.5c) so a fleet's probes don't stampede a recovering
+	// endpoint. Default 250ms.
+	BreakerCooldown time.Duration
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -130,6 +153,13 @@ type Client struct {
 
 	hedge *hedgeState // nil unless HedgeAfter > 0
 
+	// Overload discipline (see overload.go): the retry budget and breaker
+	// set are nil when disabled (nil-safe to call); the sustained-overload
+	// signal always exists.
+	retryBudget *overload.RetryBudget
+	breakers    *overload.BreakerSet
+	overloadSig *overload.Signal
+
 	refreshing sync.Mutex // serializes map refreshes
 
 	stopCh  chan struct{}
@@ -160,6 +190,9 @@ func New(cfg Config) (*Client, error) {
 	if cfg.HedgeBudgetPct <= 0 {
 		cfg.HedgeBudgetPct = 10
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 8
+	}
 	if cfg.DataletNetwork == nil {
 		cfg.DataletNetwork = cfg.Network
 	}
@@ -179,6 +212,10 @@ func New(cfg Config) (*Client, error) {
 	if cfg.HedgeAfter > 0 {
 		c.hedge = newHedgeState(cfg.HedgeAfter, cfg.HedgeBudgetPct)
 	}
+	c.retryBudget = overload.NewRetryBudget(cfg.RetryBudgetPct)
+	c.breakers = overload.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	c.overloadSig = overload.NewSignal(overloadWindow, overloadMin)
+	registerOverload(c)
 	if cfg.StaticMap != nil {
 		// A static map's epoch never moves; the lease is perpetual.
 		c.leaseUntil.Store(math.MaxInt64)
@@ -226,6 +263,7 @@ func (c *Client) Close() error {
 	if c.hedge != nil {
 		unregisterHedge(c.hedge)
 	}
+	unregisterOverload(c)
 	c.coordMu.Lock()
 	coord := c.coord
 	c.coordMu.Unlock()
@@ -575,6 +613,9 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 		start = time.Now()
 	}
 	defer func() {
+		// Every completed op — success or not — credits the retry budget,
+		// so sustained retries converge to RetryBudgetPct% of op rate.
+		c.retryBudget.Observe()
 		if err != nil {
 			clientErrors.Inc()
 		}
@@ -596,6 +637,11 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 	backoff := c.cfg.RetryBackoff
 	redirect := ""
 	timeouts := 0
+	var opDeadline time.Time
+	if c.cfg.OpBudget > 0 {
+		opDeadline = time.Now().Add(c.cfg.OpBudget)
+	}
+retry:
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		addr, epoch, err := route()
 		if err != nil {
@@ -606,7 +652,18 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 			redirect = ""
 		}
 		req.Epoch = epoch
-		err = c.do(addr, req, resp)
+		if c.cfg.OpBudget > 0 {
+			rem := time.Until(opDeadline)
+			if rem <= 0 {
+				clientBudgetExpired.Inc()
+				lastErr = budgetErr(c.cfg.OpBudget, lastErr)
+				break
+			}
+			// Stamp the remaining budget on the wire so every downstream
+			// hop can drop this attempt the moment it becomes doomed.
+			req.Deadline = uint64(rem)
+		}
+		err = c.doGuarded(addr, req, resp)
 		if err == nil {
 			switch resp.Status {
 			case wire.StatusOK, wire.StatusNotFound, wire.StatusErr:
@@ -620,13 +677,24 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 				clientRedirects.Inc()
 				redirect = resp.Err
 				lastErr = fmt.Errorf("redirected to %s", resp.Err)
-				continue // immediate, no backoff
-			case wire.StatusWrongEpoch:
+				continue // immediate: no backoff, no retry-budget spend
+			}
+		}
+		switch classifyFailure(resp.Status, err) {
+		case failOverloaded:
+			// The server is alive and explicitly shedding; back off and
+			// let the retry budget decide whether trying again is even
+			// allowed. No map refresh trigger — routing is not the issue.
+			clientOverloaded.Inc()
+			c.noteOverloaded()
+			lastErr = errors.New(resp.Err)
+		case failUnavailable:
+			if resp.Status == wire.StatusWrongEpoch {
 				lastErr = errors.New("stale epoch")
-			case wire.StatusUnavailable:
+			} else {
 				lastErr = errors.New(resp.Err)
 			}
-		} else {
+		case failTransport:
 			lastErr = err
 			if isTimeout(err) {
 				// A timeout burned a full OpTimeout and points at a
@@ -636,14 +704,23 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 				// node we just tried.
 				if timeouts++; timeouts >= c.cfg.TimeoutRetries {
 					lastErr = fmt.Errorf("gave up after %d call timeouts (target partitioned?): %w", timeouts, err)
-					break
+					break retry
 				}
 			} else if isRefused(err) {
 				clientRefused.Inc()
 			}
+		default:
+			lastErr = fmt.Errorf("unexpected status %s", resp.Status)
 		}
 		if attempt == c.cfg.Retries-1 {
 			break // out of budget: fail now, don't pay refresh+backoff
+		}
+		if !c.retryBudget.Allow() {
+			// Retrying now would amplify load past the configured bound;
+			// fail the op instead of feeding the spiral.
+			clientRetryDenied.Inc()
+			lastErr = fmt.Errorf("retry budget exhausted: %w", lastErr)
+			break
 		}
 		clientRetries.Inc()
 		c.refreshMap()
@@ -653,6 +730,13 @@ func (c *Client) execute(req *wire.Request, resp *wire.Response, route func() (s
 		// owner. The doubling still bounds how hot a flapping epoch can
 		// spin any single client.
 		sleep := backoff/2 + time.Duration(c.randInt(int(backoff/2)+1))
+		if c.cfg.OpBudget > 0 && time.Until(opDeadline) <= sleep {
+			// The backoff would outlive the op budget; fail now rather
+			// than sleep past the client's own deadline.
+			clientBudgetExpired.Inc()
+			lastErr = budgetErr(c.cfg.OpBudget, lastErr)
+			break
+		}
 		select {
 		case <-c.stopCh:
 			return errOut{op: req.Op, last: lastErr}

@@ -142,9 +142,10 @@ func (c *Client) directGet(table string, key []byte, level wire.Level) (val []by
 		clientDirectFallbacks.Inc()
 		return nil, false, false
 	}
-	// Hedge only reads with a genuine replica choice.
+	// Hedge only reads with a genuine replica choice — and not while the
+	// cluster is pushing back (see Client.degraded).
 	var alt *datalet.Pool
-	if c.hedge != nil && len(cands) > 1 && eventualEffective(m, level) {
+	if c.hedge != nil && len(cands) > 1 && eventualEffective(m, level) && !c.degraded() {
 		alt = c.dataletPool(cands[c.randInt(len(cands))])
 		if alt == primary {
 			alt = nil
@@ -157,6 +158,9 @@ func (c *Client) directGet(table string, key []byte, level wire.Level) (val []by
 		r.Epoch = m.Epoch
 		r.Level = level
 		r.Pairs = append(r.Pairs, wire.KV{Key: key})
+		if c.cfg.OpBudget > 0 {
+			r.Deadline = uint64(c.cfg.OpBudget)
+		}
 	})
 	if err != nil {
 		clientDirectFallbacks.Inc()
@@ -219,6 +223,9 @@ func (c *Client) submitDirectMGet(table string, level wire.Level, si int, b *buc
 	req.Table = table
 	req.Epoch = m.Epoch
 	req.Level = level
+	if c.cfg.OpBudget > 0 {
+		req.Deadline = uint64(c.cfg.OpBudget)
+	}
 	for _, k := range b.keys {
 		req.Pairs = append(req.Pairs, wire.KV{Key: k})
 	}

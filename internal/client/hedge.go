@@ -195,6 +195,12 @@ func (c *Client) hedgedControletGet(req *wire.Request, level wire.Level) (val []
 	if c.hedge == nil {
 		return nil, false, false
 	}
+	if c.degraded() {
+		// Sustained overload pushback: hedging is the first thing to go.
+		// The ordinary retrying path serves the read with one leg.
+		clientHedgeSuppressed.Inc()
+		return nil, false, false
+	}
 	shard, m, err := c.shardFor(req.Key)
 	if err != nil || !eventualEffective(m, level) {
 		return nil, false, false
@@ -221,6 +227,9 @@ func (c *Client) hedgedControletGet(req *wire.Request, level wire.Level) (val []
 		r.Level = level
 		r.Epoch = m.Epoch
 		r.TraceID = req.TraceID
+		if c.cfg.OpBudget > 0 {
+			r.Deadline = uint64(c.cfg.OpBudget)
+		}
 	})
 	if err != nil {
 		return nil, false, false

@@ -28,6 +28,15 @@ var (
 	// Hedging: second legs fired, and races the hedge leg won.
 	clientHedgedReads = metrics.Default.Counter("bespokv_client_hedged_reads_total")
 	clientHedgeWins   = metrics.Default.Counter("bespokv_client_hedge_wins_total")
+
+	// Overload discipline: Overloaded pushback received, breaker
+	// fast-fails, retries denied by the budget, ops that ran out their
+	// end-to-end time budget, and hedges suppressed while degraded.
+	clientOverloaded      = metrics.Default.Counter("bespokv_client_overloaded_total")
+	clientBreakerDenied   = metrics.Default.Counter("bespokv_client_breaker_denied_total")
+	clientRetryDenied     = metrics.Default.Counter("bespokv_client_retry_budget_denied_total")
+	clientBudgetExpired   = metrics.Default.Counter("bespokv_client_op_budget_expired_total")
+	clientHedgeSuppressed = metrics.Default.Counter("bespokv_client_hedge_suppressed_total")
 )
 
 func init() {
@@ -96,6 +105,57 @@ func init() {
 			t += h.tokens.Load()
 		}
 		return float64(t) / float64(int64(len(hedgeSet))*hedgeTokenCap)
+	})
+}
+
+// Live-client registry backing the overload gauges (breaker positions and
+// banked retry tokens live per client; gauges merge at scrape time — the
+// same tactic as the hedge-state registry above).
+var (
+	ovMu      sync.Mutex
+	ovClients = map[*Client]struct{}{}
+)
+
+func registerOverload(c *Client) {
+	ovMu.Lock()
+	ovClients[c] = struct{}{}
+	ovMu.Unlock()
+}
+
+func unregisterOverload(c *Client) {
+	ovMu.Lock()
+	delete(ovClients, c)
+	ovMu.Unlock()
+}
+
+func init() {
+	// Breaker positions across every live client's endpoint set. A
+	// nonzero open count is the "stop hammering it" tell; half-open shows
+	// probes in flight against recovering endpoints.
+	breakerGauge := func(pick func(closed, open, half int) int) func() float64 {
+		return func() float64 {
+			ovMu.Lock()
+			defer ovMu.Unlock()
+			var n int
+			for c := range ovClients {
+				n += pick(c.breakers.States())
+			}
+			return float64(n)
+		}
+	}
+	metrics.Default.GaugeFunc("bespokv_client_breaker_closed", breakerGauge(func(closed, _, _ int) int { return closed }))
+	metrics.Default.GaugeFunc("bespokv_client_breaker_open", breakerGauge(func(_, open, _ int) int { return open }))
+	metrics.Default.GaugeFunc("bespokv_client_breaker_half_open", breakerGauge(func(_, _, half int) int { return half }))
+	// Banked retries still affordable across live clients (0 with budgets
+	// disabled, or every client pinned at empty — retrying at the cap).
+	metrics.Default.GaugeFunc("bespokv_client_retry_budget_tokens", func() float64 {
+		ovMu.Lock()
+		defer ovMu.Unlock()
+		var t float64
+		for c := range ovClients {
+			t += c.retryBudget.Tokens()
+		}
+		return t
 	})
 }
 

@@ -102,6 +102,19 @@ type Options struct {
 	// P2PRouting enables the §IV-E P2P-style topology: any controlet
 	// accepts any key and routes it to the owning shard.
 	P2PRouting bool
+	// MaxInflight caps concurrently executing data ops at every controlet
+	// and datalet listener (admission control; see internal/overload).
+	// 0 keeps the servers' defaults; < 0 disables gating.
+	MaxInflight int
+	// ShedTarget is the admission gates' CoDel sojourn target (default
+	// 5ms); overload tests shrink it so a surge engages shedding quickly.
+	ShedTarget time.Duration
+	// EngineLatency adds a fixed service delay to every engine Put, Get
+	// and Delete on every datalet — the overload suite's way of giving
+	// each op a real service time, so a surge builds genuine queues
+	// instead of being absorbed by microsecond hash-table writes. 0
+	// disables.
+	EngineLatency time.Duration
 	// Fabric, when set, interposes the faultnet fault plane on every
 	// connection: components dial and listen through named host views of
 	// the fabric (pair node IDs for the data plane; "coord", "dlm", "log"
@@ -279,6 +292,32 @@ func durableEngineFactory(name string, fs *faultfs.FS) (func(table string) (stor
 	default:
 		return nil, fmt.Errorf("cluster: engine %q does not support durable mode", name)
 	}
+}
+
+// slowEngine adds a fixed service delay to the point operations of an
+// engine (Options.EngineLatency): a knob that turns an in-process hash
+// table into something with a real service time, so overload tests can
+// build genuine queues. It deliberately wraps only the store.Engine
+// surface — optional interfaces (Versioned, Recovered) are hidden, which
+// latency-injection deployments don't use.
+type slowEngine struct {
+	store.Engine
+	delay time.Duration
+}
+
+func (s slowEngine) Put(key, value []byte, version uint64) (uint64, error) {
+	time.Sleep(s.delay)
+	return s.Engine.Put(key, value, version)
+}
+
+func (s slowEngine) Get(key []byte) ([]byte, uint64, bool, error) {
+	time.Sleep(s.delay)
+	return s.Engine.Get(key)
+}
+
+func (s slowEngine) Delete(key []byte, version uint64) (bool, uint64, error) {
+	time.Sleep(s.delay)
+	return s.Engine.Delete(key, version)
 }
 
 // engineFactory builds the NewEngine function for one node.
@@ -506,6 +545,17 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 	if err != nil {
 		return nil, err
 	}
+	if c.Opts.EngineLatency > 0 {
+		inner := newEngine
+		lat := c.Opts.EngineLatency
+		newEngine = func(table string) (store.Engine, error) {
+			e, err := inner(table)
+			if err != nil {
+				return nil, err
+			}
+			return slowEngine{Engine: e, delay: lat}, nil
+		}
+	}
 	dataletNet, dataletListen, err := c.dataletNetwork()
 	if err != nil {
 		return nil, err
@@ -517,6 +567,8 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 		Codec:             dataletCodec,
 		NewEngine:         newEngine,
 		TelemetryInterval: c.Opts.TelemetryInterval,
+		MaxInflight:       c.Opts.MaxInflight,
+		ShedTarget:        c.Opts.ShedTarget,
 		Logf:              c.Opts.Logf,
 	})
 	if err != nil {
@@ -540,6 +592,8 @@ func (c *Cluster) startPair(nodeID, shardID, engine string, dataletCodec wire.Co
 		TelemetryInterval: c.Opts.TelemetryInterval,
 		FenceTimeout:      c.fenceTimeout(),
 		P2PRouting:        c.Opts.P2PRouting,
+		MaxInflight:       c.Opts.MaxInflight,
+		ShedTarget:        c.Opts.ShedTarget,
 		Logf:              c.Opts.Logf,
 	})
 	if err != nil {
@@ -721,6 +775,8 @@ func (c *Cluster) Transition(to topology.Mode) error {
 				TelemetryInterval: c.Opts.TelemetryInterval,
 				FenceTimeout:      c.fenceTimeout(),
 				P2PRouting:        c.Opts.P2PRouting,
+				MaxInflight:       c.Opts.MaxInflight,
+				ShedTarget:        c.Opts.ShedTarget,
 				Logf:              c.Opts.Logf,
 			})
 			if err != nil {

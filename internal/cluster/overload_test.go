@@ -1,0 +1,362 @@
+package cluster
+
+// Overload-nemesis suite: the congestion-collapse acceptance tests for the
+// end-to-end overload-control plane (deadline propagation, admission
+// control, retry budgets, degradation). A cluster whose engines have a
+// real per-op service time (Options.EngineLatency) is driven to a goodput
+// plateau by paced workers, then hit with several times the offered load
+// by an unpaced surge fleet. The contract under surge:
+//
+//   - goodput stays at or above 80% of the pre-overload plateau (load is
+//     shed with fast Overloaded answers instead of collapsing into
+//     timeout churn);
+//   - successful ops stay inside a bounded tail (no unbounded queueing);
+//   - the control plane keeps breathing — heartbeats and lease renewals
+//     ride the priority lane, so data overload must not trigger a single
+//     spurious failover (epoch frozen, membership intact);
+//   - the recorded history stays linearizable, with Overloaded ops
+//     recorded as failed (non-acked) writes, and no acked write is lost.
+//
+// Runs are seeded like every nemesis suite: failures log a
+// BESPOKV_NEMESIS_SEED reproduction line.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bespokv/internal/client"
+	"bespokv/internal/histcheck"
+	"bespokv/internal/overload"
+	"bespokv/internal/topology"
+)
+
+// overloadzOf extracts the /overloadz section from a server's Status().
+func overloadzOf(t *testing.T, status any) map[string]any {
+	t.Helper()
+	st, ok := status.(map[string]any)
+	if !ok {
+		t.Fatalf("status is %T, want map", status)
+	}
+	ov, ok := st["overloadz"].(map[string]any)
+	if !ok {
+		t.Fatalf("status has no overloadz section: %v", st)
+	}
+	return ov
+}
+
+// gateSheds sums admission-control sheds across every live pair's
+// controlet and datalet gates.
+func gateSheds(t *testing.T, c *Cluster) uint64 {
+	t.Helper()
+	var total uint64
+	for _, pairs := range c.Shards {
+		for _, p := range pairs {
+			if p.Killed() {
+				continue
+			}
+			for _, status := range []any{p.Controlet.Status(), p.Datalet.Status()} {
+				stats, ok := overloadzOf(t, status)["gate"].(overload.Stats)
+				if !ok {
+					t.Fatalf("overloadz gate is not overload.Stats")
+				}
+				total += stats.Sheds()
+			}
+		}
+	}
+	return total
+}
+
+// surgeClient opens a fully disciplined client: end-to-end op budget,
+// retry budget, breakers, and a pipeline watchdog.
+func surgeClient(t *testing.T, c *Cluster) *client.Client {
+	t.Helper()
+	cli, err := c.ClientConfig(client.Config{
+		OpTimeout:      300 * time.Millisecond,
+		OpBudget:       150 * time.Millisecond,
+		RetryBudgetPct: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+// runOverloadSurge is the shared surge driver.
+func runOverloadSurge(t *testing.T, mode topology.Mode) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("overload surge test in -short mode")
+	}
+	seed := nemesisSeed(t)
+	logSeed(t, seed)
+	c := startCluster(t, Options{
+		Mode:     mode,
+		Shards:   1,
+		Replicas: 3,
+		// Tight admission control against a 1ms-per-op engine: the shard's
+		// capacity is on the order of 1k writes/s, so a couple dozen
+		// unpaced workers are far past saturation.
+		MaxInflight:      4,
+		ShedTarget:       2 * time.Millisecond,
+		EngineLatency:    time.Millisecond,
+		HeartbeatTimeout: 600 * time.Millisecond,
+		// Failover stays ON: the suite's point is that data overload must
+		// not be mistaken for node death.
+	})
+	admin, err := c.Admin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	m0, err := admin.GetMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := histcheck.NewRecorder()
+	var seq atomic.Uint64
+
+	// Linearizability side-history: two paced single-attempt workers
+	// read/write a small shared key set through BOTH phases, so the
+	// checker judges interleavings from before, during and after the
+	// surge. Single-attempt clients keep the history honest (a retried
+	// write would apply twice); their Overloaded failures are recorded as
+	// non-acked writes, exactly the classification under test.
+	linKeys := []string{"lin-0", "lin-1", "lin-2", "lin-3", "lin-4", "lin-5", "lin-6", "lin-7"}
+	var linVals atomic.Uint64
+	linStop := make(chan struct{})
+	var linWG sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		cli := nemesisClient(t, c)
+		linWG.Add(1)
+		go func(w int, cli *client.Client) {
+			defer linWG.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for {
+				select {
+				case <-linStop:
+					return
+				default:
+				}
+				k := linKeys[rng.Intn(len(linKeys))]
+				if rng.Intn(2) == 0 {
+					v := fmt.Sprint(linVals.Add(1))
+					ref := rec.BeginWrite(w, k, v)
+					rec.EndWrite(ref, cli.Put("", []byte(k), []byte(v)))
+				} else {
+					ref := rec.BeginRead(w, k)
+					v, ok, err := cli.Get("", []byte(k))
+					rec.EndRead(ref, string(v), ok, err)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(w, cli)
+	}
+
+	// loadPhase runs n unique-key writers for dur (paced if pace > 0) and
+	// returns acked writes per second plus the successful ops' latencies.
+	loadPhase := func(base, n int, pace, dur time.Duration) (float64, []time.Duration) {
+		var acked, failed atomic.Int64
+		lats := make([][]time.Duration, n)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			cli := surgeClient(t, c)
+			wg.Add(1)
+			go func(w int, cli *client.Client) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := fmt.Sprintf("load-%06d", seq.Add(1))
+					ref := rec.BeginWrite(base+w, k, k)
+					start := time.Now()
+					err := cli.Put("", []byte(k), []byte(k))
+					rec.EndWrite(ref, err)
+					if err != nil {
+						failed.Add(1)
+					} else {
+						acked.Add(1)
+						lats[w] = append(lats[w], time.Since(start))
+					}
+					if pace > 0 {
+						time.Sleep(pace)
+					}
+				}
+			}(w, cli)
+		}
+		t0 := time.Now()
+		time.Sleep(dur)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(t0)
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		t.Logf("phase: %d workers pace=%v: %d acked, %d failed in %v (%.0f acked/s)",
+			n, pace, acked.Load(), failed.Load(), elapsed.Round(time.Millisecond),
+			float64(acked.Load())/elapsed.Seconds())
+		return float64(acked.Load()) / elapsed.Seconds(), all
+	}
+
+	// Phase 1 — plateau: 4 paced workers, comfortably under capacity.
+	g0, _ := loadPhase(10, 4, 10*time.Millisecond, 1200*time.Millisecond)
+	if g0 == 0 {
+		t.Fatalf("seed %d: plateau phase acked nothing", seed)
+	}
+	shedsBefore := gateSheds(t, c)
+
+	// Phase 2 — surge: 16 unpaced workers, several times the plateau's
+	// offered load and past the shard's capacity.
+	g1, lats := loadPhase(100, 16, 0, 2*time.Second)
+
+	close(linStop)
+	linWG.Wait()
+
+	// Goodput must hold: shedding converts excess load into fast
+	// Overloaded answers instead of dragging admitted work into timeouts.
+	if g1 < 0.8*g0 {
+		t.Fatalf("seed %d: goodput collapsed under surge: plateau %.0f/s, surge %.0f/s (< 80%%)", seed, g0, g1)
+	}
+	// The surge must actually have engaged admission control, or the run
+	// proved nothing.
+	if sheds := gateSheds(t, c) - shedsBefore; sheds == 0 {
+		t.Fatalf("seed %d: surge engaged no admission control (capacity too high for the fleet?)", seed)
+	} else {
+		t.Logf("surge shed %d requests via admission control", sheds)
+	}
+	// Bounded tail for admitted work: an accepted op rides its op budget,
+	// not an unbounded queue. The bound is budget + one in-flight attempt
+	// (OpTimeout) + scheduling slack.
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p99 := lats[len(lats)*99/100]
+		t.Logf("surge success p99 = %v over %d acked ops", p99, len(lats))
+		if p99 > time.Second {
+			t.Fatalf("seed %d: surge success p99 = %v, want bounded (< 1s)", seed, p99)
+		}
+	}
+
+	// Control-plane liveness: heartbeats and lease renewals ride the
+	// priority lane, so a data-plane surge must not have caused a single
+	// failover — same epoch, same membership.
+	m1, err := admin.GetMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Epoch != m0.Epoch {
+		t.Fatalf("seed %d: epoch moved %d -> %d during data overload (spurious failover)", seed, m0.Epoch, m1.Epoch)
+	}
+	if got, want := len(m1.Shards[0].Replicas), len(m0.Shards[0].Replicas); got != want {
+		t.Fatalf("seed %d: membership changed under overload: %d -> %d replicas", seed, want, got)
+	}
+
+	// Consistency: every acked write must read back, and the shared-key
+	// history must be linearizable. Unknown verdicts (state budget) only
+	// warn — the strict gate is NonLinearizable.
+	verifyAckedReadable(t, c, rec, seed)
+	rep := histcheck.Check(rec.Ops(), histcheck.Options{MaxStates: 5_000_000})
+	t.Logf("history: %s", rep)
+	for _, kr := range rep.Keys {
+		switch kr.Outcome {
+		case histcheck.NonLinearizable:
+			t.Fatalf("seed %d: overload broke linearizability: %s", seed, rep)
+		case histcheck.Unknown:
+			t.Logf("seed %d: key %q verdict unknown (%d ops, budget exhausted)", seed, kr.Key, kr.Ops)
+		}
+	}
+}
+
+// TestOverloadSurgeMSSC is the chain-replication surge: entry admission at
+// the head, deadline-aware forwards down the chain.
+func TestOverloadSurgeMSSC(t *testing.T) {
+	runOverloadSurge(t, topology.Mode{Topology: topology.MS, Consistency: topology.Strong})
+}
+
+// TestOverloadSurgeAASC is the active-active strong surge: every replica
+// accepts writes under DLM locks, write-all fan-outs carry deadlines.
+func TestOverloadSurgeAASC(t *testing.T) {
+	runOverloadSurge(t, topology.Mode{Topology: topology.AA, Consistency: topology.Strong})
+}
+
+// TestOverloadDeadlineExpiry isolates deadline propagation from admission
+// control: gates off, engines slow (20ms/op), op budget far below the
+// chain's service time. The write must fail fast with the propagated
+// deadline expiring mid-chain — counted by the controlets — and the
+// cluster must serve a generously-budgeted client right afterwards.
+func TestOverloadDeadlineExpiry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload deadline test in -short mode")
+	}
+	c := startCluster(t, Options{
+		Mode:          topology.Mode{Topology: topology.MS, Consistency: topology.Strong},
+		Shards:        1,
+		Replicas:      3,
+		MaxInflight:   -1, // gates off: only the deadline machinery acts
+		EngineLatency: 20 * time.Millisecond,
+	})
+	// /overloadz smoke: both server kinds publish the section in Status().
+	ctlOv := overloadzOf(t, c.Shards[0][0].Controlet.Status())
+	srvOv := overloadzOf(t, c.Shards[0][0].Datalet.Status())
+	expired := func(ov map[string]any) int64 {
+		v, ok := ov["deadline_expired"].(int64)
+		if !ok {
+			t.Fatalf("overloadz has no deadline_expired counter: %v", ov)
+		}
+		return v
+	}
+	before := expired(ctlOv) + expired(srvOv)
+
+	cli, err := c.ClientConfig(client.Config{
+		Retries:   2,
+		OpTimeout: 500 * time.Millisecond,
+		// The head's local apply alone (20ms) outlives a 15ms budget, so
+		// the chain-forward restamp finds the budget spent and drops the
+		// doomed write instead of pushing it downstream. (The chain
+		// pipelines apply and forward, so the budget must undercut one
+		// apply, not the whole chain, to be provably doomed.)
+		OpBudget: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	err = cli.Put("", []byte("doomed"), []byte("v"))
+	if err == nil {
+		t.Fatal("a write whose budget cannot cover the chain must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "deadline") && !strings.Contains(msg, "overloaded") && !strings.Contains(msg, "op budget") {
+		t.Fatalf("failure does not name the deadline/overload path: %v", err)
+	}
+	after := expired(overloadzOf(t, c.Shards[0][0].Controlet.Status())) +
+		expired(overloadzOf(t, c.Shards[0][0].Datalet.Status()))
+	if after <= before {
+		t.Fatalf("deadline_expired counters did not move (%d -> %d): deadline never propagated", before, after)
+	}
+
+	// The same write with a budget that covers the chain must land.
+	roomy, err := c.ClientConfig(client.Config{OpTimeout: 2 * time.Second, OpBudget: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer roomy.Close()
+	if err := roomy.Put("", []byte("doomed"), []byte("v2")); err != nil {
+		t.Fatalf("generously budgeted write failed: %v", err)
+	}
+	v, ok, err := roomy.Get("", []byte("doomed"))
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("read back (%q, %v, %v)", v, ok, err)
+	}
+}

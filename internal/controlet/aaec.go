@@ -231,7 +231,7 @@ func (a *logApplier) applyEntry(e sharedlog.Entry) {
 	}
 	// Log records carry no trace ID: the sampled writer's own apply is
 	// traced synchronously at append time; replica applies are untraced.
-	if err := a.s.applyLocal(op, rec.table, rec.key, rec.value, version, 0); err != nil {
+	if err := a.s.applyLocal(op, rec.table, rec.key, rec.value, version, 0, 0); err != nil {
 		a.s.cfg.Logf("controlet %s: apply log entry %d: %v", a.s.cfg.NodeID, e.Offset, err)
 	}
 }
@@ -332,9 +332,12 @@ func (s *Server) loggedWrite(req *wire.Request, resp *wire.Response) {
 	if rec.del {
 		op = wire.OpDel
 	}
-	if err := s.applyLocal(op, req.Table, req.Key, req.Value, version, req.TraceID); err != nil {
-		resp.Status = wire.StatusErr
-		resp.Err = err.Error()
+	if err := s.applyLocal(op, req.Table, req.Key, req.Value, version, req.TraceID, req.DeadlineAt); err != nil {
+		// The record is already sequenced — every replica's applier will
+		// land it regardless — so a failure here (including a spent
+		// deadline) only means the client is not told "acked": the
+		// outcome is indeterminate, like any unacknowledged write.
+		failWrite(resp, err)
 		return
 	}
 	s.mirrorWrite(rec.del, req.Table, req.Key, req.Value, version)

@@ -1,6 +1,7 @@
 package controlet
 
 import (
+	"errors"
 	"time"
 
 	"bespokv/internal/dlm"
@@ -68,17 +69,22 @@ func (s *Server) lockedWrite(m *topology.Map, shard topology.Shard, req *wire.Re
 	// exclusive lease delivers this version to every peer before the
 	// lease is released, so the next writer of this key (whoever it is)
 	// has observed it and will assign a strictly larger version.
-	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID)
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID, req.DeadlineAt)
 	if err != nil {
-		resp.Status = wire.StatusErr
-		resp.Err = err.Error()
+		failWrite(resp, err)
 		return
 	}
 	if m != nil {
 		if err := s.replicateAll(shard, replOp, req, version); err != nil {
 			// Under write-all a dead peer fails the write; the
-			// coordinator will remove it and the client retries.
-			resp.Status = wire.StatusUnavailable
+			// coordinator will remove it and the client retries. A peer
+			// shed keeps its overload classification so the client backs
+			// off rather than retrying immediately.
+			if errors.Is(err, errShed) {
+				resp.Status = wire.StatusOverloaded
+			} else {
+				resp.Status = wire.StatusUnavailable
+			}
 			resp.Err = "replicate: " + err.Error()
 			return
 		}
@@ -101,6 +107,7 @@ func (s *Server) replicateAll(shard topology.Shard, op wire.Op, req *wire.Reques
 	}
 	var flights []flight
 	var firstErr error
+	now := time.Now()
 	for _, n := range shard.Replicas {
 		if n.ID == s.cfg.NodeID {
 			continue
@@ -119,6 +126,19 @@ func (s *Server) replicateAll(shard topology.Shard, op wire.Op, req *wire.Reques
 		fwd.Value = req.Value
 		fwd.Version = version
 		fwd.TraceID = req.TraceID
+		// Peers get the remaining deadline budget; a budget spent before
+		// the fan-out even launches fails the write-all up front (the
+		// lease holder still owns the key, so nothing is half-committed
+		// from the client's point of view — the op is simply not acked).
+		fwd.DeadlineAt = req.DeadlineAt
+		if !fwd.RestampDeadline(now) {
+			wire.PutRequest(fwd)
+			ctlDeadlineExpired.Inc()
+			if firstErr == nil {
+				firstErr = errDeadlineSpent
+			}
+			break
+		}
 		presp := wire.GetResponse()
 		ctlReplicateAll.Inc()
 		flights = append(flights, flight{n.ControletAddr, fwd, presp, pool.DoAsync(fwd, presp)})
@@ -128,7 +148,7 @@ func (s *Server) replicateAll(shard topology.Shard, op wire.Op, req *wire.Reques
 		if err != nil {
 			s.dropPeer(f.addr)
 		} else {
-			err = f.presp.ErrValue()
+			err = peerErrValue(f.presp)
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err

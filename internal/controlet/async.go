@@ -28,21 +28,31 @@ func (s *Server) asyncWrite(m *topology.Map, shard topology.Shard, pos int, req 
 		localOp = wire.OpDel
 		replOp = wire.OpReplDel
 	}
-	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID)
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID, req.DeadlineAt)
 	if err != nil {
-		resp.Status = wire.StatusErr
-		resp.Err = err.Error()
+		failWrite(resp, err)
 		return
 	}
 	if s.prop != nil && m != nil {
-		s.prop.enqueue(shard, propRecord{
+		if !s.prop.enqueue(shard, propRecord{
 			op:      replOp,
 			table:   req.Table,
 			key:     append([]byte(nil), req.Key...),
 			value:   append([]byte(nil), req.Value...),
 			version: version,
 			traceID: req.TraceID,
-		})
+		}) {
+			// Bounded backpressure: the slave backlog is full and stayed
+			// full past the enqueue grace. The write applied locally but
+			// is NOT acknowledged — the client sees a retryable shed, and
+			// a later retry re-applies idempotently under LWW. The
+			// alternative (blocking here until the queue drains) is how
+			// one slow slave turns into an unbounded master-side pileup.
+			ctlShedTotal.Inc()
+			resp.Status = wire.StatusOverloaded
+			resp.Err = "controlet: replication backlog"
+			return
+		}
 	}
 	s.mirrorWrite(localOp == wire.OpDel, req.Table, req.Key, req.Value, version)
 	resp.Status = wire.StatusOK
@@ -79,11 +89,24 @@ type propagator struct {
 // unbounded memory growth during slave hiccups.
 const propQueueDepth = 4096
 
+// propEnqueueWait bounds how long a full slave queue may stall the write
+// path before the write is shed with StatusOverloaded. The old behavior —
+// blocking until space appeared — let one slow slave queue up every
+// master write behind it, which is exactly the unbounded pileup overload
+// control exists to prevent.
+const propEnqueueWait = 50 * time.Millisecond
+
 func newPropagator(s *Server) *propagator {
 	return &propagator{s: s, queues: map[string]chan propRecord{}}
 }
 
-func (p *propagator) enqueue(shard topology.Shard, rec propRecord) {
+// enqueue queues rec for every slave, waiting at most propEnqueueWait per
+// full queue. It reports false when any slave's backlog refused the
+// record in time — the caller must NOT ack the write (records already
+// queued for other slaves are harmless: the client's retry re-applies
+// idempotently under LWW).
+func (p *propagator) enqueue(shard topology.Shard, rec propRecord) bool {
+	ok := true
 	for _, n := range shard.Replicas {
 		if n.ID == p.s.cfg.NodeID {
 			continue
@@ -91,10 +114,10 @@ func (p *propagator) enqueue(shard topology.Shard, rec propRecord) {
 		p.mu.Lock()
 		if p.stopped {
 			p.mu.Unlock()
-			return
+			return false
 		}
-		q, ok := p.queues[n.ControletAddr]
-		if !ok {
+		q, qok := p.queues[n.ControletAddr]
+		if !qok {
 			q = make(chan propRecord, propQueueDepth)
 			p.queues[n.ControletAddr] = q
 			p.s.wg.Add(1)
@@ -107,13 +130,28 @@ func (p *propagator) enqueue(shard topology.Shard, rec propRecord) {
 		select {
 		case q <- rec:
 			ctlPropEnqueued.Inc()
-		case <-p.s.stopCh:
+			continue
+		default:
+		}
+		timer := time.NewTimer(propEnqueueWait)
+		select {
+		case q <- rec:
+			timer.Stop()
+			ctlPropEnqueued.Inc()
+		case <-timer.C:
 			p.pending.Done()
 			p.pendingN.Add(-1)
 			ctlPropPending.Add(-1)
-			return
+			ok = false
+		case <-p.s.stopCh:
+			timer.Stop()
+			p.pending.Done()
+			p.pendingN.Add(-1)
+			ctlPropPending.Add(-1)
+			return false
 		}
 	}
+	return ok
 }
 
 // propPipelineDepth caps how many records one delivery round keeps in

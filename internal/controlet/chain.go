@@ -1,6 +1,9 @@
 package controlet
 
 import (
+	"errors"
+	"time"
+
 	"bespokv/internal/topology"
 	"bespokv/internal/wire"
 )
@@ -27,16 +30,21 @@ func (s *Server) chainWrite(m *topology.Map, shard topology.Shard, pos int, req 
 		op = wire.OpChainDel
 		localOp = wire.OpDel
 	}
-	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID)
+	version, err := s.writeLocalAssigned(localOp, req.Table, req.Key, req.Value, req.TraceID, req.DeadlineAt)
 	if err != nil {
-		resp.Status = wire.StatusErr
-		resp.Err = err.Error()
+		failWrite(resp, err)
 		return
 	}
 	if err := s.startForwardChain(shard, 0, op, req, version).wait(s); err != nil {
 		// A broken chain fails the write; the coordinator repairs the
-		// chain and the client retries against the new topology.
-		resp.Status = wire.StatusUnavailable
+		// chain and the client retries against the new topology. A
+		// downstream shed keeps its overload classification so the
+		// client backs off instead of hammering the repaired chain.
+		if errors.Is(err, errShed) {
+			resp.Status = wire.StatusOverloaded
+		} else {
+			resp.Status = wire.StatusUnavailable
+		}
 		resp.Err = "chain: " + err.Error()
 		return
 	}
@@ -78,6 +86,16 @@ func (s *Server) startForwardChain(shard topology.Shard, pos int, op wire.Op, re
 	fwd.Version = version
 	fwd.Epoch = epochOf(s.Map())
 	fwd.TraceID = req.TraceID
+	// The downstream hop inherits whatever remains of the client's
+	// deadline budget; a budget already spent fails the forward before it
+	// leaves this node (the client has given up on the write anyway).
+	fwd.DeadlineAt = req.DeadlineAt
+	if !fwd.RestampDeadline(time.Now()) {
+		wire.PutRequest(fwd)
+		ctlDeadlineExpired.Inc()
+		ack.err = errDeadlineSpent
+		return ack
+	}
 	ack.fwd = fwd
 	ctlChainForwards.Inc()
 	ack.presp = wire.GetResponse()
@@ -98,7 +116,7 @@ func (a *chainAck) wait(s *Server) error {
 	if err != nil {
 		s.dropPeer(a.addr)
 	} else {
-		err = a.presp.ErrValue()
+		err = peerErrValue(a.presp)
 	}
 	wire.PutRequest(a.fwd)
 	wire.PutResponse(a.presp)
@@ -134,14 +152,17 @@ func (s *Server) handleChain(req *wire.Request, resp *wire.Response) {
 	if m != nil {
 		ack = s.startForwardChain(shard, pos, req.Op, req, req.Version)
 	}
-	if err := s.applyLocal(localOp, req.Table, req.Key, req.Value, req.Version, req.TraceID); err != nil {
+	if err := s.applyLocal(localOp, req.Table, req.Key, req.Value, req.Version, req.TraceID, req.DeadlineAt); err != nil {
 		_ = ack.wait(s) // drain; the write still fails upstream
-		resp.Status = wire.StatusErr
-		resp.Err = err.Error()
+		failWrite(resp, err)
 		return
 	}
 	if err := ack.wait(s); err != nil {
-		resp.Status = wire.StatusUnavailable
+		if errors.Is(err, errShed) {
+			resp.Status = wire.StatusOverloaded
+		} else {
+			resp.Status = wire.StatusUnavailable
+		}
 		resp.Err = "chain: " + err.Error()
 		return
 	}

@@ -32,6 +32,7 @@ import (
 	"bespokv/internal/datalet"
 	"bespokv/internal/metrics"
 	"bespokv/internal/migrate"
+	"bespokv/internal/overload"
 	"bespokv/internal/rpc"
 	"bespokv/internal/telemetry"
 	"bespokv/internal/topology"
@@ -101,6 +102,17 @@ type Config struct {
 	// Snapshots (including the local datalet's, pulled over OpTelemetry)
 	// ride every heartbeat tick to the coordinator's aggregator.
 	TelemetryInterval time.Duration
+	// MaxInflight caps concurrently executing client data ops (admission
+	// control); requests beyond it queue briefly and are shed with
+	// StatusOverloaded once the queue delay betrays overload. Control
+	// traffic (heartbeat plumbing, epoch leases, stats) and internal
+	// replication ops are never gated — a hot data path cannot starve the
+	// control plane into a false failover. Default 1024; < 0 disables.
+	MaxInflight int
+	// ShedTarget is the CoDel queue-delay target for the shedder: data
+	// ops that wait longer than this for an execution slot, persistently
+	// over a control interval, start being shed. Default 5ms.
+	ShedTarget time.Duration
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -162,6 +174,10 @@ type Server struct {
 	// never double-count).
 	tele *telemetry.Recorder
 
+	// gate admits client data ops (nil = admission control disabled);
+	// control and internal replication lanes bypass it. See dispatchAdmit.
+	gate *overload.Gate
+
 	connsMu sync.Mutex
 	conns   map[transport.Conn]struct{}
 	wg      sync.WaitGroup
@@ -192,6 +208,9 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.LockTTL <= 0 {
 		cfg.LockTTL = 2 * time.Second
 	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 1024
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -211,6 +230,7 @@ func Serve(cfg Config) (*Server, error) {
 		conns:  map[transport.Conn]struct{}{},
 		stopCh: make(chan struct{}),
 		tele:   telemetry.NewRecorder(telemetry.Options{Interval: cfg.TelemetryInterval}),
+		gate:   overload.NewGate(overload.Config{MaxInflight: cfg.MaxInflight, Target: cfg.ShedTarget}),
 	}
 	// Seed the clock so fresh controlets never reissue old versions
 	// after recovery (coarse wall-clock epoch in the high bits, Lamport
@@ -563,12 +583,13 @@ func (s *Server) serveConn(conn transport.Conn) {
 			return
 		}
 		resp.Reset()
+		req.ArmDeadline(time.Now())
 		timed := req.TraceID != 0 || metrics.SampleLatency()
 		var start time.Time
 		if timed {
 			start = time.Now()
 		}
-		s.dispatch(&req, &resp)
+		s.dispatchAdmit(&req, &resp)
 		dur := time.Duration(-1)
 		if timed {
 			dur = time.Since(start)

@@ -128,7 +128,7 @@ func TestWriteLocalAssignedBumpsPastNewerVersions(t *testing.T) {
 	if _, err := d.Engine("").Put([]byte("k"), []byte("old-era"), planted); err != nil {
 		t.Fatal(err)
 	}
-	ver, err := s.writeLocalAssigned(wire.OpPut, "", []byte("k"), []byte("new-era"), 0)
+	ver, err := s.writeLocalAssigned(wire.OpPut, "", []byte("k"), []byte("new-era"), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package controlet
 
 import (
 	"errors"
+	"time"
 
 	"bespokv/internal/topology"
 	"bespokv/internal/wire"
@@ -51,10 +52,18 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response) {
 	}
 }
 
-// localCall forwards a request verbatim to the local datalet.
+// localCall forwards a request verbatim to the local datalet, handing it
+// whatever remains of the propagated deadline budget.
 func (s *Server) localCall(req *wire.Request, resp *wire.Response) {
 	fwd := wire.GetRequest()
 	*fwd = *req
+	if !fwd.RestampDeadline(time.Now()) {
+		wire.PutRequest(fwd)
+		ctlDeadlineExpired.Inc()
+		resp.Status = wire.StatusOverloaded
+		resp.Err = "controlet: deadline expired"
+		return
+	}
 	err := s.local.Do(fwd, resp)
 	wire.PutRequest(fwd)
 	if err != nil {
@@ -71,7 +80,10 @@ func (s *Server) localCall(req *wire.Request, resp *wire.Response) {
 // whose log-derived versions live above the Lamport range — the clock
 // jumps past it and the write retries, so no acknowledged write is ever
 // silently shadowed by pre-transition history.
-func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte, tid uint64) (uint64, error) {
+// dlAt carries the client's armed deadline instant (0 = none); the local
+// datalet is handed the shrinking remainder, and a spent budget fails the
+// write with errShed before touching the engine.
+func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte, tid uint64, dlAt int64) (uint64, error) {
 	req := wire.GetRequest()
 	resp := wire.GetResponse()
 	defer wire.PutRequest(req)
@@ -82,13 +94,19 @@ func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte,
 	req.Value = value
 	req.TraceID = tid
 	for attempt := 0; attempt < 8; attempt++ {
+		req.DeadlineAt = dlAt
+		if !req.RestampDeadline(time.Now()) {
+			ctlDeadlineExpired.Inc()
+			return 0, errDeadlineSpent
+		}
 		version := s.nextVersion()
 		req.Version = version
 		if err := s.local.Do(req, resp); err != nil {
 			return 0, err
 		}
-		if resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable {
-			return 0, resp.ErrValue()
+		if resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable ||
+			resp.Status == wire.StatusOverloaded {
+			return 0, peerErrValue(resp)
 		}
 		if resp.Version <= version {
 			return version, nil
@@ -98,8 +116,12 @@ func (s *Server) writeLocalAssigned(op wire.Op, table string, key, value []byte,
 	return 0, errors.New("controlet: local write kept losing version races")
 }
 
-// applyLocal writes to the local datalet with an explicit version.
-func (s *Server) applyLocal(op wire.Op, table string, key, value []byte, version, tid uint64) error {
+// applyLocal writes to the local datalet with an explicit version. dlAt is
+// the propagated deadline instant for pre-ack applies (chain hops); the
+// post-ack paths — async repl records, shared-log replica applies — pass 0,
+// because an acknowledged write must reach every replica no matter how
+// late it runs.
+func (s *Server) applyLocal(op wire.Op, table string, key, value []byte, version, tid uint64, dlAt int64) error {
 	req := wire.GetRequest()
 	resp := wire.GetResponse()
 	defer wire.PutRequest(req)
@@ -110,11 +132,17 @@ func (s *Server) applyLocal(op wire.Op, table string, key, value []byte, version
 	req.Value = value
 	req.Version = version
 	req.TraceID = tid
+	req.DeadlineAt = dlAt
+	if !req.RestampDeadline(time.Now()) {
+		ctlDeadlineExpired.Inc()
+		return errDeadlineSpent
+	}
 	if err := s.local.Do(req, resp); err != nil {
 		return err
 	}
-	if resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable {
-		return resp.ErrValue()
+	if resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable ||
+		resp.Status == wire.StatusOverloaded {
+		return peerErrValue(resp)
 	}
 	return nil
 }
@@ -211,6 +239,12 @@ func (s *Server) forwardWrite(peer topology.Node, req *wire.Request, resp *wire.
 	fwd := *req
 	fwd.Op = wire.OpHandoff
 	fwd.Limit = uint32(req.Op)
+	if !fwd.RestampDeadline(time.Now()) {
+		ctlDeadlineExpired.Inc()
+		resp.Status = wire.StatusOverloaded
+		resp.Err = "controlet: deadline expired"
+		return
+	}
 	if err := pool.Do(&fwd, resp); err != nil {
 		s.dropPeer(peer.ControletAddr)
 		resp.Reset()
@@ -354,14 +388,16 @@ func (s *Server) ddlLocal(req *wire.Request) error {
 	return err
 }
 
-// handleRepl applies an asynchronous replication record from a peer.
+// handleRepl applies an asynchronous replication record from a peer. The
+// record is post-ack — the master already answered its client — so no
+// deadline applies: dropping it would lose an acknowledged write.
 func (s *Server) handleRepl(req *wire.Request, resp *wire.Response) {
 	s.observeVersion(req.Version)
 	op := wire.OpPut
 	if req.Op == wire.OpReplDel {
 		op = wire.OpDel
 	}
-	if err := s.applyLocal(op, req.Table, req.Key, req.Value, req.Version, req.TraceID); err != nil {
+	if err := s.applyLocal(op, req.Table, req.Key, req.Value, req.Version, req.TraceID, 0); err != nil {
 		resp.Status = wire.StatusErr
 		resp.Err = err.Error()
 		return

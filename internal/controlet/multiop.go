@@ -2,7 +2,9 @@ package controlet
 
 import (
 	"errors"
+	"time"
 
+	"bespokv/internal/datalet"
 	"bespokv/internal/topology"
 	"bespokv/internal/wire"
 )
@@ -87,6 +89,7 @@ func (s *Server) lockedMGet(req *wire.Request, resp *wire.Response) {
 		kreq.Key = req.Pairs[i].Key
 		kreq.Level = req.Level
 		kreq.TraceID = req.TraceID
+		kreq.DeadlineAt = req.DeadlineAt
 		kresp.Reset()
 		s.lockedGet(kreq, kresp)
 		switch kresp.Status {
@@ -162,7 +165,7 @@ func (s *Server) handleMPut(req *wire.Request, resp *wire.Response) {
 // a version race (possible right after a transition out of AA+EC, whose
 // log-derived versions live above the Lamport range). It returns the
 // per-pair assigned versions and statuses, index-aligned with pairs.
-func (s *Server) multiWriteLocal(table string, pairs []wire.KV, tid uint64) ([]uint64, []wire.Status, error) {
+func (s *Server) multiWriteLocal(table string, pairs []wire.KV, tid uint64, dlAt int64) ([]uint64, []wire.Status, error) {
 	versions := make([]uint64, len(pairs))
 	statuses := make([]wire.Status, len(pairs))
 	pending := make([]int, len(pairs))
@@ -178,6 +181,11 @@ func (s *Server) multiWriteLocal(table string, pairs []wire.KV, tid uint64) ([]u
 		lreq.Op = wire.OpMPut
 		lreq.Table = table
 		lreq.TraceID = tid
+		lreq.DeadlineAt = dlAt
+		if !lreq.RestampDeadline(time.Now()) {
+			ctlDeadlineExpired.Inc()
+			return nil, nil, errDeadlineSpent
+		}
 		for _, idx := range pending {
 			versions[idx] = s.nextVersion()
 			lreq.Pairs = append(lreq.Pairs, wire.KV{
@@ -191,7 +199,7 @@ func (s *Server) multiWriteLocal(table string, pairs []wire.KV, tid uint64) ([]u
 			return nil, nil, err
 		}
 		if lresp.Status != wire.StatusOK {
-			return nil, nil, lresp.ErrValue()
+			return nil, nil, peerErrValue(lresp)
 		}
 		var racing []int
 		for j, idx := range pending {
@@ -224,10 +232,9 @@ func (s *Server) chainMPut(m *topology.Map, shard topology.Shard, pos int, req *
 		resp.Err = shard.Head().ControletAddr
 		return
 	}
-	versions, statuses, err := s.multiWriteLocal(req.Table, req.Pairs, req.TraceID)
+	versions, statuses, err := s.multiWriteLocal(req.Table, req.Pairs, req.TraceID, req.DeadlineAt)
 	if err != nil {
-		resp.Status = wire.StatusErr
-		resp.Err = err.Error()
+		failWrite(resp, err)
 		return
 	}
 	fwd := wire.GetRequest()
@@ -236,6 +243,7 @@ func (s *Server) chainMPut(m *topology.Map, shard topology.Shard, pos int, req *
 	fwd.Table = req.Table
 	fwd.Epoch = epochOf(m)
 	fwd.TraceID = req.TraceID
+	fwd.DeadlineAt = req.DeadlineAt
 	for i := range req.Pairs {
 		if statuses[i] != wire.StatusOK {
 			continue // pairs the local engine rejected are not replicated
@@ -248,22 +256,33 @@ func (s *Server) chainMPut(m *topology.Map, shard topology.Shard, pos int, req *
 	}
 	if len(fwd.Pairs) > 0 && m != nil && pos+1 < len(shard.Replicas) {
 		next := shard.Replicas[pos+1]
-		pool, err := s.peerPool(next.ControletAddr)
-		if err == nil {
-			presp := wire.GetResponse()
-			err = pool.Do(fwd, presp)
+		var err error
+		if !fwd.RestampDeadline(time.Now()) {
+			ctlDeadlineExpired.Inc()
+			err = errDeadlineSpent
+		} else {
+			var pool *datalet.Pool
+			pool, err = s.peerPool(next.ControletAddr)
 			if err == nil {
-				err = presp.ErrValue()
-			} else {
-				s.dropPeer(next.ControletAddr)
+				presp := wire.GetResponse()
+				err = pool.Do(fwd, presp)
+				if err == nil {
+					err = peerErrValue(presp)
+				} else {
+					s.dropPeer(next.ControletAddr)
+				}
+				wire.PutResponse(presp)
 			}
-			wire.PutResponse(presp)
 		}
 		if err != nil {
 			// A broken chain fails the whole batch; the coordinator
 			// repairs the chain and the client retries (LWW re-apply is
-			// idempotent).
-			resp.Status = wire.StatusUnavailable
+			// idempotent). Downstream sheds keep their overload class.
+			if errors.Is(err, errShed) {
+				resp.Status = wire.StatusOverloaded
+			} else {
+				resp.Status = wire.StatusUnavailable
+			}
 			resp.Err = "chain: " + err.Error()
 			return
 		}
@@ -306,21 +325,31 @@ func (s *Server) handleChainMPut(req *wire.Request, resp *wire.Response) {
 			fwd.Epoch = req.Epoch
 			fwd.TraceID = req.TraceID
 			fwd.Pairs = append(fwd.Pairs, req.Pairs...)
-			ack.fwd = fwd
-			ctlChainForwards.Inc()
-			ack.presp = wire.GetResponse()
-			ack.errc = pool.DoAsync(fwd, ack.presp)
+			fwd.DeadlineAt = req.DeadlineAt
+			if !fwd.RestampDeadline(time.Now()) {
+				wire.PutRequest(fwd)
+				ctlDeadlineExpired.Inc()
+				ack.err = errDeadlineSpent
+			} else {
+				ack.fwd = fwd
+				ctlChainForwards.Inc()
+				ack.presp = wire.GetResponse()
+				ack.errc = pool.DoAsync(fwd, ack.presp)
+			}
 		}
 	}
 	err := s.applyLocalM(req)
 	if err != nil {
 		_ = ack.wait(s) // drain; the write still fails upstream
-		resp.Status = wire.StatusErr
-		resp.Err = err.Error()
+		failWrite(resp, err)
 		return
 	}
 	if err := ack.wait(s); err != nil {
-		resp.Status = wire.StatusUnavailable
+		if errors.Is(err, errShed) {
+			resp.Status = wire.StatusOverloaded
+		} else {
+			resp.Status = wire.StatusUnavailable
+		}
 		resp.Err = "chain: " + err.Error()
 		return
 	}
@@ -339,11 +368,16 @@ func (s *Server) applyLocalM(req *wire.Request) error {
 	lreq.Table = req.Table
 	lreq.TraceID = req.TraceID
 	lreq.Pairs = append(lreq.Pairs, req.Pairs...)
+	lreq.DeadlineAt = req.DeadlineAt
+	if !lreq.RestampDeadline(time.Now()) {
+		ctlDeadlineExpired.Inc()
+		return errDeadlineSpent
+	}
 	if err := s.local.Do(lreq, lresp); err != nil {
 		return err
 	}
 	if lresp.Status != wire.StatusOK {
-		return lresp.ErrValue()
+		return peerErrValue(lresp)
 	}
 	for _, st := range lresp.Statuses {
 		if st != wire.StatusOK {
@@ -362,10 +396,9 @@ func (s *Server) asyncMPut(m *topology.Map, shard topology.Shard, pos int, req *
 		resp.Err = shard.Head().ControletAddr
 		return
 	}
-	versions, statuses, err := s.multiWriteLocal(req.Table, req.Pairs, req.TraceID)
+	versions, statuses, err := s.multiWriteLocal(req.Table, req.Pairs, req.TraceID, req.DeadlineAt)
 	if err != nil {
-		resp.Status = wire.StatusErr
-		resp.Err = err.Error()
+		failWrite(resp, err)
 		return
 	}
 	for i := range req.Pairs {
@@ -374,14 +407,22 @@ func (s *Server) asyncMPut(m *topology.Map, shard topology.Shard, pos int, req *
 			continue
 		}
 		if s.prop != nil && m != nil {
-			s.prop.enqueue(shard, propRecord{
+			if !s.prop.enqueue(shard, propRecord{
 				op:      wire.OpReplPut,
 				table:   req.Table,
 				key:     append([]byte(nil), req.Pairs[i].Key...),
 				value:   append([]byte(nil), req.Pairs[i].Value...),
 				version: versions[i],
 				traceID: req.TraceID,
-			})
+			}) {
+				// Replication backlog: this pair applied locally but is
+				// not acked — per-pair Overloaded, like the single-key
+				// path's shed.
+				ctlShedTotal.Inc()
+				statuses[i] = wire.StatusOverloaded
+				resp.Pairs = append(resp.Pairs, wire.KV{})
+				continue
+			}
 		}
 		s.mirrorWrite(false, req.Table, req.Pairs[i].Key, req.Pairs[i].Value, versions[i])
 		resp.Pairs = append(resp.Pairs, wire.KV{Version: versions[i]})
@@ -407,6 +448,7 @@ func (s *Server) pairLoopWrite(m *topology.Map, shard topology.Shard, req *wire.
 		kreq.Key = req.Pairs[i].Key
 		kreq.Value = req.Pairs[i].Value
 		kreq.TraceID = req.TraceID
+		kreq.DeadlineAt = req.DeadlineAt
 		kresp.Reset()
 		if s.cfg.Mode.Consistency == topology.Strong {
 			s.lockedWrite(m, shard, kreq, kresp)

@@ -40,6 +40,13 @@ var (
 	// contact past FenceTimeout).
 	ctlFencedRejects = metrics.Default.Counter("bespokv_controlet_fenced_rejects_total")
 
+	// Overload control: requests shed by admission control (including
+	// replication-backlog backpressure) and requests dropped because
+	// their propagated deadline budget was already spent at this hop.
+	// Both answer the retryable StatusOverloaded; neither is acked.
+	ctlShedTotal       = metrics.Default.Counter("bespokv_overload_shed_total", "layer", "controlet")
+	ctlDeadlineExpired = metrics.Default.Counter("bespokv_deadline_expired_total", "layer", "controlet")
+
 	// Telemetry reports shipped to (or lost on the way to) the aggregator.
 	ctlTelemetryReports = metrics.Default.Counter("bespokv_controlet_telemetry_reports_total")
 	ctlTelemetryErrs    = metrics.Default.Counter("bespokv_controlet_telemetry_errors_total")
@@ -75,7 +82,10 @@ func recordCtlOp(op wire.Op, d time.Duration) {
 // sketch touch — safe on the hot path.
 func (s *Server) recordTelemetry(req *wire.Request, resp *wire.Response, d time.Duration) {
 	class := telemetry.ClassOf(req.Op)
-	isErr := resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable
+	// Overloaded sheds spend the availability budget too: the SLO burn
+	// engine must see an overloaded shard as burning, not healthy.
+	isErr := resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable ||
+		resp.Status == wire.StatusOverloaded
 	switch class {
 	case telemetry.ClassGet:
 		s.tele.Record(class, len(req.Key), len(resp.Value), d, isErr)
@@ -154,6 +164,13 @@ func (s *Server) Status() any {
 		"peer_datalets":      dCount,
 		"peer_datalet_conns": dConns,
 		"peer_datalet_load":  dLoad,
+	}
+	// The /overloadz section: admission-gate state plus the process-wide
+	// shed/deadline counters for this layer.
+	st["overloadz"] = map[string]any{
+		"gate":             s.gate.Snapshot(),
+		"shed_total":       ctlShedTotal.Value(),
+		"deadline_expired": ctlDeadlineExpired.Value(),
 	}
 	if s.prop != nil {
 		st["prop_pending"] = s.prop.pendingN.Load()

@@ -1,0 +1,82 @@
+package controlet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bespokv/internal/overload"
+	"bespokv/internal/wire"
+)
+
+// errShed marks failures that must surface to the client as
+// StatusOverloaded: the op was rejected under load (shed, replication
+// backlog, or a spent deadline budget) without being acknowledged, and
+// retrying after backoff is the right response. Everything else on the
+// write paths keeps its existing StatusErr/StatusUnavailable mapping.
+var errShed = errors.New("overloaded")
+
+// errDeadlineSpent is the errShed flavor for a request whose propagated
+// deadline budget ran out at this hop — executing it would be wasted work
+// the client has already given up on.
+var errDeadlineSpent = fmt.Errorf("%w: deadline expired", errShed)
+
+// dispatchAdmit runs the per-request overload checks in front of dispatch:
+//
+//   - control-lane ops (heartbeat plumbing, epoch leases, stats,
+//     telemetry) pass straight through — the control plane is never
+//     queued behind data traffic, so a data-path spike cannot delay the
+//     liveness signals the coordinator's failure detector watches;
+//   - every other lane drops work whose propagated deadline has already
+//     expired (the client gave up; executing it helps no one);
+//   - data-lane ops additionally pass admission control, and are shed
+//     with the retryable StatusOverloaded when the gate says the node is
+//     queueing beyond its delay target.
+//
+// Internal replication ops (chain forwards, async repl, handoffs) bypass
+// the gate: they are the continuation of work already admitted at the
+// entry edge, and re-gating them would shed the middle of a chain write
+// more often than its head.
+func (s *Server) dispatchAdmit(req *wire.Request, resp *wire.Response) {
+	lane := overload.LaneOf(req.Op)
+	if lane != overload.LaneControl && req.DeadlineExpired(time.Now()) {
+		ctlDeadlineExpired.Inc()
+		resp.Status = wire.StatusOverloaded
+		resp.Err = "controlet: deadline expired"
+		return
+	}
+	if lane == overload.LaneData {
+		release, ok := s.gate.Admit()
+		if !ok {
+			ctlShedTotal.Inc()
+			resp.Status = wire.StatusOverloaded
+			resp.Err = "controlet: overloaded"
+			return
+		}
+		defer release()
+	}
+	s.dispatch(req, resp)
+}
+
+// failWrite maps a write-path error onto the response: shed/deadline
+// failures become the retryable StatusOverloaded (the op was never
+// acked), everything else keeps the legacy StatusErr.
+func failWrite(resp *wire.Response, err error) {
+	if errors.Is(err, errShed) {
+		resp.Status = wire.StatusOverloaded
+	} else {
+		resp.Status = wire.StatusErr
+	}
+	resp.Err = err.Error()
+}
+
+// peerErrValue folds a completed peer exchange into an error, preserving
+// the overload classification across the hop: a downstream Overloaded
+// becomes errShed here so the entry node answers its client with
+// StatusOverloaded instead of a generic chain failure.
+func peerErrValue(resp *wire.Response) error {
+	if resp.Status == wire.StatusOverloaded {
+		return fmt.Errorf("%w: %s", errShed, resp.Err)
+	}
+	return resp.ErrValue()
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"bespokv/internal/metrics"
+	"bespokv/internal/overload"
 	"bespokv/internal/store"
 	"bespokv/internal/telemetry"
 	"bespokv/internal/trace"
@@ -48,6 +49,15 @@ type Config struct {
 	// counted at the fronting controlet, so shard merges never
 	// double-count — and serves its snapshot over OpTelemetry.
 	TelemetryInterval time.Duration
+	// MaxInflight caps concurrently executing data ops (admission
+	// control); excess requests queue briefly and are shed with
+	// StatusOverloaded once queue delay betrays overload. Epoch leases,
+	// telemetry, stats and the recovery streams are never gated. Default
+	// 1024; < 0 disables.
+	MaxInflight int
+	// ShedTarget is the CoDel queue-delay target for the shedder
+	// (default 5ms).
+	ShedTarget time.Duration
 }
 
 // Server is a running datalet.
@@ -73,6 +83,10 @@ type Server struct {
 	// controlet) and answers OpTelemetry with its snapshot.
 	tele *telemetry.Recorder
 
+	// gate admits data ops (nil = admission control disabled); control
+	// ops and recovery streams bypass it.
+	gate *overload.Gate
+
 	conns sync.WaitGroup
 }
 
@@ -83,6 +97,9 @@ func Serve(cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 1024
 	}
 	l, err := cfg.Network.Listen(cfg.Addr)
 	if err != nil {
@@ -99,6 +116,7 @@ func Serve(cfg Config) (*Server, error) {
 		tables:   map[string]store.Engine{"": def},
 		active:   map[transport.Conn]struct{}{},
 		tele:     telemetry.NewRecorder(telemetry.Options{Interval: cfg.TelemetryInterval}),
+		gate:     overload.NewGate(overload.Config{MaxInflight: cfg.MaxInflight, Target: cfg.ShedTarget}),
 	}
 	go s.acceptLoop()
 	return s, nil
@@ -198,12 +216,13 @@ func (s *Server) serveConn(conn transport.Conn) {
 		}
 		resp.Reset()
 		resp.ID = req.ID
+		req.ArmDeadline(time.Now())
 		timed := req.TraceID != 0 || metrics.SampleLatency()
 		var start time.Time
 		if timed {
 			start = time.Now()
 		}
-		s.handle(&req, &resp)
+		s.handleAdmit(&req, &resp)
 		dur := time.Duration(-1)
 		if timed {
 			dur = time.Since(start)
@@ -227,6 +246,35 @@ func (s *Server) serveConn(conn transport.Conn) {
 			return
 		}
 	}
+}
+
+// handleAdmit runs the overload checks in front of handle: control-lane
+// ops (epoch leases, telemetry, stats, pings) always pass — they are what
+// keeps the fronting controlet's liveness reporting truthful under load;
+// everything else drops work whose propagated deadline already expired,
+// and data-lane ops additionally pass the admission gate. The engine is
+// the real queue here: when it saturates, slot waits grow, and the CoDel
+// shedder converts the standing queue into fast StatusOverloaded answers
+// instead of timeouts.
+func (s *Server) handleAdmit(req *wire.Request, resp *wire.Response) {
+	lane := overload.LaneOf(req.Op)
+	if lane != overload.LaneControl && req.DeadlineExpired(time.Now()) {
+		srvDeadlineExpired.Inc()
+		resp.Status = wire.StatusOverloaded
+		resp.Err = "datalet: deadline expired"
+		return
+	}
+	if lane == overload.LaneData {
+		release, ok := s.gate.Admit()
+		if !ok {
+			srvShedTotal.Inc()
+			resp.Status = wire.StatusOverloaded
+			resp.Err = "datalet: overloaded"
+			return
+		}
+		defer release()
+	}
+	s.handle(req, resp)
 }
 
 func (s *Server) engineFor(table string) (store.Engine, bool) {
@@ -439,7 +487,8 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 // the controlet fallback, not an error; Unavailable and Err spend the
 // availability budget.
 func (s *Server) recordDirectGet(req *wire.Request, resp *wire.Response, dur time.Duration) {
-	isErr := resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable
+	isErr := resp.Status == wire.StatusErr || resp.Status == wire.StatusUnavailable ||
+		resp.Status == wire.StatusOverloaded
 	if len(req.Pairs) > 0 {
 		s.tele.Record(telemetry.ClassDirectGet, -1, -1, dur, isErr)
 		for i := range req.Pairs {

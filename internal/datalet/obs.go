@@ -20,6 +20,11 @@ var (
 	cliBatches    = metrics.Default.Counter("bespokv_datalet_client_batches_total")
 	cliBatchedReq = metrics.Default.Counter("bespokv_datalet_client_batched_requests_total")
 	cliInline     = metrics.Default.Counter("bespokv_datalet_client_inline_total")
+
+	// Overload control: data ops shed by admission control and ops
+	// dropped because their propagated deadline was already spent.
+	srvShedTotal       = metrics.Default.Counter("bespokv_overload_shed_total", "layer", "datalet")
+	srvDeadlineExpired = metrics.Default.Counter("bespokv_deadline_expired_total", "layer", "datalet")
 )
 
 // Live-connection registry backing the pipeline gauges. Conn count,
@@ -117,5 +122,10 @@ func (s *Server) Status() any {
 		"tables":      tables,
 		"connections": len(s.active),
 		"uptime_sec":  int64(metrics.ProcessUptime().Seconds()),
+		"overloadz": map[string]any{
+			"gate":             s.gate.Snapshot(),
+			"shed_total":       srvShedTotal.Value(),
+			"deadline_expired": srvDeadlineExpired.Value(),
+		},
 	}
 }

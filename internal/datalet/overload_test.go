@@ -1,0 +1,148 @@
+package datalet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bespokv/internal/store"
+	"bespokv/internal/store/ht"
+	"bespokv/internal/transport"
+	"bespokv/internal/wire"
+)
+
+// slowPutEngine stretches every Put to a fixed service time so a tiny
+// inflight cap saturates under a handful of concurrent writers.
+type slowPutEngine struct {
+	store.Engine
+	delay time.Duration
+}
+
+func (s slowPutEngine) Put(key, value []byte, version uint64) (uint64, error) {
+	time.Sleep(s.delay)
+	return s.Engine.Put(key, value, version)
+}
+
+// TestDataletShedsUnderOverload drives a MaxInflight=1 datalet with slow
+// puts from several concurrent connections: the admission gate must shed
+// part of the storm with the retryable StatusOverloaded while still
+// completing real work — and control-lane ops (pings) must sail through
+// the saturated gate untouched, since they carry the liveness signals.
+func TestDataletShedsUnderOverload(t *testing.T) {
+	net, _ := transport.Lookup("inproc")
+	codec, _ := wire.LookupCodec("binary")
+	srv, err := Serve(Config{
+		Name:    "shed-test",
+		Network: net,
+		Codec:   codec,
+		// One slot, 5ms service time, 4ms max queue wait (4x target): any
+		// op that queues behind another is shed.
+		MaxInflight: 1,
+		ShedTarget:  time.Millisecond,
+		NewEngine: func(string) (store.Engine, error) {
+			return slowPutEngine{Engine: ht.New(), delay: 5 * time.Millisecond}, nil
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var acked, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		cli, err := Dial(net, srv.Addr(), codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, cli *Client) {
+			defer wg.Done()
+			defer cli.Close()
+			for i := 0; i < 30; i++ {
+				var resp wire.Response
+				req := wire.Request{
+					Op:    wire.OpPut,
+					Key:   []byte(fmt.Sprintf("k-%d-%d", w, i)),
+					Value: []byte("v"),
+				}
+				if err := cli.Do(&req, &resp); err != nil {
+					other.Add(1)
+					continue
+				}
+				switch resp.Status {
+				case wire.StatusOK:
+					acked.Add(1)
+				case wire.StatusOverloaded:
+					shed.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}(w, cli)
+	}
+
+	// While the storm rages, control-lane pings must never be gated: every
+	// one answers OK even though the data gate is saturated.
+	ctl, err := Dial(net, srv.Addr(), codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	for i := 0; i < 20; i++ {
+		var resp wire.Response
+		if err := ctl.Do(&wire.Request{Op: wire.OpNop}, &resp); err != nil {
+			t.Fatalf("ping %d during overload: %v", i, err)
+		}
+		if resp.Status == wire.StatusOverloaded {
+			t.Fatalf("ping %d shed: control lane must bypass the gate", i)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+
+	t.Logf("storm: %d acked, %d shed, %d other", acked.Load(), shed.Load(), other.Load())
+	if acked.Load() == 0 {
+		t.Fatal("an overloaded datalet must still complete admitted work")
+	}
+	if shed.Load() == 0 {
+		t.Fatal("six writers against one 5ms slot must trip the shedder")
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d ops failed with something other than OK/Overloaded", other.Load())
+	}
+}
+
+// TestDataletDropsExpiredDeadline: a data op arriving with an already-spent
+// deadline budget is dropped with StatusOverloaded before touching the
+// engine, and a roomy budget rides through untouched.
+func TestDataletDropsExpiredDeadline(t *testing.T) {
+	_, cli := newServer(t, "binary", nil)
+	var resp wire.Response
+	// 1ns of budget is gone by the time the handler looks at the clock.
+	req := wire.Request{Op: wire.OpPut, Key: []byte("k"), Value: []byte("v"), Deadline: 1}
+	if err := cli.Do(&req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOverloaded {
+		t.Fatalf("expired-deadline put: status %v, want Overloaded", resp.Status)
+	}
+	resp.Reset()
+	req = wire.Request{Op: wire.OpPut, Key: []byte("k"), Value: []byte("v"), Deadline: uint64(time.Minute)}
+	if err := cli.Do(&req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("roomy-deadline put: %+v", resp)
+	}
+	resp.Reset()
+	if err := cli.Do(&wire.Request{Op: wire.OpGet, Key: []byte("k")}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || string(resp.Value) != "v" {
+		t.Fatalf("read back: %+v", resp)
+	}
+}

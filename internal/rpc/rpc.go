@@ -43,7 +43,18 @@ type reqMsg struct {
 	// ignore the unknown field; its absence unmarshals as 0 — compatible
 	// in both directions.
 	T uint64 `json:"t,omitempty"`
+	// D is the caller's remaining deadline budget in nanoseconds, 0 when
+	// unbounded. A server that dispatches the call only after the budget
+	// is spent answers "rpc: deadline expired" instead of burning a
+	// handler on work the caller has already timed out — which matters
+	// exactly when the control plane is overloaded and dispatch delays
+	// grow. Same old/new compatibility story as T.
+	D uint64 `json:"d,omitempty"`
 }
+
+// ErrDeadlineExpired is the server-side reply for a call whose budget was
+// spent before its handler ran.
+const errDeadlineExpired = "rpc: deadline expired"
 
 type respMsg struct {
 	ID     uint64          `json:"id"`
@@ -193,6 +204,7 @@ func (s *Server) serveConn(conn transport.Conn) {
 		if err := json.Unmarshal(frame, &req); err != nil {
 			return
 		}
+		recv := time.Now()
 		s.mu.RLock()
 		h, ok := s.handlers[req.Method]
 		s.mu.RUnlock()
@@ -215,6 +227,12 @@ func (s *Server) serveConn(conn transport.Conn) {
 			resp.ID = req.ID
 			if !ok {
 				resp.Err = "rpc: unknown method " + req.Method
+			} else if req.D != 0 && time.Since(recv) > time.Duration(req.D) {
+				// The caller's budget ran out between receive and
+				// dispatch (handler goroutines starved under load); the
+				// caller has already timed out, so the work is doomed.
+				rpcDeadlineExpired.Inc()
+				resp.Err = errDeadlineExpired
 			} else if result, err := h(req.Args); err != nil {
 				resp.Err = err.Error()
 			} else if result != nil {
@@ -326,6 +344,9 @@ func (c *Client) failAll(err error) {
 var (
 	rpcCallSeconds = metrics.Default.Histogram("bespokv_rpc_call_seconds")
 	rpcTimeouts    = metrics.Default.Counter("bespokv_rpc_call_timeouts_total")
+
+	// Calls whose propagated budget was spent before dispatch (see reqMsg.D).
+	rpcDeadlineExpired = metrics.Default.Counter("bespokv_deadline_expired_total", "layer", "rpc")
 )
 
 // Call invokes method with args, unmarshaling the result into reply
@@ -385,7 +406,14 @@ func (c *Client) call(tid uint64, method string, args, reply any, timeout time.D
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	payload, err := json.Marshal(reqMsg{ID: id, Method: method, Args: rawArgs, T: tid})
+	// The call timeout doubles as the propagated deadline budget: a server
+	// too backlogged to dispatch before it lapses answers cheaply instead
+	// of running a handler nobody is waiting for.
+	var budget uint64
+	if timeout > 0 {
+		budget = uint64(timeout)
+	}
+	payload, err := json.Marshal(reqMsg{ID: id, Method: method, Args: rawArgs, T: tid, D: budget})
 	if err != nil {
 		return err
 	}

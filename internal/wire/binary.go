@@ -163,12 +163,13 @@ func encodeRequestFields(f *frameWriter, req *Request) {
 	// TraceID is an optional trailing field, emitted only for sampled
 	// requests: pre-trace decoders discard unread frame bytes, and its
 	// absence decodes as 0 below, so both directions stay compatible.
-	// Pairs (multi-op key sets) trail TraceID; a frame carrying them must
-	// emit TraceID too — even when zero — to keep the field order fixed.
-	if req.TraceID != 0 || len(req.Pairs) > 0 {
+	// Pairs (multi-op key sets) trail TraceID, and Deadline trails Pairs;
+	// a frame carrying a later optional field must emit every earlier one
+	// too — even when zero/empty — to keep the field order fixed.
+	if req.TraceID != 0 || len(req.Pairs) > 0 || req.Deadline != 0 {
 		f.uvarint(req.TraceID)
 	}
-	if len(req.Pairs) > 0 {
+	if len(req.Pairs) > 0 || req.Deadline != 0 {
 		f.uvarint(uint64(len(req.Pairs)))
 		for i := range req.Pairs {
 			f.bytes(req.Pairs[i].Key)
@@ -176,11 +177,14 @@ func encodeRequestFields(f *frameWriter, req *Request) {
 			f.uvarint(req.Pairs[i].Version)
 		}
 	}
+	if req.Deadline != 0 {
+		f.uvarint(req.Deadline)
+	}
 }
 
 // EncodeRequest serializes req into w without flushing (BufferedCodec).
 func (BinaryCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
-	est := 64 + len(req.Table) + len(req.Key) + len(req.Value) + len(req.EndKey)
+	est := 80 + len(req.Table) + len(req.Key) + len(req.Value) + len(req.EndKey)
 	for i := range req.Pairs {
 		est += 24 + len(req.Pairs[i].Key) + len(req.Pairs[i].Value)
 	}
@@ -319,6 +323,8 @@ func parseRequestFields(f *frameReader, req *Request) error {
 	}
 	req.TraceID = 0
 	req.Pairs = req.Pairs[:0]
+	req.Deadline = 0
+	req.DeadlineAt = 0
 	if f.pos < len(f.buf) {
 		if req.TraceID, err = f.uvarint(); err != nil {
 			return err
@@ -346,6 +352,11 @@ func parseRequestFields(f *frameReader, req *Request) error {
 			if req.Pairs[i].Version, err = f.uvarint(); err != nil {
 				return err
 			}
+		}
+	}
+	if f.pos < len(f.buf) {
+		if req.Deadline, err = f.uvarint(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -20,7 +20,11 @@ import (
 // request (readers accept 9 or 10 elements, so old and new peers
 // interoperate). Multi-op requests (MGET/MPUT/DIRECTGET/CHAINMPUT) append
 // the pair set after the trace ID — a count then key/value/version
-// triples — making an (11+3n)-element array,
+// triples — making an (11+3n)-element array. A request carrying a
+// deadline budget appends it as one final element after the pair set
+// (trace ID and pair count then present even when zero), making a
+// (12+3n)-element array; (11+3n) and (12+3n) never collide mod 3, so the
+// reader tells the forms apart by element count alone,
 //
 // and a response is the (6+3n)-element array
 //
@@ -157,6 +161,11 @@ func (TextCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
 		// (even when zero) to keep the element order fixed.
 		elems = 11 + 3*len(req.Pairs)
 	}
+	if req.Deadline != 0 {
+		// The deadline trails the pair set; trace ID and pair count must
+		// then both be present (even when zero/empty).
+		elems = 12 + 3*len(req.Pairs)
+	}
 	if err := writeArrayHeader(w, elems); err != nil {
 		return err
 	}
@@ -187,12 +196,12 @@ func (TextCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
 	if err := writeBulkUint(w, req.Epoch); err != nil {
 		return err
 	}
-	if req.TraceID != 0 || len(req.Pairs) > 0 {
+	if req.TraceID != 0 || len(req.Pairs) > 0 || req.Deadline != 0 {
 		if err := writeBulkUint(w, req.TraceID); err != nil {
 			return err
 		}
 	}
-	if len(req.Pairs) > 0 {
+	if len(req.Pairs) > 0 || req.Deadline != 0 {
 		if err := writeBulkUint(w, uint64(len(req.Pairs))); err != nil {
 			return err
 		}
@@ -206,6 +215,11 @@ func (TextCodec) EncodeRequest(w *bufio.Writer, req *Request) error {
 			if err := writeBulkUint(w, req.Pairs[i].Version); err != nil {
 				return err
 			}
+		}
+	}
+	if req.Deadline != 0 {
+		if err := writeBulkUint(w, req.Deadline); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -225,8 +239,10 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 	if err != nil {
 		return err
 	}
-	if n != 9 && n != 10 && (n < 11 || (n-11)%3 != 0) {
-		return fmt.Errorf("wire: text request has %d elements, want 9, 10 or 11+3n", n)
+	hasPairs := n >= 11 && (n-11)%3 == 0
+	hasDeadline := n >= 12 && (n-12)%3 == 0
+	if n != 9 && n != 10 && !hasPairs && !hasDeadline {
+		return fmt.Errorf("wire: text request has %d elements, want 9, 10, 11+3n or 12+3n", n)
 	}
 	verb, err := readBulk(r, nil)
 	if err != nil {
@@ -279,7 +295,11 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 		if err != nil {
 			return err
 		}
-		if int(np) != (n-11)/3 {
+		want := (n - 11) / 3
+		if hasDeadline {
+			want = (n - 12) / 3
+		}
+		if int(np) != want {
 			return fmt.Errorf("wire: pair count %d disagrees with array length %d", np, n)
 		}
 		if cap(req.Pairs) < int(np) {
@@ -296,6 +316,13 @@ func (TextCodec) ReadRequest(r *bufio.Reader, req *Request) error {
 			if req.Pairs[i].Version, err = readBulkUint(r); err != nil {
 				return err
 			}
+		}
+	}
+	req.Deadline = 0
+	req.DeadlineAt = 0
+	if hasDeadline {
+		if req.Deadline, err = readBulkUint(r); err != nil {
+			return err
 		}
 	}
 	req.ID = 0

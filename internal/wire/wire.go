@@ -10,7 +10,9 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"time"
 )
 
 // Op identifies a request operation. Client-visible operations come first;
@@ -188,6 +190,12 @@ const (
 	// StatusUnavailable indicates the node cannot serve the request now
 	// (e.g. recovering standby); the client should back off and retry.
 	StatusUnavailable
+	// StatusOverloaded indicates the server shed the request under load
+	// (admission control, queue-delay shedding, replication backpressure)
+	// or its deadline budget was already spent on arrival. The operation
+	// was NOT executed — an Overloaded write is never acked — so the
+	// client may safely retry after backing off.
+	StatusOverloaded
 )
 
 // String returns the status mnemonic.
@@ -205,6 +213,8 @@ func (s Status) String() string {
 		return "REDIRECT"
 	case StatusUnavailable:
 		return "UNAVAILABLE"
+	case StatusOverloaded:
+		return "OVERLOADED"
 	default:
 		return fmt.Sprintf("STATUS(%d)", uint8(s))
 	}
@@ -248,6 +258,58 @@ type Request struct {
 	// internal hops). Like TraceID it is an optional trailing field:
 	// absent on single-key frames, so old and new peers interoperate.
 	Pairs []KV
+	// Deadline is the request's remaining latency budget in nanoseconds at
+	// the instant the frame was encoded; 0 means no deadline. Each hop
+	// converts it to a local absolute instant on receipt (ArmDeadline),
+	// drops work whose budget is already spent, and re-derives the shrunken
+	// remainder when forwarding (RestampDeadline) — so the budget decays by
+	// elapsed time across hops without requiring synchronized clocks. On
+	// the wire it is an optional trailing field like TraceID: old decoders
+	// ignore it and old frames decode with Deadline 0.
+	Deadline uint64
+
+	// DeadlineAt is the armed local-clock form of Deadline (UnixNano; 0 =
+	// none). It is never encoded — servers set it at decode time and
+	// forwarding paths that copy a request (*fwd = *req) inherit it.
+	DeadlineAt int64
+}
+
+// ArmDeadline converts the wire-relative Deadline into an absolute local
+// instant, from which this hop's checks and re-stamps derive. A zero
+// Deadline clears any stale DeadlineAt.
+func (r *Request) ArmDeadline(now time.Time) {
+	if r.Deadline == 0 {
+		r.DeadlineAt = 0
+		return
+	}
+	n := now.UnixNano()
+	if r.Deadline > math.MaxInt64-uint64(n) {
+		r.DeadlineAt = math.MaxInt64
+		return
+	}
+	r.DeadlineAt = n + int64(r.Deadline)
+}
+
+// DeadlineExpired reports whether the request's armed budget is already
+// spent; executing it would be doomed work.
+func (r *Request) DeadlineExpired(now time.Time) bool {
+	return r.DeadlineAt != 0 && now.UnixNano() >= r.DeadlineAt
+}
+
+// RestampDeadline refreshes the wire-relative Deadline from the armed
+// DeadlineAt so the next hop receives the budget minus the time spent
+// here. It reports false when the budget is already spent (the caller
+// should drop the forward instead of sending it).
+func (r *Request) RestampDeadline(now time.Time) bool {
+	if r.DeadlineAt == 0 {
+		return true
+	}
+	rem := r.DeadlineAt - now.UnixNano()
+	if rem <= 0 {
+		return false
+	}
+	r.Deadline = uint64(rem)
+	return true
 }
 
 // Response is the single message type sent back toward clients.
@@ -287,6 +349,8 @@ func (r *Request) Reset() {
 	r.Epoch = 0
 	r.TraceID = 0
 	r.Pairs = r.Pairs[:0]
+	r.Deadline = 0
+	r.DeadlineAt = 0
 }
 
 // Reset clears a Response for reuse without freeing its backing arrays.

@@ -67,3 +67,14 @@ go test -race -run 'Replicated|Sequencer|Follower|TestLockTableClock|TestTakeDel
 	./internal/coordinator/ ./internal/dlm/ ./internal/sharedlog/
 go test -race -run 'TestControlPlane' ./internal/cluster/
 go test -run TestApplyZeroAlloc ./internal/rsm/
+
+# Overload control: admission-gate/retry-budget/breaker units, the
+# deadline wire-field fuzz seeds, client failure classification and retry
+# discipline, controlet/datalet shed paths, then the cluster surge
+# acceptance (goodput >= 80% of plateau at 4x load, bounded tail, no
+# spurious failover, linearizable history). Same seed-replay convention.
+go test -race ./internal/overload/...
+go test -race -run 'Fuzz' ./internal/wire/
+go test -race -run 'TestClassifyFailure|TestOverloaded|TestRetryBudget|TestBreaker|TestOpBudget|TestSustainedOverload' ./internal/client/
+go test -race -run 'Shed|Deadline|Overload' ./internal/controlet/ ./internal/datalet/
+go test -race -run 'TestOverload' ./internal/cluster/
